@@ -1,0 +1,119 @@
+// Ablation of the ML-To-SQL optimizations (paper §4.4): unique node ids,
+// range/layer filter predicates, and the sorted model table (which enables
+// order-based aggregation). Also toggles the engine-side ordered-aggregation
+// rule to isolate its effect on runtime and peak memory.
+
+#include <cstdio>
+
+#include "benchlib/report.h"
+#include "benchlib/workloads.h"
+#include "common/logging.h"
+#include "common/memory_tracker.h"
+#include "common/stopwatch.h"
+#include "mltosql/mltosql.h"
+#include "sql/query_engine.h"
+
+namespace indbml::benchlib {
+namespace {
+
+struct Variant {
+  const char* label;
+  mltosql::MlToSqlOptions options;
+  bool ordered_aggregation;
+};
+
+int Run() {
+  ScaleConfig scale = ScaleConfig::FromEnv();
+  const int64_t tuples = scale.paper_scale ? 100000 : 8000;
+  const int64_t width = scale.paper_scale ? 128 : 32;
+  const int64_t depth = 2;
+
+  std::vector<Variant> variants;
+  {
+    Variant all{"all optimizations", {}, true};
+    variants.push_back(all);
+    Variant pair_ids{"pair ids (no unique node ids)", {}, true};
+    pair_ids.options.unique_node_ids = false;
+    variants.push_back(pair_ids);
+    Variant no_filters{"no range filters", {}, true};
+    no_filters.options.range_filters = false;
+    variants.push_back(no_filters);
+    Variant unsorted{"unsorted model table", {}, true};
+    unsorted.options.sorted_model_table = false;
+    variants.push_back(unsorted);
+    Variant hash_agg{"hash aggregation (rule off)", {}, false};
+    variants.push_back(hash_agg);
+    Variant none{"no optimizations", {}, false};
+    none.options.unique_node_ids = false;
+    none.options.range_filters = false;
+    none.options.sorted_model_table = false;
+    variants.push_back(none);
+  }
+
+  auto model_or = nn::MakeDenseBenchmarkModel(width, depth);
+  INDBML_CHECK(model_or.ok());
+  nn::Model model = std::move(model_or).ValueOrDie();
+
+  ReportTable table("ablation_mltosql_opts",
+                    {"variant", "seconds", "peak_bytes", "peak_human"});
+  double checksum_reference = 0;
+  bool have_reference = false;
+
+  for (const Variant& variant : variants) {
+    sql::QueryEngine::Options engine_options;
+    engine_options.optimizer.ordered_aggregation = variant.ordered_aggregation;
+    sql::QueryEngine engine(engine_options);
+    engine.catalog()->CreateOrReplaceTable(MakeIrisTable("fact", tuples));
+
+    mltosql::MlToSql framework(&model, "m", variant.options);
+    INDBML_CHECK(framework.Deploy(&engine).ok());
+    mltosql::FactTableInfo info;
+    info.table = "fact";
+    info.input_columns = {"sepal_length", "sepal_width", "petal_length",
+                          "petal_width"};
+    auto sql_or = framework.GenerateInferenceSql(info);
+    INDBML_CHECK(sql_or.ok());
+
+    MemoryTracker& tracker = MemoryTracker::Global();
+    int64_t baseline = tracker.current_bytes();
+    tracker.ResetPeak();
+    Stopwatch watch;
+    auto result = engine.ExecuteQuery(*sql_or);
+    double seconds = watch.ElapsedSeconds();
+    if (!result.ok()) {
+      std::fprintf(stderr, "[ablation] %s failed: %s\n", variant.label,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    int64_t peak = tracker.peak_bytes() - baseline;
+
+    // All variants must agree numerically.
+    double checksum = 0;
+    auto pred_col = result->ColumnIndex("prediction");
+    INDBML_CHECK(pred_col.ok());
+    for (int64_t r = 0; r < result->num_rows; ++r) {
+      checksum += result->GetValue(r, *pred_col).AsDouble();
+    }
+    if (!have_reference) {
+      checksum_reference = checksum;
+      have_reference = true;
+    } else {
+      INDBML_CHECK(std::abs(checksum - checksum_reference) <
+                   1e-3 * (1 + std::abs(checksum_reference)))
+          << variant.label << " diverged";
+    }
+
+    table.AddRow({variant.label, FormatSeconds(seconds), std::to_string(peak),
+                  FormatBytes(peak)});
+    std::printf("[ablation] %-32s %10.4fs  peak=%s\n", variant.label, seconds,
+                FormatBytes(peak).c_str());
+    std::fflush(stdout);
+  }
+  table.Finish();
+  return 0;
+}
+
+}  // namespace
+}  // namespace indbml::benchlib
+
+int main() { return indbml::benchlib::Run(); }

@@ -1,0 +1,86 @@
+// Ablation of the simulated-GPU cost model: sweeps the compute speedup and
+// the kernel-launch overhead to show where the paper's GPU conclusions come
+// from — transfer/launch overhead dominates small models (GPU ≈ CPU), while
+// compute speedup wins for large models (§6.2.1).
+
+#include <cstdio>
+
+#include "benchlib/report.h"
+#include "benchlib/workloads.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/stopwatch.h"
+#include "mlruntime/runtime.h"
+#include "sql/query_engine.h"
+
+namespace indbml::benchlib {
+namespace {
+
+/// Measures one model on a dedicated SimGpu with the given options,
+/// returning the adjusted (modeled) seconds for a fixed batch workload.
+Result<double> MeasureGpu(const nn::Model& model, const device::SimGpuOptions& gpu,
+                          int64_t tuples) {
+  auto device = device::MakeSimGpuDevice(gpu);
+  INDBML_ASSIGN_OR_RETURN(auto session,
+                          mlruntime::Session::Create(model, "gpu", device.get()));
+  std::vector<float> input(static_cast<size_t>(tuples * model.input_width()));
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>(i % 97) * 0.01f;
+  }
+  std::vector<float> output(static_cast<size_t>(tuples * model.output_dim()));
+  device->ResetStats();
+  Stopwatch watch;
+  // Vector-at-a-time like the engine.
+  for (int64_t start = 0; start < tuples; start += 1024) {
+    int64_t n = std::min<int64_t>(1024, tuples - start);
+    INDBML_RETURN_NOT_OK(session->Run(input.data() + start * model.input_width(), n,
+                                      output.data() + start * model.output_dim()));
+  }
+  double wall = watch.ElapsedSeconds();
+  device::DeviceStats stats = device->stats();
+  return wall - stats.real_seconds + stats.modeled_seconds;
+}
+
+int Run() {
+  ScaleConfig scale = ScaleConfig::FromEnv();
+  const int64_t tuples = scale.paper_scale ? 100000 : 8000;
+
+  ReportTable table("ablation_simgpu",
+                    {"model", "compute_speedup", "launch_overhead_us", "seconds"});
+
+  std::vector<std::pair<const char*, nn::Model>> models;
+  {
+    auto small = nn::MakeDenseBenchmarkModel(16, 2);
+    auto large = nn::MakeDenseBenchmarkModel(scale.paper_scale ? 512 : 128, 4);
+    INDBML_CHECK(small.ok() && large.ok());
+    models.emplace_back("small dense", std::move(small).ValueOrDie());
+    models.emplace_back("large dense", std::move(large).ValueOrDie());
+  }
+
+  for (auto& [label, model] : models) {
+    for (double speedup : {1.0, 4.0, 8.0, 16.0}) {
+      for (double launch_us : {0.0, 5.0, 50.0}) {
+        device::SimGpuOptions options;
+        options.compute_speedup = speedup;
+        options.kernel_launch_seconds = launch_us * 1e-6;
+        auto seconds = MeasureGpu(model, options, tuples);
+        if (!seconds.ok()) {
+          std::fprintf(stderr, "[simgpu] failed: %s\n",
+                       seconds.status().ToString().c_str());
+          return 1;
+        }
+        table.AddRow({label, indbml::StrFormat("%.0f", speedup), indbml::StrFormat("%.0f", launch_us),
+                      FormatSeconds(*seconds)});
+        std::printf("[simgpu] %-12s speedup=%-4.0f launch=%3.0fus  %10.4fs\n", label,
+                    speedup, launch_us, *seconds);
+      }
+    }
+  }
+  table.Finish();
+  return 0;
+}
+
+}  // namespace
+}  // namespace indbml::benchlib
+
+int main() { return indbml::benchlib::Run(); }

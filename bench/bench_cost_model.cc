@@ -1,0 +1,98 @@
+// Validates the structural cost model (paper §7 future work: "The cost for
+// inference could ... be based on an investigation of the model structure,
+// as our evaluation showed that costs increase linearly with model size").
+//
+// One probe measurement per approach calibrates the coefficients; the bench
+// then reports predicted vs measured runtimes for other model sizes and
+// fact sizes.
+
+#include <cstdio>
+
+#include "benchlib/approaches.h"
+#include "benchlib/report.h"
+#include "benchlib/workloads.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "nn/cost_model.h"
+#include "sql/query_engine.h"
+
+namespace indbml::benchlib {
+namespace {
+
+int Run() {
+  ScaleConfig scale = ScaleConfig::FromEnv();
+  const int64_t probe_tuples = scale.paper_scale ? 50000 : 4000;
+  std::vector<int64_t> eval_tuples =
+      scale.paper_scale ? std::vector<int64_t>{100000, 200000}
+                        : std::vector<int64_t>{8000, 16000};
+  std::vector<std::pair<int64_t, int64_t>> shapes = {{16, 2}, {32, 2}, {64, 4}};
+
+  std::vector<Approach> approaches = {Approach::kModelJoinCpu, Approach::kCApiCpu,
+                                      Approach::kMlToSql};
+
+  ReportTable table("cost_model_validation",
+                    {"approach", "model", "tuples", "predicted_s", "measured_s",
+                     "ratio"});
+
+  for (Approach approach : approaches) {
+    // Calibrate on the smallest shape.
+    nn::CostCoefficients coeff;
+    bool calibrated = false;
+    for (auto [width, depth] : shapes) {
+      auto model_or = nn::MakeDenseBenchmarkModel(width, depth);
+      INDBML_CHECK(model_or.ok());
+      nn::Model model = std::move(model_or).ValueOrDie();
+      nn::CostEstimate estimate = nn::EstimateCost(model);
+
+      for (int64_t tuples : eval_tuples) {
+        if (approach == Approach::kMlToSql && scale.mltosql_row_budget > 0 &&
+            tuples * width * (depth + 1) > scale.mltosql_row_budget) {
+          continue;
+        }
+        sql::QueryEngine engine;
+        engine.catalog()->CreateOrReplaceTable(MakeIrisTable("fact", tuples));
+        auto ctx_or = PrepareApproachContext(
+            &engine, &model, "m", "fact",
+            {"sepal_length", "sepal_width", "petal_length", "petal_width"});
+        INDBML_CHECK(ctx_or.ok());
+        ApproachContext context = std::move(ctx_or).ValueOrDie();
+
+        if (!calibrated) {
+          // One probe run on a reduced fact size calibrates the model.
+          engine.catalog()->CreateOrReplaceTable(MakeIrisTable("fact", probe_tuples));
+          auto probe = RunApproach(approach, context);
+          INDBML_CHECK(probe.ok()) << probe.status().ToString();
+          coeff = nn::CalibrateFromMeasurement(estimate, probe_tuples,
+                                               probe->adjusted_seconds,
+                                               approach == Approach::kMlToSql);
+          calibrated = true;
+          engine.catalog()->CreateOrReplaceTable(MakeIrisTable("fact", tuples));
+        }
+
+        auto m = RunApproach(approach, context);
+        if (!m.ok()) {
+          std::fprintf(stderr, "[cost] %s failed: %s\n", ApproachName(approach),
+                       m.status().ToString().c_str());
+          return 1;
+        }
+        double predicted = nn::PredictSeconds(estimate, coeff, tuples);
+        double ratio = predicted / std::max(1e-9, m->adjusted_seconds);
+        table.AddRow({ApproachName(approach), model.ToString(),
+                      std::to_string(tuples), FormatSeconds(predicted),
+                      FormatSeconds(m->adjusted_seconds), indbml::StrFormat("%.2f", ratio)});
+        std::printf("[cost] %-14s %-16s n=%-7lld pred=%8.4fs meas=%8.4fs (%.2fx)\n",
+                    ApproachName(approach), model.ToString().c_str(),
+                    static_cast<long long>(tuples), predicted, m->adjusted_seconds,
+                    ratio);
+        std::fflush(stdout);
+      }
+    }
+  }
+  table.Finish();
+  return 0;
+}
+
+}  // namespace
+}  // namespace indbml::benchlib
+
+int main() { return indbml::benchlib::Run(); }

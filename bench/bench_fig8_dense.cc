@@ -1,0 +1,75 @@
+// Reproduces Figure 8: model-inference runtimes for dense-layer networks.
+//
+// Paper setup (§6.1): the Iris dataset replicated to varying fact-table
+// sizes; dense networks with width in {32,128,512} and depth in {2,4,8};
+// eight approaches. Default sweeps are CI-sized; REPRO_SCALE=paper restores
+// the paper's grid (see DESIGN.md §4).
+
+#include <cstdio>
+
+#include "benchlib/approaches.h"
+#include "benchlib/report.h"
+#include "benchlib/workloads.h"
+#include "common/logging.h"
+#include "sql/query_engine.h"
+
+namespace indbml::benchlib {
+namespace {
+
+int Run() {
+  ScaleConfig scale = ScaleConfig::FromEnv();
+  ReportTable table("fig8_dense_runtime",
+                    {"model_width", "model_depth", "fact_tuples", "approach",
+                     "seconds", "wall_seconds", "rows"});
+
+  for (int64_t width : scale.dense_widths) {
+    for (int64_t depth : scale.dense_depths) {
+      sql::QueryEngine engine;
+      auto model_or = nn::MakeDenseBenchmarkModel(width, depth);
+      INDBML_CHECK(model_or.ok()) << model_or.status().ToString();
+      nn::Model model = std::move(model_or).ValueOrDie();
+
+      for (int64_t tuples : scale.fact_sizes) {
+        engine.catalog()->CreateOrReplaceTable(MakeIrisTable("fact", tuples));
+        auto context_or = PrepareApproachContext(
+            &engine, &model, "bench_model", "fact",
+            {"sepal_length", "sepal_width", "petal_length", "petal_width"});
+        INDBML_CHECK(context_or.ok()) << context_or.status().ToString();
+        ApproachContext context = std::move(context_or).ValueOrDie();
+
+        for (Approach approach : AllApproaches()) {
+          if (approach == Approach::kMlToSql && scale.mltosql_row_budget > 0 &&
+              tuples * width * (depth + 1) > scale.mltosql_row_budget) {
+            std::printf("[fig8] skipping ML-To-SQL for w=%lld d=%lld n=%lld "
+                        "(row budget; REPRO_SCALE=paper removes the cap)\n",
+                        static_cast<long long>(width), static_cast<long long>(depth),
+                        static_cast<long long>(tuples));
+            continue;
+          }
+          auto m = RunApproach(approach, context);
+          if (!m.ok()) {
+            std::fprintf(stderr, "[fig8] %s failed: %s\n", ApproachName(approach),
+                         m.status().ToString().c_str());
+            return 1;
+          }
+          table.AddRow({std::to_string(width), std::to_string(depth),
+                        std::to_string(tuples), ApproachName(approach),
+                        FormatSeconds(m->adjusted_seconds),
+                        FormatSeconds(m->wall_seconds), std::to_string(m->rows)});
+          std::printf("[fig8] w=%-4lld d=%lld n=%-7lld %-14s %10.4fs\n",
+                      static_cast<long long>(width), static_cast<long long>(depth),
+                      static_cast<long long>(tuples), ApproachName(approach),
+                      m->adjusted_seconds);
+          std::fflush(stdout);
+        }
+      }
+    }
+  }
+  table.Finish();
+  return 0;
+}
+
+}  // namespace
+}  // namespace indbml::benchlib
+
+int main() { return indbml::benchlib::Run(); }

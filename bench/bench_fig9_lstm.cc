@@ -1,0 +1,71 @@
+// Reproduces Figure 9: model-inference runtimes for LSTM networks.
+//
+// Paper setup (§6.1): a generated sinus time series with 3 time steps per
+// forecast; a single LSTM layer of width {32,128,512} plus a one-neuron
+// output layer; eight approaches. REPRO_SCALE=paper restores the paper's
+// parameters.
+
+#include <cstdio>
+
+#include "benchlib/approaches.h"
+#include "benchlib/report.h"
+#include "benchlib/workloads.h"
+#include "common/logging.h"
+#include "sql/query_engine.h"
+
+namespace indbml::benchlib {
+namespace {
+
+constexpr int64_t kTimesteps = 3;
+
+int Run() {
+  ScaleConfig scale = ScaleConfig::FromEnv();
+  ReportTable table("fig9_lstm_runtime", {"model_width", "fact_tuples", "approach",
+                                          "seconds", "wall_seconds", "rows"});
+
+  for (int64_t width : scale.lstm_widths) {
+    sql::QueryEngine engine;
+    auto model_or = nn::MakeLstmBenchmarkModel(width, kTimesteps);
+    INDBML_CHECK(model_or.ok()) << model_or.status().ToString();
+    nn::Model model = std::move(model_or).ValueOrDie();
+
+    for (int64_t tuples : scale.fact_sizes) {
+      engine.catalog()->CreateOrReplaceTable(
+          MakeSinusTable("fact", tuples, kTimesteps));
+      auto context_or =
+          PrepareApproachContext(&engine, &model, "bench_model", "fact",
+                                 {"x0", "x1", "x2"});
+      INDBML_CHECK(context_or.ok()) << context_or.status().ToString();
+      ApproachContext context = std::move(context_or).ValueOrDie();
+
+      for (Approach approach : AllApproaches()) {
+        if (approach == Approach::kMlToSql && scale.mltosql_row_budget > 0 &&
+            tuples * width * (kTimesteps + 1) > scale.mltosql_row_budget) {
+          std::printf("[fig9] skipping ML-To-SQL for w=%lld n=%lld (row budget)\n",
+                      static_cast<long long>(width), static_cast<long long>(tuples));
+          continue;
+        }
+        auto m = RunApproach(approach, context);
+        if (!m.ok()) {
+          std::fprintf(stderr, "[fig9] %s failed: %s\n", ApproachName(approach),
+                       m.status().ToString().c_str());
+          return 1;
+        }
+        table.AddRow({std::to_string(width), std::to_string(tuples),
+                      ApproachName(approach), FormatSeconds(m->adjusted_seconds),
+                      FormatSeconds(m->wall_seconds), std::to_string(m->rows)});
+        std::printf("[fig9] w=%-4lld n=%-7lld %-14s %10.4fs\n",
+                    static_cast<long long>(width), static_cast<long long>(tuples),
+                    ApproachName(approach), m->adjusted_seconds);
+        std::fflush(stdout);
+      }
+    }
+  }
+  table.Finish();
+  return 0;
+}
+
+}  // namespace
+}  // namespace indbml::benchlib
+
+int main() { return indbml::benchlib::Run(); }

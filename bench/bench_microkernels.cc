@@ -1,0 +1,121 @@
+// Google-benchmark microbenchmarks of the engine's and miniblas' inner
+// kernels: GEMM, activations, expression evaluation, hash join and the two
+// aggregation strategies. These are the building blocks whose relative
+// costs explain the figure-level results.
+
+#include <benchmark/benchmark.h>
+
+#include "benchlib/workloads.h"
+#include "common/config.h"
+#include "exec/aggregate.h"
+#include "exec/basic_operators.h"
+#include "exec/join.h"
+#include "exec/scan.h"
+#include "nn/blas.h"
+#include "nn/model.h"
+#include "sql/query_engine.h"
+
+namespace indbml {
+namespace {
+
+void BM_SgemmSquare(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<float> a(static_cast<size_t>(n * n), 1.5f);
+  std::vector<float> b(static_cast<size_t>(n * n), 0.5f);
+  std::vector<float> c(static_cast<size_t>(n * n), 0.0f);
+  for (auto _ : state) {
+    blas::SgemmTight(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_SgemmSquare)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_SgemmVectorBatch(benchmark::State& state) {
+  // The ModelJoin inner shape: [units x in] * [in x vectorsize].
+  const int64_t units = state.range(0);
+  const int64_t vs = kDefaultVectorSize;
+  std::vector<float> w(static_cast<size_t>(units * units), 0.01f);
+  std::vector<float> x(static_cast<size_t>(units * vs), 1.0f);
+  std::vector<float> z(static_cast<size_t>(units * vs), 0.0f);
+  for (auto _ : state) {
+    blas::SgemmTight(false, false, units, vs, units, 1.0f, w.data(), x.data(), 0.0f,
+                     z.data());
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * units * units * vs);
+}
+BENCHMARK(BM_SgemmVectorBatch)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_Activations(benchmark::State& state) {
+  std::vector<float> x(65536);
+  for (size_t i = 0; i < x.size(); ++i) x[i] = 0.001f * static_cast<float>(i % 200) - 0.1f;
+  for (auto _ : state) {
+    switch (state.range(0)) {
+      case 0:
+        blas::VsRelu(static_cast<int64_t>(x.size()), x.data());
+        break;
+      case 1:
+        blas::VsSigmoid(static_cast<int64_t>(x.size()), x.data());
+        break;
+      case 2:
+        blas::VsTanh(static_cast<int64_t>(x.size()), x.data());
+        break;
+    }
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_Activations)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ExpressionEval(benchmark::State& state) {
+  exec::DataChunk chunk;
+  chunk.Reset({exec::DataType::kFloat, exec::DataType::kFloat});
+  chunk.SetCardinality(kDefaultVectorSize);
+  for (int64_t i = 0; i < kDefaultVectorSize; ++i) {
+    chunk.column(0).floats()[i] = static_cast<float>(i) * 0.01f;
+    chunk.column(1).floats()[i] = 2.0f;
+  }
+  // sigmoid(a * b + 0.5)
+  auto expr = exec::MakeFunction(
+      exec::ScalarFn::kSigmoid,
+      [&] {
+        std::vector<exec::ExprPtr> args;
+        args.push_back(exec::MakeBinary(
+            exec::BinaryOp::kAdd,
+            exec::MakeBinary(exec::BinaryOp::kMul,
+                             exec::MakeColumnRef(0, exec::DataType::kFloat),
+                             exec::MakeColumnRef(1, exec::DataType::kFloat)),
+            exec::MakeConstant(exec::Value::Float(0.5f))));
+        return args;
+      }());
+  exec::Vector out(exec::DataType::kFloat);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::EvaluateExpr(*expr, chunk, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * kDefaultVectorSize);
+}
+BENCHMARK(BM_ExpressionEval);
+
+void BM_SqlLayerForward(benchmark::State& state) {
+  // One dense layer-forward query over a pre-built engine (join + group by),
+  // the inner building block of ML-To-SQL.
+  const int64_t tuples = 4096;
+  sql::QueryEngine engine;
+  engine.catalog()->CreateOrReplaceTable(benchlib::MakeIrisTable("fact", tuples));
+  for (auto _ : state) {
+    auto result = engine.ExecuteQuery(
+        "SELECT f.id, t.tag_sum FROM fact f, "
+        "(SELECT id AS iid, SUM(sepal_length * sepal_width) AS tag_sum FROM fact "
+        "GROUP BY id) AS t WHERE f.id = t.iid");
+    benchmark::DoNotOptimize(result);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * tuples);
+}
+BENCHMARK(BM_SqlLayerForward);
+
+}  // namespace
+}  // namespace indbml
+
+BENCHMARK_MAIN();

@@ -1,0 +1,157 @@
+// Reproduces Table 2: qualitative comparison of ML inference approaches.
+//
+// Performance and memory grades are *derived from measurements* on a small
+// and a large model (relative to the best approach per scenario);
+// portability and generalizability are the architectural attributes the
+// paper assigns (§6.3): SQL generation is portable but limited to the
+// implemented layer types; runtime-based approaches are generic but drag in
+// external dependencies.
+
+#include <cstdio>
+#include <map>
+
+#include "benchlib/approaches.h"
+#include "benchlib/report.h"
+#include "benchlib/workloads.h"
+#include "common/logging.h"
+#include "sql/query_engine.h"
+
+namespace indbml::benchlib {
+namespace {
+
+/// The five columns of the paper's Table 2.
+enum class Column { kMlToSql, kNativeModelJoin, kTfPython, kTfCApi, kUdf };
+
+const char* ColumnName(Column c) {
+  switch (c) {
+    case Column::kMlToSql:
+      return "ML-To-SQL";
+    case Column::kNativeModelJoin:
+      return "Native ModelJoin";
+    case Column::kTfPython:
+      return "TF(Python)";
+    case Column::kTfCApi:
+      return "TF(C-API)";
+    case Column::kUdf:
+      return "UDF";
+  }
+  return "?";
+}
+
+Approach RepresentativeApproach(Column c) {
+  switch (c) {
+    case Column::kMlToSql:
+      return Approach::kMlToSql;
+    case Column::kNativeModelJoin:
+      return Approach::kModelJoinCpu;
+    case Column::kTfPython:
+      return Approach::kExternalCpu;
+    case Column::kTfCApi:
+      return Approach::kCApiCpu;
+    case Column::kUdf:
+      return Approach::kUdf;
+  }
+  return Approach::kMlToSql;
+}
+
+/// Grades a measured value relative to the best (smallest) in its row.
+const char* Grade(double value, double best) {
+  if (value <= best * 3.0) return "Good";
+  if (value <= best * 15.0) return "Medium";
+  return "Bad";
+}
+
+int Run() {
+  std::vector<Column> columns = {Column::kMlToSql, Column::kNativeModelJoin,
+                                 Column::kTfPython, Column::kTfCApi, Column::kUdf};
+
+  // Measure a small and a large dense model.
+  std::map<Column, double> small_seconds;
+  std::map<Column, double> large_seconds;
+  std::map<Column, double> memory_bytes;
+
+  auto measure = [&](int64_t width, int64_t depth, int64_t tuples,
+                     std::map<Column, double>* seconds, bool record_memory) -> int {
+    sql::QueryEngine engine;
+    engine.catalog()->CreateOrReplaceTable(MakeIrisTable("fact", tuples));
+    auto model_or = nn::MakeDenseBenchmarkModel(width, depth);
+    INDBML_CHECK(model_or.ok());
+    nn::Model model = std::move(model_or).ValueOrDie();
+    auto ctx_or = PrepareApproachContext(
+        &engine, &model, "m", "fact",
+        {"sepal_length", "sepal_width", "petal_length", "petal_width"});
+    INDBML_CHECK(ctx_or.ok());
+    ApproachContext context = std::move(ctx_or).ValueOrDie();
+    for (Column c : columns) {
+      auto m = RunApproach(RepresentativeApproach(c), context);
+      if (!m.ok()) {
+        std::fprintf(stderr, "[table2] %s failed: %s\n", ColumnName(c),
+                     m.status().ToString().c_str());
+        return 1;
+      }
+      (*seconds)[c] = m->adjusted_seconds;
+      if (record_memory) memory_bytes[c] = static_cast<double>(m->peak_delta_bytes);
+    }
+    return 0;
+  };
+
+  if (measure(8, 2, 4000, &small_seconds, false) != 0) return 1;
+  if (measure(64, 4, 8000, &large_seconds, true) != 0) return 1;
+
+  double best_small = 1e100;
+  double best_large = 1e100;
+  double best_memory = 1e100;
+  for (Column c : columns) {
+    best_small = std::min(best_small, small_seconds[c]);
+    best_large = std::min(best_large, large_seconds[c]);
+    best_memory = std::min(best_memory, memory_bytes[c]);
+  }
+
+  ReportTable table("table2_qualitative",
+                    {"criterion", "ML-To-SQL", "Native ModelJoin", "TF(Python)",
+                     "TF(C-API)", "UDF"});
+  auto row = [&](const char* criterion,
+                 const std::function<std::string(Column)>& cell) {
+    std::vector<std::string> values{criterion};
+    for (Column c : columns) values.push_back(cell(c));
+    table.AddRow(std::move(values));
+  };
+  row("Performance (Small Models)",
+      [&](Column c) { return Grade(small_seconds[c], best_small); });
+  row("Performance (Large Models)",
+      [&](Column c) { return Grade(large_seconds[c], best_large); });
+  row("Memory Consumption",
+      [&](Column c) { return Grade(memory_bytes[c], best_memory); });
+  // Architectural attributes (paper §6.3): plain SQL runs anywhere; native
+  // operators and C-API integrations require engine changes; UDFs need UDF
+  // support only. Runtime-backed approaches accept arbitrary model types;
+  // reimplementations cover only the implemented layers.
+  row("Portability", [](Column c) {
+    switch (c) {
+      case Column::kMlToSql:
+        return "Good";
+      case Column::kTfPython:
+        return "Good";
+      case Column::kUdf:
+        return "Medium";
+      default:
+        return "Bad";
+    }
+  });
+  row("Generalizability", [](Column c) {
+    switch (c) {
+      case Column::kMlToSql:
+      case Column::kNativeModelJoin:
+        return "Bad";
+      default:
+        return "Good";
+    }
+  });
+  table.Finish();
+  return 0;
+}
+
+}  // namespace
+}  // namespace indbml::benchlib
+
+int main() { return indbml::benchlib::Run(); }

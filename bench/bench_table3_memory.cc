@@ -1,0 +1,102 @@
+// Reproduces Table 3: peak memory for model inference.
+//
+// Paper setup: 100K tuples; models Dense(32,4), Dense(128,4), Dense(512,4),
+// LSTM(128); approaches ModelJoin, TF(C-API), TF(Python) and ML-To-SQL.
+// The reported number is the peak of tracked engine allocations during the
+// run (client-side memory is added for the external approach); process RSS
+// is printed alongside as a cross-check. REPRO_SCALE=paper restores the
+// paper's sizes; the default is CI-sized.
+
+#include <cstdio>
+
+#include "benchlib/approaches.h"
+#include "benchlib/report.h"
+#include "benchlib/workloads.h"
+#include "common/logging.h"
+#include "common/memory_tracker.h"
+#include "sql/query_engine.h"
+
+namespace indbml::benchlib {
+namespace {
+
+struct ModelConfig {
+  const char* label;
+  bool lstm;
+  int64_t width;
+  int64_t depth;  // dense only
+};
+
+int Run() {
+  ScaleConfig scale = ScaleConfig::FromEnv();
+  std::vector<ModelConfig> configs;
+  if (scale.paper_scale) {
+    configs = {{"Dense(32,4)", false, 32, 4},
+               {"Dense(128,4)", false, 128, 4},
+               {"Dense(512,4)", false, 512, 4},
+               {"LSTM(128)", true, 128, 0}};
+  } else {
+    configs = {{"Dense(32,4)", false, 32, 4},
+               {"Dense(128,4)", false, 128, 4},
+               {"LSTM(64)", true, 64, 0}};
+  }
+  const int64_t tuples = scale.memory_fact_size;
+
+  // Table 3 compares these four approaches (the UDF is "a wrapper around
+  // the Tensorflow variant ... similar memory requirements", §6.2.2).
+  std::vector<Approach> approaches = {Approach::kModelJoinCpu, Approach::kCApiCpu,
+                                      Approach::kExternalCpu, Approach::kMlToSql};
+
+  ReportTable table("table3_peak_memory",
+                    {"model", "approach", "peak_bytes", "peak_human", "rss_bytes"});
+
+  for (const ModelConfig& config : configs) {
+    sql::QueryEngine engine;
+    Result<nn::Model> model_or =
+        config.lstm ? nn::MakeLstmBenchmarkModel(config.width)
+                    : nn::MakeDenseBenchmarkModel(config.width, config.depth);
+    INDBML_CHECK(model_or.ok()) << model_or.status().ToString();
+    nn::Model model = std::move(model_or).ValueOrDie();
+
+    std::vector<std::string> input_columns;
+    if (config.lstm) {
+      engine.catalog()->CreateOrReplaceTable(MakeSinusTable("fact", tuples, 3));
+      input_columns = {"x0", "x1", "x2"};
+    } else {
+      engine.catalog()->CreateOrReplaceTable(MakeIrisTable("fact", tuples));
+      input_columns = {"sepal_length", "sepal_width", "petal_length", "petal_width"};
+    }
+    auto context_or =
+        PrepareApproachContext(&engine, &model, "bench_model", "fact", input_columns);
+    INDBML_CHECK(context_or.ok()) << context_or.status().ToString();
+    ApproachContext context = std::move(context_or).ValueOrDie();
+
+    for (Approach approach : approaches) {
+      if (approach == Approach::kMlToSql && scale.mltosql_row_budget > 0 &&
+          tuples * config.width * (config.depth + 1) > scale.mltosql_row_budget) {
+        std::printf("[table3] skipping ML-To-SQL for %s (row budget)\n",
+                    config.label);
+        continue;
+      }
+      auto m = RunApproach(approach, context);
+      if (!m.ok()) {
+        std::fprintf(stderr, "[table3] %s failed: %s\n", ApproachName(approach),
+                     m.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow({config.label, ApproachName(approach),
+                    std::to_string(m->peak_delta_bytes),
+                    FormatBytes(m->peak_delta_bytes),
+                    std::to_string(ReadProcessRssBytes())});
+      std::printf("[table3] %-13s %-14s peak=%s\n", config.label,
+                  ApproachName(approach), FormatBytes(m->peak_delta_bytes).c_str());
+      std::fflush(stdout);
+    }
+  }
+  table.Finish();
+  return 0;
+}
+
+}  // namespace
+}  // namespace indbml::benchlib
+
+int main() { return indbml::benchlib::Run(); }

@@ -1,0 +1,82 @@
+#ifndef INDBML_BENCHLIB_APPROACHES_H_
+#define INDBML_BENCHLIB_APPROACHES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "device/device.h"
+#include "nn/model.h"
+#include "sql/query_engine.h"
+
+namespace indbml::benchlib {
+
+/// The inference approaches of the paper's evaluation (§6.1, Figures 8/9):
+/// the native ModelJoin operator (CPU/GPU), the ML runtime integrated over
+/// its C API (CPU/GPU), the external move-data-out baseline (CPU/GPU —
+/// "TF (Python)"), the in-engine interpreted UDF, and ML-To-SQL.
+enum class Approach {
+  kModelJoinCpu,
+  kModelJoinGpu,
+  kCApiCpu,
+  kCApiGpu,
+  kExternalCpu,
+  kExternalGpu,
+  kUdf,
+  kMlToSql,
+};
+
+/// Paper-style series label, e.g. "ModelJoin_CPU", "TF_CAPI_GPU", "TF_CPU",
+/// "UDF", "ML-To-SQL".
+const char* ApproachName(Approach approach);
+
+/// All eight approaches in the paper's legend order.
+std::vector<Approach> AllApproaches();
+
+/// True if the approach offloads compute to the simulated GPU (its wall
+/// time needs the device-time adjustment).
+bool IsGpuApproach(Approach approach);
+
+/// Everything needed to run one approach against one (fact table, model)
+/// pair. Create via PrepareApproachContext.
+struct ApproachContext {
+  sql::QueryEngine* engine = nullptr;
+  const nn::Model* model = nullptr;
+  std::string model_name;   ///< registered meta name
+  std::string model_table;  ///< deployed relational representation
+  std::string fact_table;
+  std::string id_column = "id";
+  std::vector<std::string> input_columns;
+  std::shared_ptr<const std::vector<uint8_t>> model_bytes;  ///< serialized
+  device::Device* gpu = nullptr;  ///< the shared simulated GPU
+};
+
+/// Deploys the model (relational table + registry + serialized bytes) into
+/// the engine and wires the native ModelJoin to the shared devices.
+Result<ApproachContext> PrepareApproachContext(
+    sql::QueryEngine* engine, const nn::Model* model, const std::string& model_name,
+    const std::string& fact_table, const std::vector<std::string>& input_columns);
+
+/// Outcome of one timed run.
+struct RunMeasurement {
+  double wall_seconds = 0;
+  /// Wall time with the simulated GPU's host-emulation time replaced by its
+  /// modeled device time (== wall_seconds for CPU approaches); the number
+  /// the figures report.
+  double adjusted_seconds = 0;
+  int64_t rows = 0;
+  /// Sum of all prediction values — must agree across approaches.
+  double prediction_checksum = 0;
+  /// Peak tracked memory during the run minus the baseline before it.
+  int64_t peak_delta_bytes = 0;
+  device::DeviceStats gpu_stats;
+};
+
+/// Runs one approach end-to-end (including result materialisation) and
+/// measures it.
+Result<RunMeasurement> RunApproach(Approach approach, const ApproachContext& context);
+
+}  // namespace indbml::benchlib
+
+#endif  // INDBML_BENCHLIB_APPROACHES_H_

@@ -1,0 +1,103 @@
+#include "benchlib/report.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace indbml::benchlib {
+
+ReportTable::ReportTable(std::string name, std::vector<std::string> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {}
+
+ReportTable::~ReportTable() {
+  if (!finished_) Finish();
+}
+
+void ReportTable::AddRow(std::vector<std::string> values) {
+  INDBML_CHECK(values.size() == columns_.size());
+  rows_.push_back(std::move(values));
+}
+
+void ReportTable::Finish() {
+  if (finished_) return;
+  finished_ = true;
+
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::printf("\n== %s ==\n", name_.c_str());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::printf("%-*s  ", static_cast<int>(widths[c]), columns_[c].c_str());
+  }
+  std::printf("\n");
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::printf("%s  ", std::string(widths[c], '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+
+  const char* dir = std::getenv("RESULTS_DIR");
+  std::string results_dir = dir != nullptr ? dir : "results";
+  ::mkdir(results_dir.c_str(), 0755);
+  std::string path = results_dir + "/" + name_ + ".csv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    INDBML_LOG(Warning) << "cannot write " << path;
+    return;
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::fprintf(f, "%s%s", c ? "," : "", columns_[c].c_str());
+  }
+  std::fprintf(f, "\n");
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(f, "%s%s", c ? "," : "", row[c].c_str());
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+  std::printf("(csv: %s)\n", path.c_str());
+}
+
+std::string FormatSeconds(double seconds) { return StrFormat("%.4g", seconds); }
+
+ScaleConfig ScaleConfig::FromEnv() {
+  ScaleConfig config;
+  const char* scale = std::getenv("REPRO_SCALE");
+  config.paper_scale = scale != nullptr && std::string(scale) == "paper";
+  if (config.paper_scale) {
+    // §6.1: widths {32,128,512} x depths {2,4,8}, fact sizes up to ~500K.
+    config.dense_widths = {32, 128, 512};
+    config.dense_depths = {2, 4, 8};
+    config.lstm_widths = {32, 128, 512};
+    config.fact_sizes = {50000, 100000, 200000, 300000, 400000, 500000};
+    config.memory_fact_size = 100000;
+    config.mltosql_row_budget = 0;
+  } else {
+    config.dense_widths = {32, 128};
+    config.dense_depths = {2, 4};
+    config.lstm_widths = {16, 64};
+    config.fact_sizes = {1000, 4000, 16000};
+    config.memory_fact_size = 10000;
+    config.mltosql_row_budget = 4000000;
+  }
+  return config;
+}
+
+}  // namespace indbml::benchlib

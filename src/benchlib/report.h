@@ -1,0 +1,55 @@
+#ifndef INDBML_BENCHLIB_REPORT_H_
+#define INDBML_BENCHLIB_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace indbml::benchlib {
+
+/// \brief Fixed-width console table + CSV writer for the figure/table
+/// benchmarks. Every bench prints the paper-style rows to stdout and
+/// mirrors them to `$RESULTS_DIR/<name>.csv` (default ./results).
+class ReportTable {
+ public:
+  ReportTable(std::string name, std::vector<std::string> columns);
+  ~ReportTable();
+
+  /// Adds one row (values already formatted).
+  void AddRow(std::vector<std::string> values);
+
+  /// Prints the table to stdout and writes the CSV.
+  void Finish();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  bool finished_ = false;
+};
+
+/// Formats seconds with 4 significant digits ("0.0123").
+std::string FormatSeconds(double seconds);
+
+/// Benchmark scale selected via the REPRO_SCALE environment variable:
+///   (unset) / "ci"  — laptop-sized sweeps (minutes)
+///   "paper"         — the paper's §6.1 parameters (hours on small machines)
+struct ScaleConfig {
+  bool paper_scale = false;
+  std::vector<int64_t> dense_widths;
+  std::vector<int64_t> dense_depths;
+  std::vector<int64_t> lstm_widths;
+  std::vector<int64_t> fact_sizes;       ///< Figure 8/9 sweep
+  int64_t memory_fact_size = 0;          ///< Table 3
+  /// ML-To-SQL cells are skipped when tuples * width * (depth+1) exceeds
+  /// this budget (the paper's own "bad scalability" region); 0 = no cap.
+  int64_t mltosql_row_budget = 0;
+
+  static ScaleConfig FromEnv();
+};
+
+}  // namespace indbml::benchlib
+
+#endif  // INDBML_BENCHLIB_REPORT_H_

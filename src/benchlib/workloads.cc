@@ -1,0 +1,162 @@
+#include "benchlib/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace indbml::benchlib {
+
+using storage::DataType;
+using storage::Field;
+using storage::Value;
+
+namespace {
+
+/// Per-class feature means and standard deviations of the classic Iris
+/// dataset (Fisher 1936): sepal length/width, petal length/width for
+/// setosa, versicolor, virginica.
+struct ClassStats {
+  float mean[4];
+  float stddev[4];
+};
+constexpr ClassStats kIrisStats[3] = {
+    {{5.006f, 3.428f, 1.462f, 0.246f}, {0.352f, 0.379f, 0.174f, 0.105f}},
+    {{5.936f, 2.770f, 4.260f, 1.326f}, {0.516f, 0.314f, 0.470f, 0.198f}},
+    {{6.588f, 2.974f, 5.552f, 2.026f}, {0.636f, 0.322f, 0.552f, 0.275f}},
+};
+
+/// The deterministic 150-row base replica (50 rows per class, seed fixed).
+void BaseIris(std::vector<float>* features, std::vector<int64_t>* classes) {
+  Random rng(1936);
+  features->clear();
+  classes->clear();
+  features->reserve(kIrisBaseRows * 4);
+  classes->reserve(kIrisBaseRows);
+  for (int cls = 0; cls < 3; ++cls) {
+    for (int i = 0; i < kIrisBaseRows / 3; ++i) {
+      for (int f = 0; f < 4; ++f) {
+        float v = kIrisStats[cls].mean[f] + kIrisStats[cls].stddev[f] *
+                                                rng.NextGaussian();
+        features->push_back(std::max(0.1f, v));
+      }
+      classes->push_back(cls);
+    }
+  }
+}
+
+}  // namespace
+
+void IrisFeatures(int64_t num_rows, std::vector<float>* features,
+                  std::vector<int64_t>* classes) {
+  std::vector<float> base_features;
+  std::vector<int64_t> base_classes;
+  BaseIris(&base_features, &base_classes);
+  features->clear();
+  classes->clear();
+  features->reserve(static_cast<size_t>(num_rows) * 4);
+  classes->reserve(static_cast<size_t>(num_rows));
+  for (int64_t i = 0; i < num_rows; ++i) {
+    size_t b = static_cast<size_t>(i % kIrisBaseRows);
+    for (int f = 0; f < 4; ++f) {
+      features->push_back(base_features[b * 4 + static_cast<size_t>(f)]);
+    }
+    classes->push_back(base_classes[b]);
+  }
+}
+
+storage::TablePtr MakeIrisTable(const std::string& name, int64_t num_rows) {
+  std::vector<float> features;
+  std::vector<int64_t> classes;
+  IrisFeatures(num_rows, &features, &classes);
+
+  auto table = std::make_shared<storage::Table>(
+      name, std::vector<Field>{{"id", DataType::kInt64},
+                               {"sepal_length", DataType::kFloat},
+                               {"sepal_width", DataType::kFloat},
+                               {"petal_length", DataType::kFloat},
+                               {"petal_width", DataType::kFloat},
+                               {"class", DataType::kInt64}});
+  table->Reserve(num_rows);
+  for (int64_t i = 0; i < num_rows; ++i) {
+    size_t o = static_cast<size_t>(i) * 4;
+    INDBML_CHECK(table
+                     ->AppendRow({Value::Int64(i), Value::Float(features[o]),
+                                  Value::Float(features[o + 1]),
+                                  Value::Float(features[o + 2]),
+                                  Value::Float(features[o + 3]),
+                                  Value::Int64(classes[static_cast<size_t>(i)])})
+                     .ok());
+  }
+  table->Finalize();
+  table->SetUniqueIdColumn("id");
+  table->SetSortedBy({"id"});
+  return table;
+}
+
+storage::TablePtr MakeSinusTable(const std::string& name, int64_t num_rows,
+                                 int64_t timesteps) {
+  std::vector<Field> fields{{"id", DataType::kInt64}};
+  for (int64_t t = 0; t < timesteps; ++t) {
+    fields.push_back({StrFormat("x%lld", static_cast<long long>(t)),
+                      DataType::kFloat});
+  }
+  auto table = std::make_shared<storage::Table>(name, fields);
+  table->Reserve(num_rows);
+  for (int64_t i = 0; i < num_rows; ++i) {
+    std::vector<Value> row{Value::Int64(i)};
+    for (int64_t t = 0; t < timesteps; ++t) {
+      row.push_back(Value::Float(
+          std::sin(0.1 * static_cast<double>(i + t))));
+    }
+    INDBML_CHECK(table->AppendRow(row).ok());
+  }
+  table->Finalize();
+  table->SetUniqueIdColumn("id");
+  table->SetSortedBy({"id"});
+  return table;
+}
+
+storage::TablePtr MakeRawSinusSeries(const std::string& name, int64_t num_points) {
+  auto table = std::make_shared<storage::Table>(
+      name, std::vector<Field>{{"t", DataType::kInt64}, {"value", DataType::kFloat}});
+  table->Reserve(num_points);
+  for (int64_t i = 0; i < num_points; ++i) {
+    INDBML_CHECK(
+        table
+            ->AppendRow({Value::Int64(i),
+                         Value::Float(std::sin(0.1 * static_cast<double>(i)))})
+            .ok());
+  }
+  table->Finalize();
+  table->SetUniqueIdColumn("t");
+  table->SetSortedBy({"t"});
+  return table;
+}
+
+std::string BuildSelfJoinSql(const std::string& series_table, int64_t timesteps) {
+  // s0 carries the anchor position; s_t matches its t-th successor.
+  std::string select = "SELECT s0.t AS id";
+  std::string from = StrFormat("%s AS s0", series_table.c_str());
+  std::string where;
+  for (int64_t t = 0; t < timesteps; ++t) {
+    if (t == 0) {
+      select += ", s0.value AS x0";
+      continue;
+    }
+    select += StrFormat(", s%lld.value AS x%lld", static_cast<long long>(t),
+                        static_cast<long long>(t));
+    from += StrFormat(", %s AS s%lld", series_table.c_str(),
+                      static_cast<long long>(t));
+    if (!where.empty()) where += " AND ";
+    where += StrFormat("s%lld.t = s0.t + %lld", static_cast<long long>(t),
+                       static_cast<long long>(t));
+  }
+  std::string sql = select + " FROM " + from;
+  if (!where.empty()) sql += " WHERE " + where;
+  return sql;
+}
+
+}  // namespace indbml::benchlib

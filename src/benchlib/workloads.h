@@ -1,0 +1,55 @@
+#ifndef INDBML_BENCHLIB_WORKLOADS_H_
+#define INDBML_BENCHLIB_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace indbml::benchlib {
+
+/// \file Workload generators of the paper's evaluation (§6.1).
+///
+/// Dense experiment: the Iris dataset "replicated to mimic varying fact
+/// table sizes" — four feature columns predicting a class attribute. This
+/// repo embeds a deterministic Iris replica sampled from the published
+/// per-class feature distributions (the original measurements are not
+/// bundled; prediction *runtime* is independent of the values, §6.1, and
+/// the class structure is preserved so the examples train meaningfully).
+///
+/// LSTM experiment: "a time series based on a sinus function" with 3 time
+/// steps per forecast, realised either directly as a wide fact table or as
+/// a raw series table turned wide by self-joins (§4 preamble).
+
+/// Number of rows of the base (unreplicated) Iris replica.
+inline constexpr int64_t kIrisBaseRows = 150;
+
+/// Builds `fact(id BIGINT, sepal_length, sepal_width, petal_length,
+/// petal_width FLOAT, class BIGINT)` with `num_rows` rows (the 150-row base
+/// replica tiled). The table is sorted by and partitioned on `id`.
+storage::TablePtr MakeIrisTable(const std::string& name, int64_t num_rows);
+
+/// Builds `fact(id BIGINT, x0..x{timesteps-1} FLOAT)` where column x_t of
+/// row i is sin(0.1 * (i + t)) — the already-widened time-series input.
+storage::TablePtr MakeSinusTable(const std::string& name, int64_t num_rows,
+                                 int64_t timesteps);
+
+/// Builds the *raw* series `series(t BIGINT, value FLOAT)` with
+/// value = sin(0.1 * t).
+storage::TablePtr MakeRawSinusSeries(const std::string& name, int64_t num_points);
+
+/// SQL that widens a raw series into `timesteps` columns by self-joining
+/// the series table `timesteps - 1` times on consecutive positions
+/// (paper §4: "self-joining the table n-1 times ... with a join predicate
+/// that lets tuples match with their predecessor in the series").
+std::string BuildSelfJoinSql(const std::string& series_table, int64_t timesteps);
+
+/// Normalised-feature matrix of the Iris replica (row-major, 4 columns) for
+/// feeding the in-memory baselines; `classes` receives 0/1/2 labels.
+void IrisFeatures(int64_t num_rows, std::vector<float>* features,
+                  std::vector<int64_t>* classes);
+
+}  // namespace indbml::benchlib
+
+#endif  // INDBML_BENCHLIB_WORKLOADS_H_

@@ -1,0 +1,51 @@
+#ifndef INDBML_COMMON_LOGGING_H_
+#define INDBML_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace indbml {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Default is kWarning so library users see problems but not chatter.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink. Writes a single line to stderr on destruction;
+/// aborts the process for kFatal (used for programming errors only).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace indbml
+
+#define INDBML_LOG(level)                                                       \
+  ::indbml::internal::LogMessage(::indbml::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Invariant check for programming errors; always on (not only in debug
+/// builds) because the cost is negligible outside of inner loops.
+#define INDBML_CHECK(cond)                                        \
+  if (!(cond)) INDBML_LOG(Fatal) << "Check failed: " #cond " "
+
+#define INDBML_DCHECK(cond) INDBML_CHECK(cond)
+
+#endif  // INDBML_COMMON_LOGGING_H_

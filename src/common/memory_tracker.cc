@@ -1,0 +1,38 @@
+#include "common/memory_tracker.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace indbml {
+
+MemoryTracker& MemoryTracker::Global() {
+  static MemoryTracker* tracker = new MemoryTracker();
+  return *tracker;
+}
+
+std::string FormatBytes(int64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", value, units[unit]);
+  return buf;
+}
+
+int64_t ReadProcessRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long pages_total = 0;
+  long pages_rss = 0;
+  int n = std::fscanf(f, "%ld %ld", &pages_total, &pages_rss);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return static_cast<int64_t>(pages_rss) * sysconf(_SC_PAGESIZE);
+}
+
+}  // namespace indbml

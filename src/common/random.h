@@ -1,0 +1,59 @@
+#ifndef INDBML_COMMON_RANDOM_H_
+#define INDBML_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace indbml {
+
+/// Deterministic xorshift128+ generator.
+///
+/// Used everywhere randomness is needed (weight init, workload generation) so
+/// that every run of the test suite and benchmark harness sees identical data
+/// regardless of platform or standard library.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42) {
+    s0_ = seed * 0x9E3779B97F4A7C15ULL + 1;
+    s1_ = (seed ^ 0xBF58476D1CE4E5B9ULL) * 0x94D049BB133111EBULL + 1;
+    // Warm up to decorrelate from the seed.
+    for (int i = 0; i < 8; ++i) NextUint64();
+  }
+
+  uint64_t NextUint64() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t NextUint64(uint64_t n) { return n == 0 ? 0 : NextUint64() % n; }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform in [lo, hi).
+  float NextFloat(float lo, float hi) {
+    return lo + static_cast<float>(NextDouble()) * (hi - lo);
+  }
+
+  /// Approximate standard normal via the sum of uniforms (Irwin–Hall with
+  /// 12 terms); accurate enough for weight initialisation.
+  float NextGaussian() {
+    double sum = 0;
+    for (int i = 0; i < 12; ++i) sum += NextDouble();
+    return static_cast<float>(sum - 6.0);
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace indbml
+
+#endif  // INDBML_COMMON_RANDOM_H_

@@ -1,0 +1,147 @@
+#ifndef INDBML_COMMON_STATUS_H_
+#define INDBML_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace indbml {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB idiom
+/// of returning rich status objects instead of throwing exceptions on hot
+/// query-execution paths.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kInternal,
+  kIOError,
+  kParseError,
+  kBindError,
+  kExecutionError,
+  kDeviceError,
+};
+
+/// Returns a stable human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Operation outcome carrying an error code and message.
+///
+/// `Status` is cheap to copy in the OK case (empty message) and is the
+/// only error-reporting channel of the library: no exceptions are thrown
+/// from query-processing or inference code.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status DeviceError(std::string msg) {
+    return Status(StatusCode::kDeviceError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Formats as "InvalidArgument: <message>" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// The usual accessor pattern is:
+/// \code
+///   Result<Plan> r = Planner::Plan(stmt);
+///   if (!r.ok()) return r.status();
+///   Plan plan = std::move(r).ValueOrDie();
+/// \endcode
+/// or via the `INDBML_ASSIGN_OR_RETURN` macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a (non-OK) status keeps call
+  /// sites terse, matching the Arrow convention.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Returns the error status (OK if a value is held).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& ValueOrDie() const& { return std::get<T>(data_); }
+  T& ValueOrDie() & { return std::get<T>(data_); }
+  T&& ValueOrDie() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace indbml
+
+/// Propagates a non-OK Status from the current function.
+#define INDBML_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::indbml::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#define INDBML_CONCAT_IMPL(x, y) x##y
+#define INDBML_CONCAT(x, y) INDBML_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define INDBML_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  auto INDBML_CONCAT(_res_, __LINE__) = (rexpr);                    \
+  if (!INDBML_CONCAT(_res_, __LINE__).ok())                         \
+    return INDBML_CONCAT(_res_, __LINE__).status();                 \
+  lhs = std::move(INDBML_CONCAT(_res_, __LINE__)).ValueOrDie()
+
+#endif  // INDBML_COMMON_STATUS_H_

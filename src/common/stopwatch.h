@@ -1,0 +1,33 @@
+#ifndef INDBML_COMMON_STOPWATCH_H_
+#define INDBML_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace indbml {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace indbml
+
+#endif  // INDBML_COMMON_STOPWATCH_H_

@@ -1,0 +1,32 @@
+#ifndef INDBML_COMMON_STRING_UTIL_H_
+#define INDBML_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace indbml {
+
+/// Lower-cases ASCII characters (SQL keywords / identifiers are matched
+/// case-insensitively).
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// Joins the elements with `sep` ("a, b, c").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single-character separator; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if `s` equals `keyword` ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view s, std::string_view keyword);
+
+}  // namespace indbml
+
+#endif  // INDBML_COMMON_STRING_UTIL_H_

@@ -1,0 +1,72 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace indbml {
+
+ThreadPool::ThreadPool(int num_threads) {
+  INDBML_CHECK(num_threads > 0) << "thread pool needs at least one worker";
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  std::atomic<int> next{0};
+  int tasks = std::min<int>(n, num_threads());
+  for (int t = 0; t < tasks; ++t) {
+    Submit([&] {
+      int i;
+      while ((i = next.fetch_add(1)) < n) fn(i);
+    });
+  }
+  WaitIdle();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace indbml

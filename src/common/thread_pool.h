@@ -1,0 +1,79 @@
+#ifndef INDBML_COMMON_THREAD_POOL_H_
+#define INDBML_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace indbml {
+
+/// Fixed-size worker pool.
+///
+/// The query engine creates one pool per query with `parallelism` workers
+/// (paper setup: 12) and submits one task per table partition. `WaitIdle()`
+/// blocks until every submitted task has finished, which doubles as the
+/// pipeline barrier between the ModelJoin build and probe phases.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; runs as soon as a worker is free.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Convenience: run `fn(i)` for i in [0, n) across the pool and wait.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Reusable rendezvous point: every participating thread calls Wait() and
+/// blocks until all `count` threads arrived. Used by the parallel ModelJoin
+/// build phase (paper §5.2: "a barrier before leaving the build phase").
+class Barrier {
+ public:
+  explicit Barrier(int count) : threshold_(count), count_(count) {}
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    int gen = generation_;
+    if (--count_ == 0) {
+      ++generation_;
+      count_ = threshold_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return gen != generation_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const int threshold_;
+  int count_;
+  int generation_ = 0;
+};
+
+}  // namespace indbml
+
+#endif  // INDBML_COMMON_THREAD_POOL_H_

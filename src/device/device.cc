@@ -1,0 +1,220 @@
+#include "device/device.h"
+
+#include <time.h>
+
+#include <cstring>
+#include <mutex>
+
+#include "common/memory_tracker.h"
+#include "common/stopwatch.h"
+#include "nn/blas.h"
+
+namespace indbml::device {
+
+namespace {
+
+/// CPU time of the calling thread. The simulated GPU charges its host
+/// emulation in thread-CPU seconds (not wall seconds) so that parallel
+/// partitions contending for cores do not double-count preemption time;
+/// summed across threads this equals the total host compute the emulation
+/// consumed.
+
+inline void GruCombineKernel(int64_t n, const float* z, const float* h_prev,
+                             const float* h_cand, float* h_out) {
+  if (h_prev == nullptr) {
+    for (int64_t i = 0; i < n; ++i) h_out[i] = (1.0f - z[i]) * h_cand[i];
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    h_out[i] = z[i] * h_prev[i] + (1.0f - z[i]) * h_cand[i];
+  }
+}
+
+double ThreadCpuSeconds() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Plain host execution: miniblas inline, no accounting.
+class CpuDevice final : public Device {
+ public:
+  const char* name() const override { return "cpu"; }
+  bool is_gpu() const override { return false; }
+
+  float* Allocate(int64_t count) override {
+    MemoryTracker::Global().Allocate(count * 4);
+    return new float[static_cast<size_t>(count)]();
+  }
+  void Free(float* ptr, int64_t count) override {
+    MemoryTracker::Global().Free(count * 4);
+    delete[] ptr;
+  }
+
+  void CopyToDevice(float* dst, const float* src, int64_t count) override {
+    std::memcpy(dst, src, static_cast<size_t>(count) * sizeof(float));
+  }
+  void CopyToHost(float* dst, const float* src, int64_t count) override {
+    std::memcpy(dst, src, static_cast<size_t>(count) * sizeof(float));
+  }
+  void CopyOnDevice(float* dst, const float* src, int64_t count) override {
+    std::memcpy(dst, src, static_cast<size_t>(count) * sizeof(float));
+  }
+
+  void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
+            const float* a, int64_t lda, const float* b, int64_t ldb, float beta,
+            float* c, int64_t ldc) override {
+    blas::Sgemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  }
+  void EwMul(int64_t n, const float* x, const float* y, float* z) override {
+    blas::VsMul(n, x, y, z);
+  }
+  void EwAdd(int64_t n, const float* x, const float* y, float* z) override {
+    blas::VsAdd(n, x, y, z);
+  }
+  void BiasRowAdd(int64_t rows, int64_t cols, const float* bias,
+                  float* matrix) override {
+    for (int64_t r = 0; r < rows; ++r) {
+      blas::VsAdd(cols, matrix + r * cols, bias, matrix + r * cols);
+    }
+  }
+  void Activate(nn::Activation activation, int64_t n, float* x) override {
+    nn::ApplyActivation(activation, n, x);
+  }
+  void GruCombine(int64_t n, const float* z, const float* h_prev,
+                  const float* h_cand, float* h_out) override {
+    GruCombineKernel(n, z, h_prev, h_cand, h_out);
+  }
+
+  DeviceStats stats() const override { return {}; }
+  void ResetStats() override {}
+};
+
+/// Simulated GPU: kernels execute on the host (so results are exact), while
+/// a deterministic cost model accrues the modeled device time. See
+/// SimGpuOptions and DESIGN.md for the substitution rationale.
+class SimGpuDevice final : public Device {
+ public:
+  explicit SimGpuDevice(const SimGpuOptions& options) : options_(options) {}
+
+  const char* name() const override { return "simgpu"; }
+  bool is_gpu() const override { return true; }
+
+  float* Allocate(int64_t count) override {
+    MemoryTracker::Global().Allocate(count * 4);
+    return new float[static_cast<size_t>(count)]();
+  }
+  void Free(float* ptr, int64_t count) override {
+    MemoryTracker::Global().Free(count * 4);
+    delete[] ptr;
+  }
+
+  void CopyToDevice(float* dst, const float* src, int64_t count) override {
+    Transfer(dst, src, count, /*to_device=*/true);
+  }
+  void CopyToHost(float* dst, const float* src, int64_t count) override {
+    Transfer(dst, src, count, /*to_device=*/false);
+  }
+  void CopyOnDevice(float* dst, const float* src, int64_t count) override {
+    double t0 = ThreadCpuSeconds();
+    std::memcpy(dst, src, static_cast<size_t>(count) * sizeof(float));
+    // On-device copies run at HBM speed; model as a kernel.
+    AccrueKernel(ThreadCpuSeconds() - t0);
+  }
+
+  void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
+            const float* a, int64_t lda, const float* b, int64_t ldb, float beta,
+            float* c, int64_t ldc) override {
+    double t0 = ThreadCpuSeconds();
+    blas::Sgemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    AccrueKernel(ThreadCpuSeconds() - t0);
+  }
+  void EwMul(int64_t n, const float* x, const float* y, float* z) override {
+    double t0 = ThreadCpuSeconds();
+    blas::VsMul(n, x, y, z);
+    AccrueKernel(ThreadCpuSeconds() - t0);
+  }
+  void EwAdd(int64_t n, const float* x, const float* y, float* z) override {
+    double t0 = ThreadCpuSeconds();
+    blas::VsAdd(n, x, y, z);
+    AccrueKernel(ThreadCpuSeconds() - t0);
+  }
+  void BiasRowAdd(int64_t rows, int64_t cols, const float* bias,
+                  float* matrix) override {
+    double t0 = ThreadCpuSeconds();
+    for (int64_t r = 0; r < rows; ++r) {
+      blas::VsAdd(cols, matrix + r * cols, bias, matrix + r * cols);
+    }
+    AccrueKernel(ThreadCpuSeconds() - t0);
+  }
+  void Activate(nn::Activation activation, int64_t n, float* x) override {
+    double t0 = ThreadCpuSeconds();
+    nn::ApplyActivation(activation, n, x);
+    AccrueKernel(ThreadCpuSeconds() - t0);
+  }
+  void GruCombine(int64_t n, const float* z, const float* h_prev,
+                  const float* h_cand, float* h_out) override {
+    double t0 = ThreadCpuSeconds();
+    GruCombineKernel(n, z, h_prev, h_cand, h_out);
+    AccrueKernel(ThreadCpuSeconds() - t0);
+  }
+
+  DeviceStats stats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = {};
+  }
+
+ private:
+  void AccrueKernel(double real_seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.real_seconds += real_seconds;
+    stats_.modeled_seconds +=
+        real_seconds / options_.compute_speedup + options_.kernel_launch_seconds;
+    ++stats_.kernel_launches;
+  }
+
+  void Transfer(float* dst, const float* src, int64_t count, bool to_device) {
+    double t0 = ThreadCpuSeconds();
+    std::memcpy(dst, src, static_cast<size_t>(count) * sizeof(float));
+    double real = ThreadCpuSeconds() - t0;
+    int64_t bytes = count * 4;
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.real_seconds += real;
+    stats_.modeled_seconds += options_.transfer_latency_seconds +
+                              static_cast<double>(bytes) / options_.transfer_bandwidth;
+    ++stats_.transfers;
+    if (to_device) {
+      stats_.bytes_to_device += bytes;
+    } else {
+      stats_.bytes_to_host += bytes;
+    }
+  }
+
+  const SimGpuOptions options_;
+  mutable std::mutex mu_;
+  DeviceStats stats_;
+};
+
+}  // namespace
+
+std::unique_ptr<Device> MakeCpuDevice() { return std::make_unique<CpuDevice>(); }
+
+std::unique_ptr<Device> MakeSimGpuDevice(const SimGpuOptions& options) {
+  return std::make_unique<SimGpuDevice>(options);
+}
+
+Device* SharedCpuDevice() {
+  static Device* device = MakeCpuDevice().release();
+  return device;
+}
+
+Device* SharedSimGpuDevice() {
+  static Device* device = MakeSimGpuDevice().release();
+  return device;
+}
+
+}  // namespace indbml::device

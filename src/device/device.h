@@ -1,0 +1,110 @@
+#ifndef INDBML_DEVICE_DEVICE_H_
+#define INDBML_DEVICE_DEVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "nn/activation.h"
+
+namespace indbml::device {
+
+/// Accumulated accounting of device activity since the last Reset().
+///
+/// `real_seconds` is the wall-clock time the host CPU actually spent
+/// emulating device work; `modeled_seconds` is what the device cost model
+/// says the same work takes on the modeled hardware. The benchmark harness
+/// reports `wall - real + modeled` for GPU approaches, which makes results
+/// deterministic and independent of the host (see DESIGN.md §2).
+struct DeviceStats {
+  double real_seconds = 0;
+  double modeled_seconds = 0;
+  int64_t bytes_to_device = 0;
+  int64_t bytes_to_host = 0;
+  int64_t kernel_launches = 0;
+  int64_t transfers = 0;
+};
+
+/// \brief Execution device for the BLAS kernels of the ModelJoin and the
+/// external ML runtime (paper §5: CPU via MKL, GPU via cuBLAS).
+///
+/// Buffers are raw float arrays owned by the device. On the CPU device they
+/// are ordinary host memory and every operation is free of bookkeeping; on
+/// the simulated GPU they live in a tracked "device arena" and every copy or
+/// kernel accrues modeled time.
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  virtual const char* name() const = 0;
+  virtual bool is_gpu() const = 0;
+
+  /// Allocates `count` floats of device memory (zero-initialised).
+  virtual float* Allocate(int64_t count) = 0;
+  virtual void Free(float* ptr, int64_t count) = 0;
+
+  /// Explicit transfers. On the CPU device these degrade to memcpy with no
+  /// modeled cost; on the GPU they model PCIe latency + bandwidth.
+  virtual void CopyToDevice(float* dst, const float* src, int64_t count) = 0;
+  virtual void CopyToHost(float* dst, const float* src, int64_t count) = 0;
+  virtual void CopyOnDevice(float* dst, const float* src, int64_t count) = 0;
+
+  /// C := alpha * op(A)*op(B) + beta*C on device buffers (see blas::Sgemm).
+  virtual void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                    float alpha, const float* a, int64_t lda, const float* b,
+                    int64_t ldb, float beta, float* c, int64_t ldc) = 0;
+
+  /// Elementwise kernels (cuBLAS/MKL vsMul/vsAdd equivalents).
+  virtual void EwMul(int64_t n, const float* x, const float* y, float* z) = 0;
+  virtual void EwAdd(int64_t n, const float* x, const float* y, float* z) = 0;
+
+  /// Adds `bias[c]` to every row of the row-major [rows x cols] matrix
+  /// (cuDNN-style broadcast kernel used by the external runtime).
+  virtual void BiasRowAdd(int64_t rows, int64_t cols, const float* bias,
+                          float* matrix) = 0;
+
+  /// In-place activation kernel (paper §5.4: "handcrafted CUDA kernel
+  /// implementations for different types of activation functions").
+  virtual void Activate(nn::Activation activation, int64_t n, float* x) = 0;
+
+  /// GRU state-combine kernel: h_out = z*h_prev + (1-z)*h_cand
+  /// (h_prev == nullptr means the zero initial state).
+  virtual void GruCombine(int64_t n, const float* z, const float* h_prev,
+                          const float* h_cand, float* h_out) = 0;
+
+  virtual DeviceStats stats() const = 0;
+  virtual void ResetStats() = 0;
+};
+
+/// Host CPU device executing miniblas inline. Singleton-per-call-site use is
+/// fine; the object is stateless apart from stats (all zero).
+std::unique_ptr<Device> MakeCpuDevice();
+
+/// Tuning constants of the simulated GPU (documented substitution for the
+/// paper's A100-over-PCIe setup). Exposed so the `bench_ablation_simgpu`
+/// experiment can sweep them.
+struct SimGpuOptions {
+  /// Compute speedup of the device over the host for BLAS kernels.
+  double compute_speedup = 8.0;
+  /// Fixed kernel launch overhead per kernel (seconds).
+  double kernel_launch_seconds = 5e-6;
+  /// Host<->device copy bandwidth (bytes/second), PCIe-class.
+  double transfer_bandwidth = 20e9;
+  /// Fixed per-transfer latency (seconds).
+  double transfer_latency_seconds = 10e-6;
+};
+
+std::unique_ptr<Device> MakeSimGpuDevice(const SimGpuOptions& options = {});
+
+/// Process-wide shared devices (created on first use, never destroyed).
+/// The native ModelJoin's default device provider and the external
+/// runtime's default devices both resolve here, so GPU accounting for one
+/// benchmark run accumulates in a single place.
+Device* SharedCpuDevice();
+Device* SharedSimGpuDevice();
+
+}  // namespace indbml::device
+
+#endif  // INDBML_DEVICE_DEVICE_H_

@@ -1,0 +1,383 @@
+#include "exec/aggregate.h"
+
+#include <cstring>
+
+#include "common/config.h"
+#include "common/memory_tracker.h"
+#include "exec/join.h"
+
+#include <algorithm>
+
+namespace indbml::exec {
+
+const char* AggFunctionName(AggFunction fn) {
+  switch (fn) {
+    case AggFunction::kSum:
+      return "SUM";
+    case AggFunction::kCount:
+      return "COUNT";
+    case AggFunction::kMin:
+      return "MIN";
+    case AggFunction::kMax:
+      return "MAX";
+    case AggFunction::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+Value AggState::Finalize(AggFunction fn, DataType result_type) const {
+  double v = 0;
+  switch (fn) {
+    case AggFunction::kSum:
+      v = sum;
+      break;
+    case AggFunction::kCount:
+      return Value::Int64(count);
+    case AggFunction::kMin:
+      v = min;
+      break;
+    case AggFunction::kMax:
+      v = max;
+      break;
+    case AggFunction::kAvg:
+      v = count > 0 ? sum / static_cast<double>(count) : 0;
+      break;
+  }
+  switch (result_type) {
+    case DataType::kInt64:
+      return Value::Int64(static_cast<int64_t>(v));
+    case DataType::kFloat:
+      return Value::Float(static_cast<float>(v));
+    case DataType::kBool:
+      return Value::Bool(v != 0);
+  }
+  return Value();
+}
+
+namespace {
+
+/// Shared helpers for both aggregation flavours.
+std::vector<DataType> BuildTypes(const std::vector<ExprPtr>& groups,
+                                 const std::vector<AggregateSpec>& aggs) {
+  std::vector<DataType> types;
+  for (const auto& g : groups) types.push_back(g->type);
+  for (const auto& a : aggs) types.push_back(a.result_type);
+  return types;
+}
+
+std::vector<std::string> BuildNames(const std::vector<std::string>& group_names,
+                                    const std::vector<AggregateSpec>& aggs) {
+  std::vector<std::string> names = group_names;
+  for (const auto& a : aggs) names.push_back(a.name);
+  return names;
+}
+
+/// Evaluates group keys and aggregate arguments for a chunk.
+Status EvalChunk(const std::vector<ExprPtr>& groups,
+                 const std::vector<AggregateSpec>& aggs, const DataChunk& in,
+                 std::vector<Vector>* group_vecs, std::vector<Vector>* arg_vecs) {
+  group_vecs->clear();
+  for (const auto& g : groups) {
+    Vector v(g->type);
+    INDBML_RETURN_NOT_OK(EvaluateExpr(*g, in, &v));
+    group_vecs->push_back(std::move(v));
+  }
+  arg_vecs->clear();
+  for (const auto& a : aggs) {
+    Vector v(a.argument ? a.argument->type : DataType::kInt64);
+    if (a.argument) {
+      INDBML_RETURN_NOT_OK(EvaluateExpr(*a.argument, in, &v));
+    }
+    arg_vecs->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+uint64_t KeyPart(const Vector& v, int64_t row) {
+  switch (v.type()) {
+    case DataType::kBool:
+      return v.bools()[row];
+    case DataType::kInt64:
+      return static_cast<uint64_t>(v.ints()[row]);
+    case DataType::kFloat: {
+      uint32_t bits;
+      float f = v.floats()[row];
+      std::memcpy(&bits, &f, sizeof(bits));
+      return bits;
+    }
+  }
+  return 0;
+}
+
+double ArgValue(const Vector& v, int64_t row) {
+  switch (v.type()) {
+    case DataType::kBool:
+      return v.bools()[row];
+    case DataType::kInt64:
+      return static_cast<double>(v.ints()[row]);
+    case DataType::kFloat:
+      return v.floats()[row];
+  }
+  return 0;
+}
+
+bool SameKey(const std::vector<Value>& a, const std::vector<Vector>& vecs,
+             int64_t row) {
+  for (size_t k = 0; k < a.size(); ++k) {
+    const Value& va = a[k];
+    Value vb = vecs[k].GetValue(row);
+    if (va.type != vb.type) return false;
+    switch (va.type) {
+      case DataType::kBool:
+        if (va.b != vb.b) return false;
+        break;
+      case DataType::kInt64:
+        if (va.i != vb.i) return false;
+        break;
+      case DataType::kFloat:
+        if (va.f != vb.f) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+HashAggregateOperator::HashAggregateOperator(OperatorPtr child,
+                                             std::vector<ExprPtr> groups,
+                                             std::vector<std::string> group_names,
+                                             std::vector<AggregateSpec> aggregates)
+    : child_(std::move(child)),
+      groups_(std::move(groups)),
+      aggregates_(std::move(aggregates)),
+      types_(BuildTypes(groups_, aggregates_)),
+      names_(BuildNames(group_names, aggregates_)) {}
+
+Status HashAggregateOperator::Open(ExecContext* ctx) {
+  INDBML_RETURN_NOT_OK(child_->Open(ctx));
+  table_.clear();
+  emit_order_.clear();
+  emit_cursor_ = 0;
+
+  bool eof = false;
+  std::vector<Vector> group_vecs;
+  std::vector<Vector> arg_vecs;
+  std::vector<uint64_t> parts(groups_.size());
+  while (!eof) {
+    DataChunk in;
+    in.Reset(child_->output_types());
+    INDBML_RETURN_NOT_OK(child_->Next(ctx, &in, &eof));
+    if (in.size == 0) continue;
+    INDBML_RETURN_NOT_OK(EvalChunk(groups_, aggregates_, in, &group_vecs, &arg_vecs));
+    for (int64_t r = 0; r < in.size; ++r) {
+      for (size_t k = 0; k < group_vecs.size(); ++k) {
+        parts[k] = KeyPart(group_vecs[k], r);
+      }
+      uint64_t h = HashKeyParts(parts.data(), parts.size());
+      auto& bucket = table_[h];
+      GroupEntry* entry = nullptr;
+      for (auto& candidate : bucket) {
+        if (SameKey(candidate.key_values, group_vecs, r)) {
+          entry = &candidate;
+          break;
+        }
+      }
+      if (entry == nullptr) {
+        GroupEntry fresh;
+        fresh.key_values.reserve(groups_.size());
+        for (size_t k = 0; k < group_vecs.size(); ++k) {
+          fresh.key_values.push_back(group_vecs[k].GetValue(r));
+        }
+        fresh.states.resize(aggregates_.size());
+        bucket.push_back(std::move(fresh));
+        entry = &bucket.back();
+      }
+      for (size_t a = 0; a < aggregates_.size(); ++a) {
+        double v = aggregates_[a].argument ? ArgValue(arg_vecs[a], r) : 1.0;
+        entry->states[a].Update(v);
+      }
+    }
+  }
+  // SQL semantics: a global aggregate (no GROUP BY) over empty input still
+  // produces one row (COUNT = 0, sums empty).
+  if (groups_.empty() && table_.empty()) {
+    GroupEntry empty_entry;
+    empty_entry.states.resize(aggregates_.size());
+    table_[0].push_back(std::move(empty_entry));
+  }
+  emit_order_.reserve(table_.size());
+  for (const auto& [h, bucket] : table_) {
+    for (const auto& entry : bucket) emit_order_.push_back(&entry);
+  }
+  int64_t bytes = HashTableBytes();
+  MemoryTracker::Global().Allocate(bytes - tracked_bytes_);
+  tracked_bytes_ = bytes;
+  return Status::OK();
+}
+
+HashAggregateOperator::~HashAggregateOperator() {
+  MemoryTracker::Global().Free(tracked_bytes_);
+}
+
+Status HashAggregateOperator::Next(ExecContext*, DataChunk* out, bool* eof) {
+  while (emit_cursor_ < emit_order_.size() && out->size < kDefaultVectorSize) {
+    const GroupEntry& entry = *emit_order_[emit_cursor_++];
+    int64_t col = 0;
+    for (const Value& v : entry.key_values) {
+      out->column(col++).Append(v);
+    }
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      out->column(col++).Append(
+          entry.states[a].Finalize(aggregates_[a].function, aggregates_[a].result_type));
+    }
+    ++out->size;
+  }
+  *eof = emit_cursor_ >= emit_order_.size();
+  return Status::OK();
+}
+
+int64_t HashAggregateOperator::HashTableBytes() const {
+  int64_t bytes = 0;
+  for (const auto& [h, bucket] : table_) {
+    bytes += 48;  // bucket overhead
+    for (const auto& entry : bucket) {
+      bytes += static_cast<int64_t>(entry.key_values.size() * sizeof(Value) +
+                                    entry.states.size() * sizeof(AggState));
+    }
+  }
+  return bytes;
+}
+
+StreamingAggregateOperator::StreamingAggregateOperator(
+    OperatorPtr child, std::vector<ExprPtr> groups,
+    std::vector<std::string> group_names, std::vector<AggregateSpec> aggregates,
+    int prefix_count)
+    : child_(std::move(child)),
+      groups_(std::move(groups)),
+      aggregates_(std::move(aggregates)),
+      types_(BuildTypes(groups_, aggregates_)),
+      names_(BuildNames(group_names, aggregates_)),
+      prefix_count_(prefix_count) {
+  INDBML_CHECK(prefix_count_ >= 1 &&
+               prefix_count_ <= static_cast<int>(groups_.size()))
+      << "invalid sorted-prefix length";
+}
+
+Status StreamingAggregateOperator::Open(ExecContext* ctx) {
+  group_active_ = false;
+  input_eof_ = false;
+  rest_groups_.clear();
+  rest_insertion_order_.clear();
+  peak_group_count_ = 0;
+  return child_->Open(ctx);
+}
+
+void StreamingAggregateOperator::FlushPrefixGroup(DataChunk* out) {
+  int64_t group_count = 0;
+  for (uint64_t h : rest_insertion_order_) {
+    for (const GroupEntry& entry : rest_groups_[h]) {
+      int64_t col = 0;
+      for (const Value& v : current_prefix_) out->column(col++).Append(v);
+      for (const Value& v : entry.rest_key) out->column(col++).Append(v);
+      for (size_t a = 0; a < aggregates_.size(); ++a) {
+        out->column(col++).Append(entry.states[a].Finalize(
+            aggregates_[a].function, aggregates_[a].result_type));
+      }
+      ++out->size;
+      ++group_count;
+    }
+  }
+  peak_group_count_ = std::max(peak_group_count_, group_count);
+  rest_groups_.clear();
+  rest_insertion_order_.clear();
+}
+
+Status StreamingAggregateOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
+  *eof = false;
+  std::vector<Vector> group_vecs;
+  std::vector<Vector> arg_vecs;
+  const size_t prefix = static_cast<size_t>(prefix_count_);
+  const size_t rest = groups_.size() - prefix;
+  std::vector<uint64_t> rest_parts(rest);
+  while (!input_eof_ && out->size < kDefaultVectorSize) {
+    DataChunk in;
+    in.Reset(child_->output_types());
+    INDBML_RETURN_NOT_OK(child_->Next(ctx, &in, &input_eof_));
+    if (in.size == 0) continue;
+    INDBML_RETURN_NOT_OK(EvalChunk(groups_, aggregates_, in, &group_vecs, &arg_vecs));
+    for (int64_t r = 0; r < in.size; ++r) {
+      bool same_prefix = group_active_;
+      if (same_prefix) {
+        for (size_t k = 0; k < prefix; ++k) {
+          Value v = group_vecs[k].GetValue(r);
+          const Value& p = current_prefix_[k];
+          bool eq = v.type == p.type &&
+                    (v.type == DataType::kInt64
+                         ? v.i == p.i
+                         : (v.type == DataType::kFloat ? v.f == p.f : v.b == p.b));
+          if (!eq) {
+            same_prefix = false;
+            break;
+          }
+        }
+      }
+      if (!same_prefix) {
+        if (group_active_) FlushPrefixGroup(out);
+        current_prefix_.clear();
+        for (size_t k = 0; k < prefix; ++k) {
+          current_prefix_.push_back(group_vecs[k].GetValue(r));
+        }
+        group_active_ = true;
+      }
+      // Locate (or create) the rest-key group within the current prefix.
+      for (size_t k = 0; k < rest; ++k) {
+        rest_parts[k] = KeyPart(group_vecs[prefix + k], r);
+      }
+      uint64_t h = HashKeyParts(rest_parts.data(), rest_parts.size());
+      auto [it, inserted] = rest_groups_.try_emplace(h);
+      if (inserted) rest_insertion_order_.push_back(h);
+      GroupEntry* entry = nullptr;
+      for (auto& candidate : it->second) {
+        bool eq = true;
+        for (size_t k = 0; k < rest; ++k) {
+          Value v = group_vecs[prefix + k].GetValue(r);
+          const Value& p = candidate.rest_key[k];
+          if (!(v.type == p.type &&
+                (v.type == DataType::kInt64
+                     ? v.i == p.i
+                     : (v.type == DataType::kFloat ? v.f == p.f : v.b == p.b)))) {
+            eq = false;
+            break;
+          }
+        }
+        if (eq) {
+          entry = &candidate;
+          break;
+        }
+      }
+      if (entry == nullptr) {
+        GroupEntry fresh;
+        for (size_t k = 0; k < rest; ++k) {
+          fresh.rest_key.push_back(group_vecs[prefix + k].GetValue(r));
+        }
+        fresh.states.resize(aggregates_.size());
+        it->second.push_back(std::move(fresh));
+        entry = &it->second.back();
+      }
+      for (size_t a = 0; a < aggregates_.size(); ++a) {
+        double v = aggregates_[a].argument ? ArgValue(arg_vecs[a], r) : 1.0;
+        entry->states[a].Update(v);
+      }
+    }
+  }
+  if (input_eof_ && group_active_) {
+    FlushPrefixGroup(out);
+    group_active_ = false;
+  }
+  *eof = input_eof_ && !group_active_;
+  return Status::OK();
+}
+
+}  // namespace indbml::exec

@@ -1,0 +1,137 @@
+#ifndef INDBML_EXEC_AGGREGATE_H_
+#define INDBML_EXEC_AGGREGATE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace indbml::exec {
+
+enum class AggFunction { kSum, kCount, kMin, kMax, kAvg };
+
+const char* AggFunctionName(AggFunction fn);
+
+/// One aggregate to compute: FUNCTION(argument). For COUNT(*) the argument
+/// is null.
+struct AggregateSpec {
+  AggFunction function;
+  ExprPtr argument;  ///< nullable for COUNT(*)
+  DataType result_type;
+  std::string name;
+};
+
+/// Running state of one aggregate within one group. Sums accumulate in
+/// double precision so float summation matches the BLAS reference closely.
+struct AggState {
+  double sum = 0;
+  int64_t count = 0;
+  double min = 0;
+  double max = 0;
+  bool seen = false;
+
+  void Update(double v) {
+    sum += v;
+    ++count;
+    if (!seen || v < min) min = v;
+    if (!seen || v > max) max = v;
+    seen = true;
+  }
+  Value Finalize(AggFunction fn, DataType result_type) const;
+};
+
+/// \brief Hash-based grouped aggregation (pipeline breaker): the default
+/// physical choice when the input carries no usable order.
+class HashAggregateOperator final : public Operator {
+ public:
+  HashAggregateOperator(OperatorPtr child, std::vector<ExprPtr> groups,
+                        std::vector<std::string> group_names,
+                        std::vector<AggregateSpec> aggregates);
+  ~HashAggregateOperator() override;
+
+  const std::vector<DataType>& output_types() const override { return types_; }
+  const std::vector<std::string>& output_names() const override { return names_; }
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(ExecContext* ctx, DataChunk* out, bool* eof) override;
+  void Close(ExecContext* ctx) override { child_->Close(ctx); }
+
+  /// Approximate bytes held by the hash table (memory experiments).
+  int64_t HashTableBytes() const;
+
+ private:
+  struct GroupEntry {
+    std::vector<Value> key_values;
+    std::vector<AggState> states;
+  };
+
+  OperatorPtr child_;
+  std::vector<ExprPtr> groups_;
+  std::vector<AggregateSpec> aggregates_;
+  std::vector<DataType> types_;
+  std::vector<std::string> names_;
+
+  std::unordered_map<uint64_t, std::vector<GroupEntry>> table_;
+  std::vector<const GroupEntry*> emit_order_;
+  size_t emit_cursor_ = 0;
+  int64_t tracked_bytes_ = 0;
+};
+
+/// \brief Order-based (streaming) aggregation (paper §4.4).
+///
+/// The first `prefix_count` group keys are guaranteed by the optimizer to be
+/// a sorted/grouped prefix of the input (all rows with equal prefix values
+/// arrive contiguously, e.g. the unique tuple ID after an order-preserving
+/// join). The remaining keys are hashed *within* the current prefix group,
+/// and all groups of a prefix are emitted as soon as the prefix changes.
+///
+/// With prefix_count == #groups this degenerates to a classic order-based
+/// aggregation with O(1) state; with a shorter prefix the state is bounded
+/// by the number of distinct remaining-key values per prefix group (one
+/// layer's node count in the ModelJoin queries) instead of the whole input —
+/// which is what makes the generated inference pipeline low-memory and
+/// fully pipelined.
+class StreamingAggregateOperator final : public Operator {
+ public:
+  StreamingAggregateOperator(OperatorPtr child, std::vector<ExprPtr> groups,
+                             std::vector<std::string> group_names,
+                             std::vector<AggregateSpec> aggregates, int prefix_count);
+
+  const std::vector<DataType>& output_types() const override { return types_; }
+  const std::vector<std::string>& output_names() const override { return names_; }
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(ExecContext* ctx, DataChunk* out, bool* eof) override;
+  void Close(ExecContext* ctx) override { child_->Close(ctx); }
+
+  /// Peak number of concurrently-held groups (memory observability).
+  int64_t peak_group_count() const { return peak_group_count_; }
+
+ private:
+  struct GroupEntry {
+    std::vector<Value> rest_key;
+    std::vector<AggState> states;
+  };
+
+  void FlushPrefixGroup(DataChunk* out);
+
+  OperatorPtr child_;
+  std::vector<ExprPtr> groups_;
+  std::vector<AggregateSpec> aggregates_;
+  std::vector<DataType> types_;
+  std::vector<std::string> names_;
+  int prefix_count_;
+
+  bool group_active_ = false;
+  bool input_eof_ = false;
+  std::vector<Value> current_prefix_;
+  std::unordered_map<uint64_t, std::vector<GroupEntry>> rest_groups_;
+  std::vector<uint64_t> rest_insertion_order_;
+  int64_t peak_group_count_ = 0;
+};
+
+}  // namespace indbml::exec
+
+#endif  // INDBML_EXEC_AGGREGATE_H_

@@ -1,0 +1,124 @@
+#include "exec/basic_operators.h"
+
+#include <algorithm>
+
+#include "common/config.h"
+
+namespace indbml::exec {
+
+FilterOperator::FilterOperator(OperatorPtr child, ExprPtr condition)
+    : child_(std::move(child)), condition_(std::move(condition)) {}
+
+Status FilterOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
+  *eof = false;
+  while (out->size == 0) {
+    DataChunk in;
+    in.Reset(child_->output_types());
+    bool child_eof = false;
+    INDBML_RETURN_NOT_OK(child_->Next(ctx, &in, &child_eof));
+    if (in.size > 0) {
+      Vector mask(DataType::kBool);
+      INDBML_RETURN_NOT_OK(EvaluateExpr(*condition_, in, &mask));
+      const uint8_t* m = mask.bools();
+      for (int64_t r = 0; r < in.size; ++r) {
+        if (m[r]) AppendRowTo(in, r, out);
+      }
+    }
+    if (child_eof) {
+      *eof = true;
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+ProjectOperator::ProjectOperator(OperatorPtr child, std::vector<ExprPtr> exprs,
+                                 std::vector<std::string> names)
+    : child_(std::move(child)), exprs_(std::move(exprs)), names_(std::move(names)) {
+  for (const auto& e : exprs_) types_.push_back(e->type);
+}
+
+Status ProjectOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
+  DataChunk in;
+  in.Reset(child_->output_types());
+  INDBML_RETURN_NOT_OK(child_->Next(ctx, &in, eof));
+  if (in.size == 0) return Status::OK();
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    INDBML_RETURN_NOT_OK(
+        EvaluateExpr(*exprs_[i], in, &out->column(static_cast<int64_t>(i))));
+  }
+  out->size = in.size;
+  return Status::OK();
+}
+
+Status LimitOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
+  if (remaining_ <= 0) {
+    *eof = true;
+    return Status::OK();
+  }
+  INDBML_RETURN_NOT_OK(child_->Next(ctx, out, eof));
+  if (out->size > remaining_) {
+    out->SetCardinality(remaining_);
+  }
+  remaining_ -= out->size;
+  if (remaining_ <= 0) *eof = true;
+  return Status::OK();
+}
+
+SortOperator::SortOperator(OperatorPtr child, std::vector<ExprPtr> keys,
+                           std::vector<bool> ascending)
+    : child_(std::move(child)), keys_(std::move(keys)), ascending_(std::move(ascending)) {}
+
+Status SortOperator::Open(ExecContext* ctx) {
+  INDBML_ASSIGN_OR_RETURN(materialized_, DrainOperator(child_.get(), ctx));
+  // Evaluate the sort keys per chunk, then sort a (chunk,row) index vector.
+  std::vector<std::vector<Vector>> key_cols;  // [chunk][key]
+  key_cols.reserve(materialized_.chunks.size());
+  for (const DataChunk& chunk : materialized_.chunks) {
+    std::vector<Vector> keys;
+    keys.reserve(keys_.size());
+    for (const auto& k : keys_) {
+      Vector v(k->type);
+      INDBML_RETURN_NOT_OK(EvaluateExpr(*k, chunk, &v));
+      keys.push_back(std::move(v));
+    }
+    key_cols.push_back(std::move(keys));
+  }
+  order_.clear();
+  order_.reserve(static_cast<size_t>(materialized_.num_rows));
+  for (size_t c = 0; c < materialized_.chunks.size(); ++c) {
+    for (int64_t r = 0; r < materialized_.chunks[c].size; ++r) {
+      order_.emplace_back(static_cast<int64_t>(c), r);
+    }
+  }
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&](const auto& a, const auto& b) {
+                     for (size_t k = 0; k < keys_.size(); ++k) {
+                       double va = key_cols[static_cast<size_t>(a.first)][k]
+                                       .GetValue(a.second)
+                                       .AsDouble();
+                       double vb = key_cols[static_cast<size_t>(b.first)][k]
+                                       .GetValue(b.second)
+                                       .AsDouble();
+                       if (va == vb) continue;
+                       bool lt = va < vb;
+                       return ascending_[k] ? lt : !lt;
+                     }
+                     return false;
+                   });
+  cursor_ = 0;
+  sorted_ = true;
+  return Status::OK();
+}
+
+Status SortOperator::Next(ExecContext*, DataChunk* out, bool* eof) {
+  INDBML_CHECK(sorted_);
+  while (cursor_ < order_.size() && out->size < kDefaultVectorSize) {
+    auto [c, r] = order_[cursor_++];
+    AppendRowTo(materialized_.chunks[static_cast<size_t>(c)], r, out);
+  }
+  *eof = cursor_ >= order_.size();
+  return Status::OK();
+}
+
+}  // namespace indbml::exec

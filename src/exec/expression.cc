@@ -1,0 +1,494 @@
+#include "exec/expression.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "nn/blas.h"
+
+namespace indbml::exec {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+const char* ScalarFnName(ScalarFn fn) {
+  switch (fn) {
+    case ScalarFn::kSigmoid:
+      return "sigmoid";
+    case ScalarFn::kTanh:
+      return "tanh";
+    case ScalarFn::kRelu:
+      return "relu";
+    case ScalarFn::kExp:
+      return "exp";
+    case ScalarFn::kAbs:
+      return "abs";
+    case ScalarFn::kSin:
+      return "sin";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kColumnRef:
+      return name.empty() ? StrFormat("#%lld", static_cast<long long>(column_id))
+                          : name;
+    case ExprKind::kConstant:
+      return constant.ToString();
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinaryOpName(bin_op) + " " +
+             children[1]->ToString() + ")";
+    case ExprKind::kUnary:
+      return std::string(un_op == UnaryOp::kNot ? "NOT " : "-") +
+             children[0]->ToString();
+    case ExprKind::kFunction: {
+      std::string out = ScalarFnName(fn);
+      out += "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      size_t i = 0;
+      for (; i + 1 < children.size(); i += 2) {
+        out += " WHEN " + children[i]->ToString() + " THEN " +
+               children[i + 1]->ToString();
+      }
+      if (i < children.size()) out += " ELSE " + children[i]->ToString();
+      return out + " END";
+    }
+    case ExprKind::kCast:
+      return "CAST(" + children[0]->ToString() + " AS " + DataTypeName(type) + ")";
+  }
+  return "?";
+}
+
+ExprPtr MakeColumnRef(int64_t column_id, DataType type, std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->type = type;
+  e->column_id = column_id;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr MakeConstant(const Value& v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kConstant;
+  e->type = v.type;
+  e->constant = v;
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->type = BinaryResultType(op, lhs->type, rhs->type);
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr child) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->type = op == UnaryOp::kNot ? DataType::kBool : child->type;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+ExprPtr MakeFunction(ScalarFn fn, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunction;
+  e->fn = fn;
+  e->type = DataType::kFloat;
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr MakeCase(std::vector<ExprPtr> parts) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCase;
+  // Result type: type of the first THEN branch (binder inserts casts).
+  e->type = parts.size() >= 2 ? parts[1]->type
+                              : (parts.empty() ? DataType::kInt64 : parts[0]->type);
+  e->children = std::move(parts);
+  return e;
+}
+
+ExprPtr MakeCast(ExprPtr child, DataType target) {
+  if (child->type == target) return child;
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCast;
+  e->type = target;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+ExprPtr CloneExpr(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->type = e.type;
+  out->column_id = e.column_id;
+  out->name = e.name;
+  out->constant = e.constant;
+  out->bin_op = e.bin_op;
+  out->un_op = e.un_op;
+  out->fn = e.fn;
+  out->children.reserve(e.children.size());
+  for (const auto& c : e.children) out->children.push_back(CloneExpr(*c));
+  return out;
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+DataType BinaryResultType(BinaryOp op, DataType lhs, DataType rhs) {
+  if (IsComparison(op) || op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    return DataType::kBool;
+  }
+  if (lhs == DataType::kFloat || rhs == DataType::kFloat) return DataType::kFloat;
+  return DataType::kInt64;
+}
+
+namespace {
+
+/// Promotes a vector to float in place of `tmp` if needed; returns a pointer
+/// to float data covering all rows.
+const float* AsFloats(const Vector& v, std::vector<float>* tmp) {
+  if (v.type() == DataType::kFloat) return v.floats();
+  tmp->resize(static_cast<size_t>(v.size()));
+  if (v.type() == DataType::kInt64) {
+    const int64_t* in = v.ints();
+    for (int64_t i = 0; i < v.size(); ++i) (*tmp)[static_cast<size_t>(i)] = in[i];
+  } else {
+    const uint8_t* in = v.bools();
+    for (int64_t i = 0; i < v.size(); ++i) (*tmp)[static_cast<size_t>(i)] = in[i];
+  }
+  return tmp->data();
+}
+
+Status EvalBinary(const Expr& expr, const DataChunk& input, Vector* out) {
+  Vector lhs(expr.children[0]->type);
+  Vector rhs(expr.children[1]->type);
+  INDBML_RETURN_NOT_OK(EvaluateExpr(*expr.children[0], input, &lhs));
+  INDBML_RETURN_NOT_OK(EvaluateExpr(*expr.children[1], input, &rhs));
+  int64_t n = input.size;
+  out->Resize(n);
+
+  BinaryOp op = expr.bin_op;
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    const uint8_t* a = lhs.bools();
+    const uint8_t* b = rhs.bools();
+    uint8_t* o = out->bools();
+    if (op == BinaryOp::kAnd) {
+      for (int64_t i = 0; i < n; ++i) o[i] = a[i] & b[i];
+    } else {
+      for (int64_t i = 0; i < n; ++i) o[i] = a[i] | b[i];
+    }
+    return Status::OK();
+  }
+
+  bool int_math = lhs.type() == DataType::kInt64 && rhs.type() == DataType::kInt64;
+  if (IsComparison(op)) {
+    uint8_t* o = out->bools();
+    if (int_math) {
+      const int64_t* a = lhs.ints();
+      const int64_t* b = rhs.ints();
+      switch (op) {
+        case BinaryOp::kEq:
+          for (int64_t i = 0; i < n; ++i) o[i] = a[i] == b[i];
+          break;
+        case BinaryOp::kNe:
+          for (int64_t i = 0; i < n; ++i) o[i] = a[i] != b[i];
+          break;
+        case BinaryOp::kLt:
+          for (int64_t i = 0; i < n; ++i) o[i] = a[i] < b[i];
+          break;
+        case BinaryOp::kLe:
+          for (int64_t i = 0; i < n; ++i) o[i] = a[i] <= b[i];
+          break;
+        case BinaryOp::kGt:
+          for (int64_t i = 0; i < n; ++i) o[i] = a[i] > b[i];
+          break;
+        case BinaryOp::kGe:
+          for (int64_t i = 0; i < n; ++i) o[i] = a[i] >= b[i];
+          break;
+        default:
+          break;
+      }
+    } else {
+      std::vector<float> ta, tb;
+      const float* a = AsFloats(lhs, &ta);
+      const float* b = AsFloats(rhs, &tb);
+      switch (op) {
+        case BinaryOp::kEq:
+          for (int64_t i = 0; i < n; ++i) o[i] = a[i] == b[i];
+          break;
+        case BinaryOp::kNe:
+          for (int64_t i = 0; i < n; ++i) o[i] = a[i] != b[i];
+          break;
+        case BinaryOp::kLt:
+          for (int64_t i = 0; i < n; ++i) o[i] = a[i] < b[i];
+          break;
+        case BinaryOp::kLe:
+          for (int64_t i = 0; i < n; ++i) o[i] = a[i] <= b[i];
+          break;
+        case BinaryOp::kGt:
+          for (int64_t i = 0; i < n; ++i) o[i] = a[i] > b[i];
+          break;
+        case BinaryOp::kGe:
+          for (int64_t i = 0; i < n; ++i) o[i] = a[i] >= b[i];
+          break;
+        default:
+          break;
+      }
+    }
+    return Status::OK();
+  }
+
+  // Arithmetic.
+  if (expr.type == DataType::kInt64) {
+    const int64_t* a = lhs.ints();
+    const int64_t* b = rhs.ints();
+    int64_t* o = out->ints();
+    switch (op) {
+      case BinaryOp::kAdd:
+        for (int64_t i = 0; i < n; ++i) o[i] = a[i] + b[i];
+        break;
+      case BinaryOp::kSub:
+        for (int64_t i = 0; i < n; ++i) o[i] = a[i] - b[i];
+        break;
+      case BinaryOp::kMul:
+        for (int64_t i = 0; i < n; ++i) o[i] = a[i] * b[i];
+        break;
+      case BinaryOp::kDiv:
+        for (int64_t i = 0; i < n; ++i) {
+          if (b[i] == 0) return Status::ExecutionError("division by zero");
+          o[i] = a[i] / b[i];
+        }
+        break;
+      case BinaryOp::kMod:
+        for (int64_t i = 0; i < n; ++i) {
+          if (b[i] == 0) return Status::ExecutionError("modulo by zero");
+          o[i] = a[i] % b[i];
+        }
+        break;
+      default:
+        return Status::Internal("bad arithmetic op");
+    }
+  } else {
+    std::vector<float> ta, tb;
+    const float* a = AsFloats(lhs, &ta);
+    const float* b = AsFloats(rhs, &tb);
+    float* o = out->floats();
+    switch (op) {
+      case BinaryOp::kAdd:
+        for (int64_t i = 0; i < n; ++i) o[i] = a[i] + b[i];
+        break;
+      case BinaryOp::kSub:
+        for (int64_t i = 0; i < n; ++i) o[i] = a[i] - b[i];
+        break;
+      case BinaryOp::kMul:
+        for (int64_t i = 0; i < n; ++i) o[i] = a[i] * b[i];
+        break;
+      case BinaryOp::kDiv:
+        for (int64_t i = 0; i < n; ++i) o[i] = a[i] / b[i];
+        break;
+      default:
+        return Status::Internal("bad float arithmetic op");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EvaluateExpr(const Expr& expr, const DataChunk& input, Vector* out) {
+  const int64_t n = input.size;
+  switch (expr.kind) {
+    case ExprKind::kColumnRef: {
+      if (expr.column_id < 0 || expr.column_id >= input.num_columns()) {
+        return Status::Internal(
+            StrFormat("column index %lld out of range (%lld columns)",
+                      static_cast<long long>(expr.column_id),
+                      static_cast<long long>(input.num_columns())));
+      }
+      *out = input.column(expr.column_id);
+      return Status::OK();
+    }
+    case ExprKind::kConstant: {
+      out->Resize(n);
+      for (int64_t i = 0; i < n; ++i) out->SetValue(i, expr.constant);
+      return Status::OK();
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(expr, input, out);
+    case ExprKind::kUnary: {
+      Vector child(expr.children[0]->type);
+      INDBML_RETURN_NOT_OK(EvaluateExpr(*expr.children[0], input, &child));
+      out->Resize(n);
+      if (expr.un_op == UnaryOp::kNot) {
+        const uint8_t* a = child.bools();
+        uint8_t* o = out->bools();
+        for (int64_t i = 0; i < n; ++i) o[i] = a[i] ? 0 : 1;
+      } else if (child.type() == DataType::kInt64) {
+        const int64_t* a = child.ints();
+        int64_t* o = out->ints();
+        for (int64_t i = 0; i < n; ++i) o[i] = -a[i];
+      } else {
+        const float* a = child.floats();
+        float* o = out->floats();
+        for (int64_t i = 0; i < n; ++i) o[i] = -a[i];
+      }
+      return Status::OK();
+    }
+    case ExprKind::kFunction: {
+      Vector child(expr.children[0]->type);
+      INDBML_RETURN_NOT_OK(EvaluateExpr(*expr.children[0], input, &child));
+      std::vector<float> tmp;
+      const float* a = AsFloats(child, &tmp);
+      out->Resize(n);
+      float* o = out->floats();
+      switch (expr.fn) {
+        case ScalarFn::kSigmoid:
+          for (int64_t i = 0; i < n; ++i) o[i] = blas::ScalarSigmoid(a[i]);
+          break;
+        case ScalarFn::kTanh:
+          for (int64_t i = 0; i < n; ++i) o[i] = blas::ScalarTanh(a[i]);
+          break;
+        case ScalarFn::kRelu:
+          for (int64_t i = 0; i < n; ++i) o[i] = blas::ScalarRelu(a[i]);
+          break;
+        case ScalarFn::kExp:
+          for (int64_t i = 0; i < n; ++i) o[i] = std::exp(a[i]);
+          break;
+        case ScalarFn::kAbs:
+          for (int64_t i = 0; i < n; ++i) o[i] = std::fabs(a[i]);
+          break;
+        case ScalarFn::kSin:
+          for (int64_t i = 0; i < n; ++i) o[i] = std::sin(a[i]);
+          break;
+      }
+      return Status::OK();
+    }
+    case ExprKind::kCase: {
+      out->Resize(n);
+      std::vector<uint8_t> decided(static_cast<size_t>(n), 0);
+      size_t i = 0;
+      for (; i + 1 < expr.children.size(); i += 2) {
+        Vector cond(DataType::kBool);
+        INDBML_RETURN_NOT_OK(EvaluateExpr(*expr.children[i], input, &cond));
+        Vector then(expr.children[i + 1]->type);
+        INDBML_RETURN_NOT_OK(EvaluateExpr(*expr.children[i + 1], input, &then));
+        const uint8_t* c = cond.bools();
+        for (int64_t r = 0; r < n; ++r) {
+          if (!decided[static_cast<size_t>(r)] && c[r]) {
+            out->SetValue(r, then.GetValue(r));
+            decided[static_cast<size_t>(r)] = 1;
+          }
+        }
+      }
+      if (i < expr.children.size()) {
+        Vector els(expr.children[i]->type);
+        INDBML_RETURN_NOT_OK(EvaluateExpr(*expr.children[i], input, &els));
+        for (int64_t r = 0; r < n; ++r) {
+          if (!decided[static_cast<size_t>(r)]) out->SetValue(r, els.GetValue(r));
+        }
+      } else {
+        for (int64_t r = 0; r < n; ++r) {
+          if (!decided[static_cast<size_t>(r)]) {
+            out->SetValue(r, Value::Float(0.0f));
+          }
+        }
+      }
+      return Status::OK();
+    }
+    case ExprKind::kCast: {
+      Vector child(expr.children[0]->type);
+      INDBML_RETURN_NOT_OK(EvaluateExpr(*expr.children[0], input, &child));
+      out->Resize(n);
+      for (int64_t r = 0; r < n; ++r) {
+        Value v = child.GetValue(r);
+        switch (expr.type) {
+          case DataType::kBool:
+            out->SetValue(r, Value::Bool(v.AsDouble() != 0));
+            break;
+          case DataType::kInt64:
+            out->SetValue(r, Value::Int64(static_cast<int64_t>(v.AsDouble())));
+            break;
+          case DataType::kFloat:
+            out->SetValue(r, Value::Float(static_cast<float>(v.AsDouble())));
+            break;
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+void CollectColumnIds(const Expr& expr, std::vector<int64_t>* ids) {
+  if (expr.kind == ExprKind::kColumnRef) ids->push_back(expr.column_id);
+  for (const auto& c : expr.children) CollectColumnIds(*c, ids);
+}
+
+bool RemapColumnIds(Expr* expr, const std::unordered_map<int64_t, int64_t>& mapping) {
+  if (expr->kind == ExprKind::kColumnRef) {
+    auto it = mapping.find(expr->column_id);
+    if (it == mapping.end()) return false;
+    expr->column_id = it->second;
+  }
+  for (auto& c : expr->children) {
+    if (!RemapColumnIds(c.get(), mapping)) return false;
+  }
+  return true;
+}
+
+}  // namespace indbml::exec

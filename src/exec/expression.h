@@ -1,0 +1,100 @@
+#ifndef INDBML_EXEC_EXPRESSION_H_
+#define INDBML_EXEC_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/vector.h"
+
+namespace indbml::exec {
+
+enum class ExprKind { kColumnRef, kConstant, kBinary, kUnary, kFunction, kCase, kCast };
+
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr
+};
+
+enum class UnaryOp { kNot, kNegate };
+
+/// Scalar functions available in SQL; sigmoid/tanh/relu are the activation
+/// functions ML-To-SQL emits (§4.3.5) and are evaluated with the *same*
+/// kernels as every other inference approach for bit-identical results.
+enum class ScalarFn { kSigmoid, kTanh, kRelu, kExp, kAbs, kSin };
+
+const char* BinaryOpName(BinaryOp op);
+const char* ScalarFnName(ScalarFn fn);
+
+/// \brief Bound, typed scalar expression tree.
+///
+/// The same tree is used in two phases: after binding, `column_id` holds a
+/// binder-assigned binding id; the physical planner rewrites it in place to
+/// the child-chunk column index before execution.
+struct Expr {
+  ExprKind kind;
+  DataType type = DataType::kInt64;
+
+  // kColumnRef
+  int64_t column_id = -1;
+  std::string name;  ///< diagnostic column name
+
+  // kConstant
+  Value constant;
+
+  // kBinary / kUnary / kFunction
+  BinaryOp bin_op = BinaryOp::kAdd;
+  UnaryOp un_op = UnaryOp::kNot;
+  ScalarFn fn = ScalarFn::kSigmoid;
+
+  /// kBinary: [lhs, rhs]; kUnary/kCast: [child]; kFunction: args;
+  /// kCase: [when1, then1, ..., whenN, thenN, else].
+  std::vector<std::unique_ptr<Expr>> children;
+
+  std::string ToString() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+ExprPtr MakeColumnRef(int64_t column_id, DataType type, std::string name = "");
+ExprPtr MakeConstant(const Value& v);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr child);
+ExprPtr MakeFunction(ScalarFn fn, std::vector<ExprPtr> args);
+ExprPtr MakeCase(std::vector<ExprPtr> parts);
+ExprPtr MakeCast(ExprPtr child, DataType target);
+
+/// Deep copy (operator trees are cloned per partition for parallel plans).
+ExprPtr CloneExpr(const Expr& e);
+
+/// Result type of a binary op over the given operand types.
+DataType BinaryResultType(BinaryOp op, DataType lhs, DataType rhs);
+bool IsComparison(BinaryOp op);
+
+/// Evaluates `expr` over all rows of `input` into `out` (resized to match).
+/// Column references must have been resolved to chunk indexes.
+Status EvaluateExpr(const Expr& expr, const DataChunk& input, Vector* out);
+
+/// Collects the binding/column ids referenced anywhere in the tree.
+void CollectColumnIds(const Expr& expr, std::vector<int64_t>* ids);
+
+/// Rewrites every column reference through `mapping` (old id -> new id).
+/// Returns false if a referenced id is missing from the mapping.
+bool RemapColumnIds(Expr* expr, const std::unordered_map<int64_t, int64_t>& mapping);
+
+}  // namespace indbml::exec
+
+#endif  // INDBML_EXEC_EXPRESSION_H_

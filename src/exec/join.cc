@@ -1,0 +1,253 @@
+#include "exec/join.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/config.h"
+#include "common/memory_tracker.h"
+
+namespace indbml::exec {
+
+uint64_t HashKeyParts(const uint64_t* parts, size_t count) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < count; ++i) {
+    h ^= parts[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+HashJoinOperator::HashJoinOperator(OperatorPtr probe, OperatorPtr build,
+                                   std::vector<ExprPtr> probe_keys,
+                                   std::vector<ExprPtr> build_keys)
+    : probe_(std::move(probe)),
+      build_(std::move(build)),
+      probe_keys_(std::move(probe_keys)),
+      build_keys_(std::move(build_keys)) {
+  types_ = probe_->output_types();
+  names_ = probe_->output_names();
+  for (DataType t : build_->output_types()) types_.push_back(t);
+  for (const std::string& n : build_->output_names()) names_.push_back(n);
+}
+
+uint64_t HashJoinOperator::NormalizeKey(const Vector& v, int64_t row) {
+  switch (v.type()) {
+    case DataType::kBool:
+      return v.bools()[row] ? 1 : 0;
+    case DataType::kInt64:
+      return static_cast<uint64_t>(v.ints()[row]);
+    case DataType::kFloat: {
+      // Bit-cast with -0.0 normalisation so 0.0f == -0.0f keys collide.
+      float f = v.floats()[row];
+      if (f == 0.0f) f = 0.0f;
+      uint32_t bits;
+      std::memcpy(&bits, &f, sizeof(bits));
+      return bits;
+    }
+  }
+  return 0;
+}
+
+Status HashJoinOperator::BuildHashTable(ExecContext* ctx) {
+  INDBML_ASSIGN_OR_RETURN(build_data_, DrainOperator(build_.get(), ctx));
+  int64_t row_index = 0;
+  build_locator_.reserve(static_cast<size_t>(build_data_.num_rows));
+  build_key_rows_.reserve(static_cast<size_t>(build_data_.num_rows));
+  for (size_t c = 0; c < build_data_.chunks.size(); ++c) {
+    const DataChunk& chunk = build_data_.chunks[c];
+    std::vector<Vector> key_vecs;
+    key_vecs.reserve(build_keys_.size());
+    for (const auto& k : build_keys_) {
+      Vector v(k->type);
+      INDBML_RETURN_NOT_OK(EvaluateExpr(*k, chunk, &v));
+      key_vecs.push_back(std::move(v));
+    }
+    for (int64_t r = 0; r < chunk.size; ++r) {
+      std::vector<uint64_t> parts(build_keys_.size());
+      for (size_t k = 0; k < key_vecs.size(); ++k) {
+        parts[k] = NormalizeKey(key_vecs[k], r);
+      }
+      uint64_t h = HashKeyParts(parts.data(), parts.size());
+      hash_table_.emplace(h, row_index);
+      build_key_rows_.push_back(std::move(parts));
+      build_locator_.emplace_back(static_cast<int32_t>(c), static_cast<int32_t>(r));
+      ++row_index;
+    }
+  }
+  return Status::OK();
+}
+
+HashJoinOperator::~HashJoinOperator() {
+  MemoryTracker::Global().Free(tracked_bytes_);
+}
+
+Status HashJoinOperator::Open(ExecContext* ctx) {
+  // DrainOperator (inside BuildHashTable) opens and closes the build child.
+  INDBML_RETURN_NOT_OK(BuildHashTable(ctx));
+  // Report hash-table overhead (the chunks themselves are tracked by their
+  // Vectors).
+  int64_t overhead = static_cast<int64_t>(
+      hash_table_.size() * (sizeof(uint64_t) + sizeof(int64_t) + 16) +
+      build_key_rows_.size() * (build_keys_.size() * 8 + 24) +
+      build_locator_.size() * 8);
+  MemoryTracker::Global().Allocate(overhead - tracked_bytes_);
+  tracked_bytes_ = overhead;
+  INDBML_RETURN_NOT_OK(probe_->Open(ctx));
+  probe_row_ = 0;
+  probe_eof_ = false;
+  probe_chunk_valid_ = false;
+  return Status::OK();
+}
+
+Status HashJoinOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
+  *eof = false;
+  const int64_t probe_width = static_cast<int64_t>(probe_->output_types().size());
+  for (;;) {
+    if (!probe_chunk_valid_) {
+      if (probe_eof_) {
+        *eof = true;
+        return Status::OK();
+      }
+      probe_chunk_.Reset(probe_->output_types());
+      INDBML_RETURN_NOT_OK(probe_->Next(ctx, &probe_chunk_, &probe_eof_));
+      probe_row_ = 0;
+      if (probe_chunk_.size == 0) {
+        if (probe_eof_) {
+          *eof = true;
+          return Status::OK();
+        }
+        continue;
+      }
+      probe_key_vecs_.clear();
+      for (const auto& k : probe_keys_) {
+        Vector v(k->type);
+        INDBML_RETURN_NOT_OK(EvaluateExpr(*k, probe_chunk_, &v));
+        probe_key_vecs_.push_back(std::move(v));
+      }
+      probe_chunk_valid_ = true;
+    }
+
+    std::vector<uint64_t> parts(probe_keys_.size());
+    for (; probe_row_ < probe_chunk_.size; ++probe_row_) {
+      for (size_t k = 0; k < probe_key_vecs_.size(); ++k) {
+        parts[k] = NormalizeKey(probe_key_vecs_[k], probe_row_);
+      }
+      uint64_t h = HashKeyParts(parts.data(), parts.size());
+      auto [begin, end] = hash_table_.equal_range(h);
+      for (auto it = begin; it != end; ++it) {
+        const auto& build_parts = build_key_rows_[static_cast<size_t>(it->second)];
+        if (!std::equal(parts.begin(), parts.end(), build_parts.begin())) continue;
+        auto [bc, br] = build_locator_[static_cast<size_t>(it->second)];
+        // Emit probe columns then build columns.
+        for (int64_t c = 0; c < probe_width; ++c) {
+          out->column(c).Append(probe_chunk_.column(c).GetValue(probe_row_));
+        }
+        const DataChunk& bchunk = build_data_.chunks[static_cast<size_t>(bc)];
+        for (int64_t c = 0; c < bchunk.num_columns(); ++c) {
+          out->column(probe_width + c).Append(bchunk.column(c).GetValue(br));
+        }
+        ++out->size;
+      }
+      if (out->size >= kDefaultVectorSize) {
+        ++probe_row_;
+        return Status::OK();
+      }
+    }
+    probe_chunk_valid_ = false;
+    if (probe_eof_) {
+      *eof = true;
+      return Status::OK();
+    }
+    if (out->size >= kDefaultVectorSize) return Status::OK();
+  }
+}
+
+void HashJoinOperator::Close(ExecContext* ctx) { probe_->Close(ctx); }
+
+int64_t HashJoinOperator::BuildBytes() const {
+  int64_t bytes = build_data_.MemoryBytes();
+  bytes += static_cast<int64_t>(hash_table_.size() *
+                                (sizeof(uint64_t) + sizeof(int64_t) + 16));
+  bytes += static_cast<int64_t>(build_key_rows_.size() * build_keys_.size() * 8);
+  return bytes;
+}
+
+CrossJoinOperator::CrossJoinOperator(OperatorPtr left, OperatorPtr right)
+    : left_(std::move(left)), right_(std::move(right)) {
+  types_ = left_->output_types();
+  names_ = left_->output_names();
+  for (DataType t : right_->output_types()) types_.push_back(t);
+  for (const std::string& n : right_->output_names()) names_.push_back(n);
+}
+
+Status CrossJoinOperator::Open(ExecContext* ctx) {
+  INDBML_ASSIGN_OR_RETURN(right_data_, DrainOperator(right_.get(), ctx));
+  right_locator_.clear();
+  right_locator_.reserve(static_cast<size_t>(right_data_.num_rows));
+  for (size_t c = 0; c < right_data_.chunks.size(); ++c) {
+    for (int64_t r = 0; r < right_data_.chunks[c].size; ++r) {
+      right_locator_.emplace_back(static_cast<int32_t>(c), static_cast<int32_t>(r));
+    }
+  }
+  INDBML_RETURN_NOT_OK(left_->Open(ctx));
+  left_row_ = 0;
+  right_row_ = 0;
+  left_eof_ = false;
+  left_chunk_valid_ = false;
+  return Status::OK();
+}
+
+Status CrossJoinOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
+  *eof = false;
+  const int64_t left_width = static_cast<int64_t>(left_->output_types().size());
+  if (right_data_.num_rows == 0) {
+    *eof = true;
+    return Status::OK();
+  }
+  for (;;) {
+    if (!left_chunk_valid_) {
+      if (left_eof_) {
+        *eof = true;
+        return Status::OK();
+      }
+      left_chunk_.Reset(left_->output_types());
+      INDBML_RETURN_NOT_OK(left_->Next(ctx, &left_chunk_, &left_eof_));
+      left_row_ = 0;
+      right_row_ = 0;
+      if (left_chunk_.size == 0) {
+        if (left_eof_) {
+          *eof = true;
+          return Status::OK();
+        }
+        continue;
+      }
+      left_chunk_valid_ = true;
+    }
+    while (left_row_ < left_chunk_.size) {
+      while (right_row_ < right_data_.num_rows) {
+        auto [rc, rr] = right_locator_[static_cast<size_t>(right_row_)];
+        for (int64_t c = 0; c < left_width; ++c) {
+          out->column(c).Append(left_chunk_.column(c).GetValue(left_row_));
+        }
+        const DataChunk& rchunk = right_data_.chunks[static_cast<size_t>(rc)];
+        for (int64_t c = 0; c < rchunk.num_columns(); ++c) {
+          out->column(left_width + c).Append(rchunk.column(c).GetValue(rr));
+        }
+        ++out->size;
+        ++right_row_;
+        if (out->size >= kDefaultVectorSize) return Status::OK();
+      }
+      right_row_ = 0;
+      ++left_row_;
+    }
+    left_chunk_valid_ = false;
+    if (left_eof_) {
+      *eof = true;
+      return Status::OK();
+    }
+  }
+}
+
+void CrossJoinOperator::Close(ExecContext* ctx) { left_->Close(ctx); }
+
+}  // namespace indbml::exec

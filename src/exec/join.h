@@ -1,0 +1,105 @@
+#ifndef INDBML_EXEC_JOIN_H_
+#define INDBML_EXEC_JOIN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace indbml::exec {
+
+/// \brief Inner hash join.
+///
+/// The right child is the build side (materialised into a hash table during
+/// Open — the ModelJoin pattern joins a small model table on the build side
+/// against a streaming fact/intermediate probe side, paper Fig. 5). Output
+/// preserves probe-side order, which the optimizer uses to keep pipelines
+/// eligible for order-based aggregation (§4.4).
+///
+/// Key expressions are evaluated against the respective child's chunks.
+/// Residual (non-equi) predicates are planned as a Filter above the join.
+class HashJoinOperator final : public Operator {
+ public:
+  HashJoinOperator(OperatorPtr probe, OperatorPtr build,
+                   std::vector<ExprPtr> probe_keys, std::vector<ExprPtr> build_keys);
+  ~HashJoinOperator() override;
+
+  const std::vector<DataType>& output_types() const override { return types_; }
+  const std::vector<std::string>& output_names() const override { return names_; }
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(ExecContext* ctx, DataChunk* out, bool* eof) override;
+  void Close(ExecContext* ctx) override;
+
+  /// Bytes held by the build-side hash table (memory experiments).
+  int64_t BuildBytes() const;
+
+ private:
+  /// Normalises one key vector row into a hashable 64-bit representation.
+  static uint64_t NormalizeKey(const Vector& v, int64_t row);
+
+  Status BuildHashTable(ExecContext* ctx);
+
+  OperatorPtr probe_;
+  OperatorPtr build_;
+  std::vector<ExprPtr> probe_keys_;
+  std::vector<ExprPtr> build_keys_;
+
+  std::vector<DataType> types_;
+  std::vector<std::string> names_;
+
+  /// Materialised build side (columnar) + hash table from composite key
+  /// hash to build row indexes.
+  QueryResult build_data_;
+  std::vector<std::vector<uint64_t>> build_key_rows_;  ///< [row][key]
+  std::unordered_multimap<uint64_t, int64_t> hash_table_;
+  /// (chunk,row) locator per global build row index.
+  std::vector<std::pair<int32_t, int32_t>> build_locator_;
+  /// Hash-table bytes reported to the MemoryTracker (freed on destruction).
+  int64_t tracked_bytes_ = 0;
+
+  // Probe streaming state.
+  DataChunk probe_chunk_;
+  std::vector<Vector> probe_key_vecs_;
+  int64_t probe_row_ = 0;
+  bool probe_eof_ = false;
+  bool probe_chunk_valid_ = false;
+};
+
+/// \brief Cross join: materialises the right side and emits left x right in
+/// left-major order (order-preserving in the left input, paper §4.4).
+class CrossJoinOperator final : public Operator {
+ public:
+  CrossJoinOperator(OperatorPtr left, OperatorPtr right);
+
+  const std::vector<DataType>& output_types() const override { return types_; }
+  const std::vector<std::string>& output_names() const override { return names_; }
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(ExecContext* ctx, DataChunk* out, bool* eof) override;
+  void Close(ExecContext* ctx) override;
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<DataType> types_;
+  std::vector<std::string> names_;
+
+  QueryResult right_data_;
+  std::vector<std::pair<int32_t, int32_t>> right_locator_;
+
+  DataChunk left_chunk_;
+  int64_t left_row_ = 0;
+  int64_t right_row_ = 0;
+  bool left_eof_ = false;
+  bool left_chunk_valid_ = false;
+};
+
+/// FNV-1a style mixing of multiple 64-bit key parts.
+uint64_t HashKeyParts(const uint64_t* parts, size_t count);
+
+}  // namespace indbml::exec
+
+#endif  // INDBML_EXEC_JOIN_H_

@@ -1,0 +1,81 @@
+#include "exec/operator.h"
+
+#include "common/config.h"
+#include "common/string_util.h"
+
+namespace indbml::exec {
+
+Value QueryResult::GetValue(int64_t row, int64_t col) const {
+  for (const DataChunk& chunk : chunks) {
+    if (row < chunk.size) return chunk.column(col).GetValue(row);
+    row -= chunk.size;
+  }
+  INDBML_LOG(Fatal) << "row out of range";
+  return Value();
+}
+
+Result<int> QueryResult::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (EqualsIgnoreCase(names[i], name)) return static_cast<int>(i);
+  }
+  return Status::NotFound("result column '" + name + "' not found");
+}
+
+storage::TablePtr QueryResult::ToTable(const std::string& table_name) const {
+  std::vector<storage::Field> fields;
+  for (size_t i = 0; i < names.size(); ++i) {
+    fields.push_back({names[i], types[i]});
+  }
+  auto table = std::make_shared<storage::Table>(table_name, fields);
+  table->Reserve(num_rows);
+  for (const DataChunk& chunk : chunks) {
+    for (int64_t r = 0; r < chunk.size; ++r) {
+      std::vector<Value> row;
+      row.reserve(static_cast<size_t>(chunk.num_columns()));
+      for (int64_t c = 0; c < chunk.num_columns(); ++c) {
+        row.push_back(chunk.column(c).GetValue(r));
+      }
+      INDBML_CHECK(table->AppendRow(row).ok());
+    }
+  }
+  table->Finalize();
+  return table;
+}
+
+int64_t QueryResult::MemoryBytes() const {
+  int64_t total = 0;
+  for (const DataChunk& chunk : chunks) {
+    for (const Vector& v : chunk.columns) {
+      total += v.size() * DataTypeSize(v.type());
+    }
+  }
+  return total;
+}
+
+Result<QueryResult> DrainOperator(Operator* root, ExecContext* ctx) {
+  INDBML_RETURN_NOT_OK(root->Open(ctx));
+  QueryResult result;
+  result.names = root->output_names();
+  result.types = root->output_types();
+  bool eof = false;
+  while (!eof) {
+    DataChunk chunk;
+    chunk.Reset(result.types);
+    INDBML_RETURN_NOT_OK(root->Next(ctx, &chunk, &eof));
+    if (chunk.size > 0) {
+      result.num_rows += chunk.size;
+      result.chunks.push_back(std::move(chunk));
+    }
+  }
+  root->Close(ctx);
+  return result;
+}
+
+void AppendRowTo(const DataChunk& src, int64_t row, DataChunk* dst) {
+  for (int64_t c = 0; c < src.num_columns(); ++c) {
+    dst->column(c).Append(src.column(c).GetValue(row));
+  }
+  ++dst->size;
+}
+
+}  // namespace indbml::exec

@@ -1,0 +1,74 @@
+#ifndef INDBML_EXEC_OPERATOR_H_
+#define INDBML_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/expression.h"
+#include "exec/vector.h"
+#include "storage/table.h"
+
+namespace indbml::exec {
+
+/// Per-execution state passed down the operator tree.
+struct ExecContext {
+  storage::Catalog* catalog = nullptr;
+  /// Partition this operator-tree instance processes (paper §4.4: each
+  /// execution thread gets a private query plan over one partition).
+  int partition_id = 0;
+};
+
+/// \brief Volcano-style vectorized operator (open/next/close, paper §5.1),
+/// producing DataChunks of up to kDefaultVectorSize rows.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Output column types; stable after construction.
+  virtual const std::vector<DataType>& output_types() const = 0;
+  /// Output column names (diagnostics + result labels).
+  virtual const std::vector<std::string>& output_names() const = 0;
+
+  virtual Status Open(ExecContext* ctx) = 0;
+
+  /// Produces the next chunk into `out` (already Reset to output_types by
+  /// the caller); sets `*eof` when exhausted (out may still carry rows on
+  /// the eof call only if size > 0).
+  virtual Status Next(ExecContext* ctx, DataChunk* out, bool* eof) = 0;
+
+  virtual void Close(ExecContext* /*ctx*/) {}
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// \brief Fully materialised query output.
+struct QueryResult {
+  std::vector<std::string> names;
+  std::vector<DataType> types;
+  std::vector<DataChunk> chunks;
+  int64_t num_rows = 0;
+
+  /// Row/column random access (test convenience; O(#chunks)).
+  Value GetValue(int64_t row, int64_t col) const;
+
+  /// Index of the result column with this (case-insensitive) name.
+  Result<int> ColumnIndex(const std::string& name) const;
+
+  /// Copies the result into a catalog table.
+  storage::TablePtr ToTable(const std::string& table_name) const;
+
+  /// Total bytes across all chunks (intermediate-result accounting).
+  int64_t MemoryBytes() const;
+};
+
+/// Runs an operator tree to completion and materialises all chunks.
+Result<QueryResult> DrainOperator(Operator* root, ExecContext* ctx);
+
+/// Copies row `row` of `src` onto the end of `dst` (all columns).
+void AppendRowTo(const DataChunk& src, int64_t row, DataChunk* dst);
+
+}  // namespace indbml::exec
+
+#endif  // INDBML_EXEC_OPERATOR_H_

@@ -1,0 +1,49 @@
+#include "exec/parallel.h"
+
+#include <mutex>
+
+namespace indbml::exec {
+
+Result<QueryResult> ExecuteParallel(const OperatorFactory& factory, int num_partitions,
+                                    storage::Catalog* catalog, ThreadPool* pool) {
+  if (num_partitions <= 0) num_partitions = 1;
+  std::vector<Result<QueryResult>> partial(
+      static_cast<size_t>(num_partitions),
+      Result<QueryResult>(Status::Internal("partition not executed")));
+
+  auto run_one = [&](int p) {
+    ExecContext ctx;
+    ctx.catalog = catalog;
+    ctx.partition_id = p;
+    Result<OperatorPtr> op = factory(p);
+    if (!op.ok()) {
+      partial[static_cast<size_t>(p)] = op.status();
+      return;
+    }
+    partial[static_cast<size_t>(p)] = DrainOperator(op->get(), &ctx);
+  };
+
+  if (pool != nullptr && num_partitions > 1) {
+    pool->ParallelFor(num_partitions, run_one);
+  } else {
+    for (int p = 0; p < num_partitions; ++p) run_one(p);
+  }
+
+  QueryResult merged;
+  bool first = true;
+  for (int p = 0; p < num_partitions; ++p) {
+    Result<QueryResult>& r = partial[static_cast<size_t>(p)];
+    if (!r.ok()) return r.status();
+    QueryResult& qr = r.ValueOrDie();
+    if (first) {
+      merged.names = qr.names;
+      merged.types = qr.types;
+      first = false;
+    }
+    merged.num_rows += qr.num_rows;
+    for (auto& chunk : qr.chunks) merged.chunks.push_back(std::move(chunk));
+  }
+  return merged;
+}
+
+}  // namespace indbml::exec

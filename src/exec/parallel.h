@@ -1,0 +1,26 @@
+#ifndef INDBML_EXEC_PARALLEL_H_
+#define INDBML_EXEC_PARALLEL_H_
+
+#include <functional>
+
+#include "common/thread_pool.h"
+#include "exec/operator.h"
+
+namespace indbml::exec {
+
+/// Creates the operator-tree instance for one partition. Each execution
+/// thread gets a private plan over a contiguous partition of the fact table
+/// (paper §4.4 / §5.2); shared state (e.g. the ModelJoin's shared model)
+/// is captured inside the factory.
+using OperatorFactory = std::function<Result<OperatorPtr>(int partition)>;
+
+/// Runs `factory(p)` for p in [0, num_partitions) — on `pool` if provided,
+/// serially otherwise — and concatenates the partition results in partition
+/// order (partitions are contiguous row ranges, so concatenation preserves
+/// the global row order).
+Result<QueryResult> ExecuteParallel(const OperatorFactory& factory, int num_partitions,
+                                    storage::Catalog* catalog, ThreadPool* pool);
+
+}  // namespace indbml::exec
+
+#endif  // INDBML_EXEC_PARALLEL_H_

@@ -1,0 +1,190 @@
+#ifndef INDBML_EXEC_VECTOR_H_
+#define INDBML_EXEC_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/logging.h"
+#include "common/memory_tracker.h"
+#include "storage/types.h"
+
+namespace indbml::exec {
+
+using storage::DataType;
+using storage::Value;
+
+/// \brief One column's values for a batch of up to kDefaultVectorSize rows.
+///
+/// Vectors own their storage (operators materialise into fresh vectors);
+/// this keeps lifetimes trivial at the cost of a copy out of base-table
+/// storage during scans, which is negligible next to join/aggregate work.
+class Vector {
+ public:
+  Vector() : type_(DataType::kInt64) {}
+  explicit Vector(DataType type) : type_(type) {}
+
+  ~Vector() { AdjustTracking(0); }
+  Vector(const Vector& other)
+      : type_(other.type_),
+        size_(other.size_),
+        bools_(other.bools_),
+        ints_(other.ints_),
+        floats_(other.floats_) {
+    AdjustTracking(CapacityBytes());
+  }
+  Vector& operator=(const Vector& other) {
+    type_ = other.type_;
+    size_ = other.size_;
+    bools_ = other.bools_;
+    ints_ = other.ints_;
+    floats_ = other.floats_;
+    AdjustTracking(CapacityBytes());
+    return *this;
+  }
+  Vector(Vector&& other) noexcept
+      : type_(other.type_),
+        size_(other.size_),
+        bools_(std::move(other.bools_)),
+        ints_(std::move(other.ints_)),
+        floats_(std::move(other.floats_)),
+        tracked_(other.tracked_) {
+    other.tracked_ = 0;
+    other.size_ = 0;
+  }
+  Vector& operator=(Vector&& other) noexcept {
+    AdjustTracking(0);
+    type_ = other.type_;
+    size_ = other.size_;
+    bools_ = std::move(other.bools_);
+    ints_ = std::move(other.ints_);
+    floats_ = std::move(other.floats_);
+    tracked_ = other.tracked_;
+    other.tracked_ = 0;
+    other.size_ = 0;
+    return *this;
+  }
+
+  DataType type() const { return type_; }
+  int64_t size() const { return size_; }
+
+  void Resize(int64_t n) {
+    size_ = n;
+    switch (type_) {
+      case DataType::kBool:
+        bools_.resize(static_cast<size_t>(n));
+        break;
+      case DataType::kInt64:
+        ints_.resize(static_cast<size_t>(n));
+        break;
+      case DataType::kFloat:
+        floats_.resize(static_cast<size_t>(n));
+        break;
+    }
+    AdjustTracking(CapacityBytes());
+  }
+
+  void Clear() {
+    size_ = 0;
+    bools_.clear();
+    ints_.clear();
+    floats_.clear();
+    AdjustTracking(CapacityBytes());
+  }
+
+  uint8_t* bools() { return bools_.data(); }
+  const uint8_t* bools() const { return bools_.data(); }
+  int64_t* ints() { return ints_.data(); }
+  const int64_t* ints() const { return ints_.data(); }
+  float* floats() { return floats_.data(); }
+  const float* floats() const { return floats_.data(); }
+
+  Value GetValue(int64_t row) const {
+    switch (type_) {
+      case DataType::kBool:
+        return Value::Bool(bools_[static_cast<size_t>(row)] != 0);
+      case DataType::kInt64:
+        return Value::Int64(ints_[static_cast<size_t>(row)]);
+      case DataType::kFloat:
+        return Value::Float(floats_[static_cast<size_t>(row)]);
+    }
+    return Value();
+  }
+
+  /// Stores `v` at `row`, coercing numerically if the value's type differs
+  /// from the vector's type (used by CASE branches and casts).
+  void SetValue(int64_t row, const Value& v) {
+    switch (type_) {
+      case DataType::kBool:
+        bools_[static_cast<size_t>(row)] =
+            (v.type == DataType::kBool ? v.b : v.AsDouble() != 0) ? 1 : 0;
+        break;
+      case DataType::kInt64:
+        ints_[static_cast<size_t>(row)] =
+            v.type == DataType::kInt64 ? v.i : static_cast<int64_t>(v.AsDouble());
+        break;
+      case DataType::kFloat:
+        floats_[static_cast<size_t>(row)] =
+            v.type == DataType::kFloat ? v.f : static_cast<float>(v.AsDouble());
+        break;
+    }
+  }
+
+  void Append(const Value& v) {
+    Resize(size_ + 1);
+    SetValue(size_ - 1, v);
+  }
+
+ private:
+  /// Buffer bytes currently held (capacity, not size).
+  int64_t CapacityBytes() const {
+    return static_cast<int64_t>(bools_.capacity() + ints_.capacity() * 8 +
+                                floats_.capacity() * 4);
+  }
+
+  /// Keeps the global MemoryTracker in sync with this vector's buffers so
+  /// materialised intermediate results show up in the Table-3 peak-memory
+  /// experiment.
+  void AdjustTracking(int64_t now) {
+    if (now != tracked_) {
+      MemoryTracker::Global().Allocate(now - tracked_);
+      tracked_ = now;
+    }
+  }
+
+  DataType type_;
+  int64_t size_ = 0;
+  std::vector<uint8_t> bools_;
+  std::vector<int64_t> ints_;
+  std::vector<float> floats_;
+  int64_t tracked_ = 0;
+};
+
+/// \brief A batch of rows in columnar layout: the unit of data flow between
+/// operators (x100-style vectorized execution).
+struct DataChunk {
+  std::vector<Vector> columns;
+  int64_t size = 0;
+
+  void Reset(const std::vector<DataType>& types) {
+    columns.clear();
+    columns.reserve(types.size());
+    for (DataType t : types) columns.emplace_back(t);
+    size = 0;
+  }
+
+  int64_t num_columns() const { return static_cast<int64_t>(columns.size()); }
+
+  Vector& column(int64_t i) { return columns[static_cast<size_t>(i)]; }
+  const Vector& column(int64_t i) const { return columns[static_cast<size_t>(i)]; }
+
+  /// Sets every column's size to `n` (after writing data directly).
+  void SetCardinality(int64_t n) {
+    size = n;
+    for (auto& c : columns) c.Resize(n);
+  }
+};
+
+}  // namespace indbml::exec
+
+#endif  // INDBML_EXEC_VECTOR_H_

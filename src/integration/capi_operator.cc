@@ -1,0 +1,102 @@
+#include "integration/capi_operator.h"
+
+#include "common/config.h"
+#include "mlruntime/trt_c_api.h"
+
+namespace indbml::integration {
+
+CApiInferenceOperator::CApiInferenceOperator(
+    exec::OperatorPtr child, std::shared_ptr<const std::vector<uint8_t>> model_bytes,
+    std::string device, std::vector<int> input_columns,
+    std::vector<std::string> prediction_names)
+    : child_(std::move(child)),
+      model_bytes_(std::move(model_bytes)),
+      device_(std::move(device)),
+      input_columns_(std::move(input_columns)) {
+  types_ = child_->output_types();
+  names_ = child_->output_names();
+  for (auto& name : prediction_names) {
+    types_.push_back(exec::DataType::kFloat);
+    names_.push_back(std::move(name));
+  }
+}
+
+CApiInferenceOperator::~CApiInferenceOperator() {
+  if (session_ != nullptr) trt_session_destroy(session_);
+}
+
+Status CApiInferenceOperator::Open(exec::ExecContext* ctx) {
+  INDBML_RETURN_NOT_OK(child_->Open(ctx));
+  if (session_ == nullptr) {
+    trt_status status = trt_session_create_from_buffer(
+        model_bytes_->data(), model_bytes_->size(), device_.c_str(), &session_);
+    if (status != TRT_OK) {
+      return Status::ExecutionError(std::string("runtime session creation failed: ") +
+                                    trt_last_error());
+    }
+  }
+  if (trt_session_input_width(session_) !=
+      static_cast<int64_t>(input_columns_.size())) {
+    return Status::InvalidArgument("input column count does not match the model");
+  }
+  return Status::OK();
+}
+
+Status CApiInferenceOperator::Next(exec::ExecContext* ctx, exec::DataChunk* out,
+                                   bool* eof) {
+  exec::DataChunk in;
+  in.Reset(child_->output_types());
+  INDBML_RETURN_NOT_OK(child_->Next(ctx, &in, eof));
+  const int64_t n = in.size;
+  if (n == 0) return Status::OK();
+  const int64_t in_width = static_cast<int64_t>(input_columns_.size());
+  const int64_t out_dim = trt_session_output_dim(session_);
+
+  // Columnar -> row-major conversion (strided writes; §6.1).
+  row_major_input_.resize(static_cast<size_t>(n * in_width));
+  for (int64_t c = 0; c < in_width; ++c) {
+    const exec::Vector& col = in.column(input_columns_[static_cast<size_t>(c)]);
+    if (col.type() == exec::DataType::kFloat) {
+      const float* data = col.floats();
+      for (int64_t r = 0; r < n; ++r) {
+        row_major_input_[static_cast<size_t>(r * in_width + c)] = data[r];
+      }
+    } else {
+      for (int64_t r = 0; r < n; ++r) {
+        row_major_input_[static_cast<size_t>(r * in_width + c)] =
+            static_cast<float>(col.GetValue(r).AsDouble());
+      }
+    }
+  }
+
+  row_major_output_.resize(static_cast<size_t>(n * out_dim));
+  if (trt_session_run(session_, row_major_input_.data(), n,
+                      row_major_output_.data()) != TRT_OK) {
+    return Status::ExecutionError(std::string("runtime inference failed: ") +
+                                  trt_last_error());
+  }
+
+  // Pass-through columns, then row-major -> columnar results.
+  const int64_t child_width = in.num_columns();
+  for (int64_t c = 0; c < child_width; ++c) {
+    out->column(c) = std::move(in.column(c));
+  }
+  for (int64_t p = 0; p < out_dim; ++p) {
+    exec::Vector& col = out->column(child_width + p);
+    col.Resize(n);
+    float* dst = col.floats();
+    for (int64_t r = 0; r < n; ++r) {
+      dst[r] = row_major_output_[static_cast<size_t>(r * out_dim + p)];
+    }
+  }
+  out->size = n;
+  return Status::OK();
+}
+
+void CApiInferenceOperator::Close(exec::ExecContext* ctx) { child_->Close(ctx); }
+
+int64_t CApiInferenceOperator::SessionMemoryBytes() const {
+  return session_ != nullptr ? trt_session_memory_bytes(session_) : 0;
+}
+
+}  // namespace indbml::integration

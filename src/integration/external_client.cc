@@ -1,0 +1,257 @@
+#include "integration/external_client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+
+#include "common/string_util.h"
+#include "mlruntime/runtime.h"
+
+namespace indbml::integration {
+
+namespace {
+
+/// Buffered writer over a socket fd (ODBC-style network buffer).
+class WireWriter {
+ public:
+  explicit WireWriter(int fd) : fd_(fd) { buffer_.reserve(kBufferSize); }
+
+  bool Write(const void* data, size_t size) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    while (size > 0) {
+      size_t space = kBufferSize - buffer_.size();
+      size_t take = std::min(space, size);
+      buffer_.insert(buffer_.end(), p, p + take);
+      p += take;
+      size -= take;
+      if (buffer_.size() == kBufferSize && !Flush()) return false;
+    }
+    bytes_written_ += static_cast<int64_t>(p - static_cast<const uint8_t*>(data));
+    return true;
+  }
+
+  bool Flush() {
+    size_t offset = 0;
+    while (offset < buffer_.size()) {
+      ssize_t n = ::write(fd_, buffer_.data() + offset, buffer_.size() - offset);
+      if (n <= 0) return false;
+      offset += static_cast<size_t>(n);
+    }
+    buffer_.clear();
+    return true;
+  }
+
+  int64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  static constexpr size_t kBufferSize = 8192;
+  int fd_;
+  std::vector<uint8_t> buffer_;
+  int64_t bytes_written_ = 0;
+};
+
+bool ReadFully(int fd, void* data, size_t size) {
+  uint8_t* p = static_cast<uint8_t*>(data);
+  while (size > 0) {
+    ssize_t n = ::read(fd, p, size);
+    if (n <= 0) return false;
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// One deserialised client-side record (a Python row object).
+struct ClientRow {
+  int64_t id;
+  std::vector<float> features;
+};
+
+}  // namespace
+
+Result<exec::QueryResult> RunExternalInference(
+    sql::QueryEngine* engine, const std::string& fact_table,
+    const std::string& id_column, const std::vector<std::string>& input_columns,
+    const nn::Model& model, const std::string& device, TransferStats* stats) {
+  const int64_t in_width = static_cast<int64_t>(input_columns.size());
+  if (in_width != model.input_width()) {
+    return Status::InvalidArgument("input columns do not match the model");
+  }
+
+  int fds[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::IOError("socketpair failed");
+  }
+  int server_fd = fds[0];
+  int client_fd = fds[1];
+
+  // ---- Client thread: the "Python" side. ----
+  struct ClientResult {
+    Status status = Status::OK();
+    int64_t peak_bytes = 0;
+    int64_t bytes_back = 0;
+  };
+  ClientResult client_result;
+  const nn::Model* model_ptr = &model;
+  std::thread client([&client_result, client_fd, in_width, model_ptr, device]() {
+    auto fail = [&](const std::string& msg) {
+      client_result.status = Status::IOError(msg);
+      ::close(client_fd);
+    };
+    // Fetch loop: cursor-style rows until the row-count terminator.
+    std::vector<ClientRow> rows;
+    for (;;) {
+      int64_t id;
+      if (!ReadFully(client_fd, &id, sizeof(id))) return fail("client read failed");
+      if (id == -1) break;  // end of result set
+      ClientRow row;
+      row.id = id;
+      row.features.resize(static_cast<size_t>(in_width));
+      if (!ReadFully(client_fd, row.features.data(),
+                     row.features.size() * sizeof(float))) {
+        return fail("client read failed");
+      }
+      rows.push_back(std::move(row));
+    }
+    client_result.peak_bytes = static_cast<int64_t>(
+        rows.size() * (sizeof(ClientRow) + static_cast<size_t>(in_width) * 4));
+
+    // Repack the row objects into a dense tensor (np.asarray).
+    const int64_t n = static_cast<int64_t>(rows.size());
+    std::vector<float> dense(static_cast<size_t>(n * in_width));
+    for (int64_t r = 0; r < n; ++r) {
+      std::memcpy(&dense[static_cast<size_t>(r * in_width)],
+                  rows[static_cast<size_t>(r)].features.data(),
+                  static_cast<size_t>(in_width) * sizeof(float));
+    }
+    client_result.peak_bytes += static_cast<int64_t>(dense.size() * 4);
+
+    auto session = mlruntime::Session::Create(*model_ptr, device);
+    if (!session.ok()) {
+      client_result.status = session.status();
+      ::close(client_fd);
+      return;
+    }
+    const int64_t out_dim = (*session)->output_dim();
+    std::vector<float> predictions(static_cast<size_t>(n * out_dim));
+    Status run = (*session)->Run(dense.data(), n, predictions.data());
+    if (!run.ok()) {
+      client_result.status = run;
+      ::close(client_fd);
+      return;
+    }
+    client_result.peak_bytes +=
+        static_cast<int64_t>(predictions.size() * 4) + (*session)->MemoryBytes();
+
+    // Stream (id, prediction...) back.
+    WireWriter writer(client_fd);
+    for (int64_t r = 0; r < n; ++r) {
+      writer.Write(&rows[static_cast<size_t>(r)].id, sizeof(int64_t));
+      writer.Write(&predictions[static_cast<size_t>(r * out_dim)],
+                   static_cast<size_t>(out_dim) * sizeof(float));
+      client_result.bytes_back +=
+          static_cast<int64_t>(sizeof(int64_t) + static_cast<size_t>(out_dim) * 4);
+    }
+    int64_t terminator = -1;
+    writer.Write(&terminator, sizeof(terminator));
+    writer.Flush();
+    ::close(client_fd);
+  });
+
+  // ---- Server side: run the query and ship the rows. ----
+  auto cleanup_fail = [&](Status status) -> Status {
+    ::close(server_fd);
+    client.join();
+    return status;
+  };
+
+  std::string sql = "SELECT " + id_column;
+  for (const std::string& c : input_columns) sql += ", " + c;
+  sql += " FROM " + fact_table;
+  auto query = engine->ExecuteQuery(sql);
+  if (!query.ok()) return cleanup_fail(query.status());
+
+  int64_t bytes_out = 0;
+  {
+    WireWriter writer(server_fd);
+    for (const exec::DataChunk& chunk : query->chunks) {
+      for (int64_t r = 0; r < chunk.size; ++r) {
+        int64_t id = chunk.column(0).ints()[r];
+        writer.Write(&id, sizeof(id));
+        // Row-wise serialisation: gather the feature columns per tuple.
+        for (int64_t c = 1; c <= in_width; ++c) {
+          float v = chunk.column(c).floats()[r];
+          writer.Write(&v, sizeof(v));
+        }
+        bytes_out += static_cast<int64_t>(sizeof(int64_t)) + in_width * 4;
+      }
+    }
+    int64_t terminator = -1;
+    writer.Write(&terminator, sizeof(terminator));
+    if (!writer.Flush()) return cleanup_fail(Status::IOError("server write failed"));
+  }
+
+  // Collect the predictions coming back.
+  exec::QueryResult result;
+  result.names = {"id", "prediction"};
+  result.types = {exec::DataType::kInt64, exec::DataType::kFloat};
+  const int64_t out_dim = model.output_dim();
+  if (out_dim != 1) {
+    result.names.clear();
+    result.types.clear();
+    result.names.push_back("id");
+    result.types.push_back(exec::DataType::kInt64);
+    for (int64_t p = 0; p < out_dim; ++p) {
+      result.names.push_back(StrFormat("prediction_%lld", static_cast<long long>(p)));
+      result.types.push_back(exec::DataType::kFloat);
+    }
+  }
+  exec::DataChunk chunk;
+  chunk.Reset(result.types);
+  int64_t bytes_in = 0;
+  for (;;) {
+    int64_t id;
+    if (!ReadFully(server_fd, &id, sizeof(id))) {
+      return cleanup_fail(Status::IOError("server read failed"));
+    }
+    if (id == -1) break;
+    std::vector<float> preds(static_cast<size_t>(out_dim));
+    if (!ReadFully(server_fd, preds.data(), preds.size() * sizeof(float))) {
+      return cleanup_fail(Status::IOError("server read failed"));
+    }
+    bytes_in += static_cast<int64_t>(sizeof(int64_t) + preds.size() * 4);
+    chunk.column(0).Append(exec::Value::Int64(id));
+    for (int64_t p = 0; p < out_dim; ++p) {
+      chunk.column(1 + p).Append(exec::Value::Float(preds[static_cast<size_t>(p)]));
+    }
+    ++chunk.size;
+    if (chunk.size >= 1024) {
+      result.num_rows += chunk.size;
+      result.chunks.push_back(std::move(chunk));
+      chunk = exec::DataChunk();
+      chunk.Reset(result.types);
+    }
+  }
+  if (chunk.size > 0) {
+    result.num_rows += chunk.size;
+    result.chunks.push_back(std::move(chunk));
+  }
+  ::close(server_fd);
+  client.join();
+  if (!client_result.status.ok()) return client_result.status;
+
+  if (stats != nullptr) {
+    stats->bytes_to_client = bytes_out;
+    stats->bytes_to_server = bytes_in;
+    stats->rows = result.num_rows;
+    stats->client_peak_bytes = client_result.peak_bytes;
+    // Rows cross the driver boundary twice (fetch + result upload).
+    stats->modeled_overhead_seconds =
+        2.0 * static_cast<double>(result.num_rows) * kOdbcPerRowSeconds;
+  }
+  return result;
+}
+
+}  // namespace indbml::integration

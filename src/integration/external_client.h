@@ -1,0 +1,51 @@
+#ifndef INDBML_INTEGRATION_EXTERNAL_CLIENT_H_
+#define INDBML_INTEGRATION_EXTERNAL_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "nn/model.h"
+#include "sql/query_engine.h"
+
+namespace indbml::integration {
+
+/// Transfer accounting of one external-inference run.
+struct TransferStats {
+  int64_t bytes_to_client = 0;
+  int64_t bytes_to_server = 0;
+  int64_t rows = 0;
+  /// Peak bytes of client-side row materialisation (Table 3: the external
+  /// Python environment's memory).
+  int64_t client_peak_bytes = 0;
+  /// Deterministic ODBC/Python cost model: per-row driver fetch + Python
+  /// row-object construction that the C++ client cannot exhibit natively
+  /// (DESIGN.md §2). Added to the approach's reported time.
+  double modeled_overhead_seconds = 0;
+};
+
+/// Calibrated ODBC + Python per-row cost (driver fetch loop, tuple boxing).
+inline constexpr double kOdbcPerRowSeconds = 2e-6;
+
+/// \brief The move-data-out baseline (paper class "TF (Python)"):
+///
+/// 1. the engine runs `SELECT id, <input columns> FROM fact`,
+/// 2. the result is serialised row-by-row through an ODBC-like wire format
+///    over a real socketpair,
+/// 3. a client thread deserialises into per-row records, re-packs them into
+///    a dense tensor, runs tensorrt_lite on `device`,
+/// 4. predictions stream back over the socket and are materialised as the
+///    result (id, prediction).
+///
+/// All four costs the paper attributes to this approach are real here:
+/// engine read, wire serialisation + transfer, client conversion, and the
+/// inability to continue query processing inside the engine.
+Result<exec::QueryResult> RunExternalInference(
+    sql::QueryEngine* engine, const std::string& fact_table,
+    const std::string& id_column, const std::vector<std::string>& input_columns,
+    const nn::Model& model, const std::string& device,
+    TransferStats* stats = nullptr);
+
+}  // namespace indbml::integration
+
+#endif  // INDBML_INTEGRATION_EXTERNAL_CLIENT_H_

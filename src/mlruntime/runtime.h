@@ -1,0 +1,54 @@
+#ifndef INDBML_MLRUNTIME_RUNTIME_H_
+#define INDBML_MLRUNTIME_RUNTIME_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "device/device.h"
+#include "nn/model.h"
+
+namespace indbml::mlruntime {
+
+/// \brief `tensorrt_lite` — the standalone ML runtime standing in for
+/// Tensorflow in the paper's evaluation (see DESIGN.md §2).
+///
+/// Deliberately foreign to the database engine: its batch interface is
+/// ROW-MAJOR `[n x input_width]`, so integrating it from a columnar engine
+/// pays the layout conversion the paper measures for the C-API approach
+/// (§6.1: "moving data from a columnar format into a row-major matrix, and
+/// results back to columnar layout").
+class Session {
+ public:
+  /// Compiles a model for the given device ("cpu" or "gpu"/"simgpu").
+  /// `device` may be null to use the process-default devices.
+  static Result<std::unique_ptr<Session>> Create(const nn::Model& model,
+                                                 const std::string& device_name,
+                                                 device::Device* device = nullptr);
+
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  int64_t input_width() const;
+  int64_t output_dim() const;
+  device::Device* device() const;
+
+  /// Runs batch inference: `input` is row-major [n x input_width],
+  /// `output` receives row-major [n x output_dim]. Thread-compatible
+  /// (sessions hold scratch buffers; use one session per thread).
+  Status Run(const float* input, int64_t n, float* output);
+
+  /// Device memory held by weights + scratch (Table 3 accounting).
+  int64_t MemoryBytes() const;
+
+ private:
+  Session();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace indbml::mlruntime
+
+#endif  // INDBML_MLRUNTIME_RUNTIME_H_

@@ -1,0 +1,83 @@
+#include "mlruntime/trt_c_api.h"
+
+#include <string>
+
+#include "mlruntime/runtime.h"
+#include "nn/model.h"
+
+namespace {
+
+thread_local std::string g_last_error;
+
+trt_status Fail(trt_status code, const std::string& message) {
+  g_last_error = message;
+  return code;
+}
+
+}  // namespace
+
+/// Opaque handle wrapping a C++ session.
+struct trt_session {
+  std::unique_ptr<indbml::mlruntime::Session> session;
+};
+
+extern "C" {
+
+trt_status trt_session_create(const char* model_path, const char* device,
+                              trt_session** out) {
+  if (model_path == nullptr || out == nullptr) {
+    return Fail(TRT_INVALID_ARGUMENT, "null argument");
+  }
+  auto model = indbml::nn::Model::LoadFromFile(model_path);
+  if (!model.ok()) return Fail(TRT_RUNTIME_ERROR, model.status().ToString());
+  auto session = indbml::mlruntime::Session::Create(
+      *model, device != nullptr ? device : "cpu");
+  if (!session.ok()) return Fail(TRT_RUNTIME_ERROR, session.status().ToString());
+  *out = new trt_session{std::move(session).ValueOrDie()};
+  g_last_error.clear();
+  return TRT_OK;
+}
+
+trt_status trt_session_create_from_buffer(const void* data, size_t size,
+                                          const char* device, trt_session** out) {
+  if (data == nullptr || out == nullptr) {
+    return Fail(TRT_INVALID_ARGUMENT, "null argument");
+  }
+  auto model = indbml::nn::Model::LoadFromBytes(
+      static_cast<const uint8_t*>(data), size);
+  if (!model.ok()) return Fail(TRT_RUNTIME_ERROR, model.status().ToString());
+  auto session = indbml::mlruntime::Session::Create(
+      *model, device != nullptr ? device : "cpu");
+  if (!session.ok()) return Fail(TRT_RUNTIME_ERROR, session.status().ToString());
+  *out = new trt_session{std::move(session).ValueOrDie()};
+  g_last_error.clear();
+  return TRT_OK;
+}
+
+trt_status trt_session_run(trt_session* session, const float* input, int64_t n,
+                           float* output) {
+  if (session == nullptr || input == nullptr || output == nullptr) {
+    return Fail(TRT_INVALID_ARGUMENT, "null argument");
+  }
+  indbml::Status status = session->session->Run(input, n, output);
+  if (!status.ok()) return Fail(TRT_RUNTIME_ERROR, status.ToString());
+  return TRT_OK;
+}
+
+int64_t trt_session_input_width(const trt_session* session) {
+  return session != nullptr ? session->session->input_width() : -1;
+}
+
+int64_t trt_session_output_dim(const trt_session* session) {
+  return session != nullptr ? session->session->output_dim() : -1;
+}
+
+int64_t trt_session_memory_bytes(const trt_session* session) {
+  return session != nullptr ? session->session->MemoryBytes() : 0;
+}
+
+void trt_session_destroy(trt_session* session) { delete session; }
+
+const char* trt_last_error(void) { return g_last_error.c_str(); }
+
+}  // extern "C"

@@ -1,0 +1,56 @@
+#ifndef INDBML_MLRUNTIME_TRT_C_API_H_
+#define INDBML_MLRUNTIME_TRT_C_API_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+/// \file C API of the tensorrt_lite runtime.
+///
+/// This is the integration surface the Raven-like approach uses from inside
+/// the database engine (paper class 2: "Native APIs of ML runtimes") —
+/// deliberately shaped like the Tensorflow/ONNXRuntime C APIs: opaque
+/// session handles, status codes, row-major float batches, and a
+/// thread-local error string.
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct trt_session trt_session;
+
+typedef enum trt_status {
+  TRT_OK = 0,
+  TRT_INVALID_ARGUMENT = 1,
+  TRT_RUNTIME_ERROR = 2,
+} trt_status;
+
+/// Creates a session from a serialized model file (nn::Model format).
+/// `device` is "cpu" or "gpu". On success `*out` owns the session.
+trt_status trt_session_create(const char* model_path, const char* device,
+                              trt_session** out);
+
+/// Creates a session from an in-memory serialized model.
+trt_status trt_session_create_from_buffer(const void* data, size_t size,
+                                          const char* device, trt_session** out);
+
+/// Batch inference: `input` is row-major [n x input_width], `output` must
+/// hold n * output_dim floats.
+trt_status trt_session_run(trt_session* session, const float* input, int64_t n,
+                           float* output);
+
+int64_t trt_session_input_width(const trt_session* session);
+int64_t trt_session_output_dim(const trt_session* session);
+
+/// Bytes of runtime memory held by the session (weights + scratch).
+int64_t trt_session_memory_bytes(const trt_session* session);
+
+void trt_session_destroy(trt_session* session);
+
+/// Message of the last failing call on this thread ("" if none).
+const char* trt_last_error(void);
+
+#ifdef __cplusplus
+}  // extern "C"
+#endif
+
+#endif  // INDBML_MLRUNTIME_TRT_C_API_H_

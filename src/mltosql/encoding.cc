@@ -1,0 +1,70 @@
+#include "mltosql/encoding.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace indbml::mltosql {
+
+Result<std::vector<ColumnRange>> ComputeRanges(
+    const storage::Table& table, const std::vector<std::string>& columns) {
+  if (!table.finalized()) {
+    return Status::InvalidArgument("table must be finalized for range statistics");
+  }
+  std::vector<ColumnRange> ranges;
+  for (const std::string& name : columns) {
+    INDBML_ASSIGN_OR_RETURN(int col, table.ColumnIndex(name));
+    ColumnRange range;
+    range.column = name;
+    const auto& stats = table.block_stats(col);
+    if (stats.empty()) {
+      return Status::InvalidArgument("table has no rows");
+    }
+    range.min = stats[0].min.AsDouble();
+    range.max = stats[0].max.AsDouble();
+    for (const auto& block : stats) {
+      range.min = std::min(range.min, block.min.AsDouble());
+      range.max = std::max(range.max, block.max.AsDouble());
+    }
+    ranges.push_back(range);
+  }
+  return ranges;
+}
+
+Result<std::string> GenerateMinMaxEncodingSql(
+    const storage::Table& table, const std::string& id_column,
+    const std::vector<std::string>& columns,
+    const std::vector<std::string>& passthrough) {
+  INDBML_ASSIGN_OR_RETURN(auto ranges, ComputeRanges(table, columns));
+  std::string sql = "SELECT " + id_column + " AS " + id_column;
+  for (const ColumnRange& r : ranges) {
+    double span = r.max - r.min;
+    if (span == 0) {
+      sql += StrFormat(", 0.0 AS %s", r.column.c_str());
+    } else {
+      sql += StrFormat(", (%s - %.9g) / %.9g AS %s", r.column.c_str(), r.min, span,
+                       r.column.c_str());
+    }
+  }
+  for (const std::string& p : passthrough) {
+    sql += StrFormat(", %s AS %s", p.c_str(), p.c_str());
+  }
+  sql += " FROM " + table.name();
+  return sql;
+}
+
+std::string GenerateOneHotEncodingSql(const std::string& table,
+                                      const std::string& id_column,
+                                      const std::string& column,
+                                      const std::vector<int64_t>& values) {
+  std::string sql = "SELECT " + id_column + " AS " + id_column;
+  for (int64_t v : values) {
+    sql += StrFormat(", CASE WHEN %s = %lld THEN 1.0 ELSE 0.0 END AS %s_%lld",
+                     column.c_str(), static_cast<long long>(v), column.c_str(),
+                     static_cast<long long>(v));
+  }
+  sql += " FROM " + table;
+  return sql;
+}
+
+}  // namespace indbml::mltosql

@@ -1,0 +1,48 @@
+#ifndef INDBML_MLTOSQL_ENCODING_H_
+#define INDBML_MLTOSQL_ENCODING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/query_engine.h"
+
+namespace indbml::mltosql {
+
+/// \file Data-encoding SQL generation.
+///
+/// The paper waives encoding "as basic approaches like Min-Max-Encoding or
+/// One-Hot-Encoding can be implemented in SQL in a straight-forward way"
+/// (§4). These helpers generate that straightforward SQL so an inference
+/// pipeline can normalise features in-database before the ModelJoin.
+
+/// One column's min/max statistics (from the table's zone maps).
+struct ColumnRange {
+  std::string column;
+  double min = 0;
+  double max = 0;
+};
+
+/// Reads min/max of the given float columns from the table's block
+/// statistics (no scan needed).
+Result<std::vector<ColumnRange>> ComputeRanges(
+    const storage::Table& table, const std::vector<std::string>& columns);
+
+/// Generates `SELECT id, (c - min) / (max - min) AS c, ... FROM t`
+/// min-max-normalising the given columns; `passthrough` columns are copied
+/// unchanged. Constant columns map to 0.
+Result<std::string> GenerateMinMaxEncodingSql(
+    const storage::Table& table, const std::string& id_column,
+    const std::vector<std::string>& columns,
+    const std::vector<std::string>& passthrough = {});
+
+/// Generates `SELECT id, CASE WHEN c = v1 THEN 1.0 ELSE 0.0 END AS c_v1,
+/// ... FROM t` one-hot-encoding an integer column over the given values.
+std::string GenerateOneHotEncodingSql(const std::string& table,
+                                      const std::string& id_column,
+                                      const std::string& column,
+                                      const std::vector<int64_t>& values);
+
+}  // namespace indbml::mltosql
+
+#endif  // INDBML_MLTOSQL_ENCODING_H_

@@ -1,0 +1,581 @@
+#include "mltosql/mltosql.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace indbml::mltosql {
+
+using nn::Activation;
+using nn::LayerKind;
+using storage::DataType;
+using storage::Field;
+using storage::Value;
+
+namespace {
+
+/// Names of the 12 weight columns (§4.1): kernel, recurrent kernel and bias
+/// weights for the four LSTM gates; dense layers only use w_i / b_i.
+const char* kWeightColumns[12] = {"w_i", "w_f", "w_c", "w_o", "u_i", "u_f",
+                                  "u_c", "u_o", "b_i", "b_f", "b_c", "b_o"};
+
+/// A model-table row under construction: identifiers + 12 weights.
+struct EdgeRow {
+  int64_t layer_in = -1;
+  int64_t node_in = -1;
+  int64_t layer = -1;
+  int64_t node = -1;
+  float w[12] = {0};
+};
+
+std::string FormatFloat(float v) {
+  // Shortest representation that round-trips float32.
+  return StrFormat("%.9g", static_cast<double>(v));
+}
+
+}  // namespace
+
+MlToSql::MlToSql(const nn::Model* model, std::string model_table_name,
+                 MlToSqlOptions options)
+    : model_(model), table_name_(std::move(model_table_name)), options_(options) {}
+
+std::vector<MlToSql::LayerLayout> MlToSql::ComputeLayout() const {
+  std::vector<LayerLayout> layouts;
+  const bool has_input_nodes =
+      model_->layers().empty() || model_->layers()[0].kind == LayerKind::kDense;
+  int64_t next_node = has_input_nodes ? model_->input_width() : 0;
+  int64_t graph_layer = 1;
+  for (const auto& layer : model_->layers()) {
+    LayerLayout layout;
+    layout.kind = layer.kind;
+    layout.graph_layer = graph_layer++;
+    layout.first_node = next_node;
+    layout.units = layer.units();
+    next_node += layout.units;
+    layouts.push_back(layout);
+  }
+  return layouts;
+}
+
+Result<storage::TablePtr> MlToSql::BuildModelTable() const {
+  std::vector<LayerLayout> layouts = ComputeLayout();
+  std::vector<EdgeRow> rows;
+
+  const bool dense_input =
+      !model_->layers().empty() && model_->layers()[0].kind == LayerKind::kDense;
+  if (dense_input) {
+    // Artificial input node (-1) -> one input node per input column, each
+    // edge with weight W_i = 1 (§4.3.1).
+    for (int64_t i = 0; i < model_->input_width(); ++i) {
+      EdgeRow row;
+      row.layer_in = -1;
+      row.node_in = -1;
+      row.layer = 0;
+      row.node = options_.unique_node_ids ? i : i;
+      row.w[0] = 1.0f;
+      rows.push_back(row);
+    }
+  }
+
+  for (size_t li = 0; li < model_->layers().size(); ++li) {
+    const nn::Layer& layer = model_->layers()[li];
+    const LayerLayout& layout = layouts[li];
+    // Unique id of node `a` in the previous graph layer.
+    int64_t prev_first = li == 0 ? 0 : layouts[li - 1].first_node;
+    int64_t prev_layer = layout.graph_layer - 1;
+
+    if (layer.kind == LayerKind::kDense) {
+      const nn::DenseLayer& dense = layer.dense;
+      for (int64_t a = 0; a < dense.input_dim; ++a) {
+        for (int64_t b = 0; b < dense.units; ++b) {
+          EdgeRow row;
+          row.layer_in = prev_layer;
+          row.layer = layout.graph_layer;
+          if (options_.unique_node_ids) {
+            row.node_in = prev_first + a;
+            row.node = layout.first_node + b;
+          } else {
+            row.node_in = a;
+            row.node = b;
+          }
+          row.w[0] = dense.kernel.At(a, b);  // w_i
+          row.w[8] = dense.bias[b];          // b_i
+          rows.push_back(row);
+        }
+      }
+    } else if (layer.kind == LayerKind::kGru) {
+      // GRU gates occupy the i/f/c weight slots (update, reset, candidate).
+      const nn::GruLayer& gru = layer.gru;
+      for (int64_t a = 0; a < gru.input_dim; ++a) {
+        for (int64_t b = 0; b < gru.units; ++b) {
+          EdgeRow row;
+          row.layer_in = -1;
+          row.node_in = -1;
+          row.layer = layout.graph_layer;
+          row.node = options_.unique_node_ids ? layout.first_node + b : b;
+          for (int g = 0; g < nn::kNumGruGates; ++g) {
+            row.w[g] = gru.kernel[g].At(a, b);
+            row.w[8 + g] = gru.bias[g][b];
+          }
+          rows.push_back(row);
+        }
+      }
+      for (int64_t j = 0; j < gru.units; ++j) {
+        for (int64_t k = 0; k < gru.units; ++k) {
+          EdgeRow row;
+          row.layer_in = layout.graph_layer;
+          row.layer = layout.graph_layer;
+          if (options_.unique_node_ids) {
+            row.node_in = layout.first_node + j;
+            row.node = layout.first_node + k;
+          } else {
+            row.node_in = j;
+            row.node = k;
+          }
+          for (int g = 0; g < nn::kNumGruGates; ++g) {
+            row.w[4 + g] = gru.recurrent[g].At(j, k);
+          }
+          rows.push_back(row);
+        }
+      }
+    } else {
+      const nn::LstmLayer& lstm = layer.lstm;
+      // Kernel edges: artificial input (-1) -> unit, one row per
+      // (feature, unit); biases ride on the kernel edges.
+      for (int64_t a = 0; a < lstm.input_dim; ++a) {
+        for (int64_t b = 0; b < lstm.units; ++b) {
+          EdgeRow row;
+          row.layer_in = -1;
+          row.node_in = -1;
+          row.layer = layout.graph_layer;
+          row.node = options_.unique_node_ids ? layout.first_node + b : b;
+          for (int g = 0; g < nn::kNumGates; ++g) {
+            row.w[g] = lstm.kernel[g].At(a, b);
+            row.w[8 + g] = lstm.bias[g][b];
+          }
+          rows.push_back(row);
+        }
+      }
+      // Recurrent kernel edges: unit j -> unit k (stored once although the
+      // computation replays them per time step, §4.3.3).
+      for (int64_t j = 0; j < lstm.units; ++j) {
+        for (int64_t k = 0; k < lstm.units; ++k) {
+          EdgeRow row;
+          row.layer_in = layout.graph_layer;
+          row.layer = layout.graph_layer;
+          if (options_.unique_node_ids) {
+            row.node_in = layout.first_node + j;
+            row.node = layout.first_node + k;
+          } else {
+            row.node_in = j;
+            row.node = k;
+          }
+          for (int g = 0; g < nn::kNumGates; ++g) {
+            row.w[4 + g] = lstm.recurrent[g].At(j, k);
+          }
+          rows.push_back(row);
+        }
+      }
+    }
+  }
+
+  if (options_.sorted_model_table) {
+    std::sort(rows.begin(), rows.end(), [](const EdgeRow& a, const EdgeRow& b) {
+      if (a.layer != b.layer) return a.layer < b.layer;
+      if (a.node != b.node) return a.node < b.node;
+      return a.node_in < b.node_in;
+    });
+  }
+
+  std::vector<Field> fields;
+  if (!options_.unique_node_ids) {
+    fields.push_back({"layer_in", DataType::kInt64});
+  }
+  fields.push_back({"node_in", DataType::kInt64});
+  if (!options_.unique_node_ids) {
+    fields.push_back({"layer", DataType::kInt64});
+  }
+  fields.push_back({"node", DataType::kInt64});
+  for (const char* name : kWeightColumns) {
+    fields.push_back({name, DataType::kFloat});
+  }
+  auto table = std::make_shared<storage::Table>(table_name_, fields);
+  table->Reserve(static_cast<int64_t>(rows.size()));
+  for (const EdgeRow& row : rows) {
+    std::vector<Value> values;
+    values.reserve(fields.size());
+    if (!options_.unique_node_ids) values.push_back(Value::Int64(row.layer_in));
+    values.push_back(Value::Int64(row.node_in));
+    if (!options_.unique_node_ids) values.push_back(Value::Int64(row.layer));
+    values.push_back(Value::Int64(row.node));
+    for (float w : row.w) values.push_back(Value::Float(w));
+    INDBML_RETURN_NOT_OK(table->AppendRow(values));
+  }
+  table->Finalize();
+  if (options_.sorted_model_table) {
+    table->SetSortedBy(options_.unique_node_ids
+                           ? std::vector<std::string>{"node", "node_in"}
+                           : std::vector<std::string>{"layer", "node", "node_in"});
+  }
+  return table;
+}
+
+Status MlToSql::Deploy(sql::QueryEngine* engine) const {
+  INDBML_ASSIGN_OR_RETURN(auto table, BuildModelTable());
+  engine->catalog()->CreateOrReplaceTable(std::move(table));
+  return Status::OK();
+}
+
+std::string MlToSql::EdgeFilter(const LayerLayout& layout, bool kernel_edges) const {
+  // The correctness-critical part of the predicate is node_in (-1 for
+  // kernel/input edges); layer / node-range filters narrow the model scan
+  // (§4.4) and are required whenever node_in ranges collide (LSTM models).
+  bool need_filter =
+      options_.range_filters || model_->layers()[0].kind != LayerKind::kDense;
+  if (!need_filter) return "";
+  if (options_.unique_node_ids) {
+    int64_t lo = layout.first_node;
+    int64_t hi = layout.first_node + layout.units - 1;
+    return StrFormat(" AND m.node >= %lld AND m.node <= %lld",
+                     static_cast<long long>(lo), static_cast<long long>(hi));
+  }
+  (void)kernel_edges;
+  return StrFormat(" AND m.layer = %lld",
+                   static_cast<long long>(layout.graph_layer));
+}
+
+std::string MlToSql::InputFunctionSql(const FactTableInfo& fact,
+                                      const std::vector<LayerLayout>& layout) const {
+  // Dense input function (Listing 3): cross join the fact table with the
+  // artificial-input edges, rename the input columns generically and select
+  // the i-th column for node i via CASE.
+  const int64_t n = model_->input_width();
+  std::string inner_cols;
+  for (int64_t i = 0; i < n; ++i) {
+    inner_cols += StrFormat(", d.%s AS c%lld", fact.input_columns[i].c_str(),
+                            static_cast<long long>(i));
+  }
+  std::string filter = "m.node_in = -1";
+  if (options_.range_filters) {
+    if (options_.unique_node_ids) {
+      filter += StrFormat(" AND m.node <= %lld", static_cast<long long>(n - 1));
+    } else {
+      filter += " AND m.layer = 0";
+    }
+  }
+  std::string layer_col = options_.unique_node_ids ? "" : "layer, ";
+  std::string inner_layer = options_.unique_node_ids ? "" : "m.layer AS layer, ";
+
+  std::string cases;
+  for (int64_t i = 0; i < n; ++i) {
+    cases += StrFormat(" WHEN node = %lld THEN c%lld", static_cast<long long>(i),
+                       static_cast<long long>(i));
+  }
+  (void)layout;
+  return StrFormat(
+      "SELECT id, %snode, CASE%s ELSE 0.0 END AS output_activated FROM "
+      "(SELECT d.%s AS id, %sm.node AS node%s FROM %s AS d, %s AS m WHERE %s) AS t",
+      layer_col.c_str(), cases.c_str(), fact.id_column.c_str(), inner_layer.c_str(),
+      inner_cols.c_str(), fact.table.c_str(), table_name_.c_str(), filter.c_str());
+}
+
+std::string MlToSql::DenseForwardSql(const std::string& input_sql,
+                                     const LayerLayout& layer) const {
+  // Layer forward function for dense layers (Listing 4): join the
+  // intermediate result with the model on the edge identifiers, multiply
+  // with the kernel weights, aggregate per (tuple, node) and add the bias.
+  std::string join_cond;
+  std::string layer_sel;
+  std::string layer_group;
+  std::string layer_out;
+  if (options_.unique_node_ids) {
+    join_cond = "input.node = m.node_in";
+  } else {
+    join_cond = "input.node = m.node_in AND input.layer = m.layer_in";
+    layer_sel = "m.layer AS layer, ";
+    layer_group = ", m.layer";
+    layer_out = "layer, ";
+  }
+  join_cond += EdgeFilter(layer, /*kernel_edges=*/false);
+  return StrFormat(
+      "SELECT id, %snode, s + bias AS output FROM "
+      "(SELECT input.id AS id, %sm.node AS node, "
+      "SUM(input.output_activated * m.w_i) AS s, m.b_i AS bias "
+      "FROM (%s) AS input, %s AS m WHERE %s "
+      "GROUP BY input.id%s, m.node, m.b_i) AS t",
+      layer_out.c_str(), layer_sel.c_str(), input_sql.c_str(), table_name_.c_str(),
+      join_cond.c_str(), layer_group.c_str());
+}
+
+std::string MlToSql::ActivationSql(const std::string& input_sql,
+                                   Activation activation) const {
+  // Activation function (§4.3.5): projection applying the scalar function.
+  std::string layer_col = options_.unique_node_ids ? "" : "layer, ";
+  const char* fn = nullptr;
+  switch (activation) {
+    case Activation::kLinear:
+      return StrFormat("SELECT id, %snode, output AS output_activated FROM (%s) AS a",
+                       layer_col.c_str(), input_sql.c_str());
+    case Activation::kRelu:
+      fn = "relu";
+      break;
+    case Activation::kSigmoid:
+      fn = "sigmoid";
+      break;
+    case Activation::kTanh:
+      fn = "tanh";
+      break;
+  }
+  return StrFormat("SELECT id, %snode, %s(output) AS output_activated FROM (%s) AS a",
+                   layer_col.c_str(), fn, input_sql.c_str());
+}
+
+Result<std::string> MlToSql::LstmSql(const FactTableInfo& fact,
+                                     const std::vector<LayerLayout>& layout) const {
+  const nn::LstmLayer& lstm = model_->layers()[0].lstm;
+  if (lstm.input_dim != 1) {
+    return Status::NotImplemented(
+        "ML-To-SQL supports univariate LSTM input (one feature per time step)");
+  }
+  const LayerLayout& ll = layout[0];
+  const int64_t timesteps = model_->timesteps();
+
+  // Kernel part of step t: cross join of the fact table with the kernel
+  // edges (node_in = -1); z_g = x_t * W_g + b_g per gate. With one feature
+  // per step each unit has exactly one kernel edge, so no aggregation is
+  // needed here.
+  auto kernel_sql = [&](int64_t t) {
+    std::string filter = "m.node_in = -1";
+    filter += EdgeFilter(ll, /*kernel_edges=*/true);
+    const char* x = fact.input_columns[static_cast<size_t>(t)].c_str();
+    return StrFormat(
+        "SELECT d.%s AS id, m.node AS node, "
+        "d.%s * m.w_i + m.b_i AS zi, d.%s * m.w_f + m.b_f AS zf, "
+        "d.%s * m.w_c + m.b_c AS zc, d.%s * m.w_o + m.b_o AS zo "
+        "FROM %s AS d, %s AS m WHERE %s",
+        fact.id_column.c_str(), x, x, x, x, fact.table.c_str(), table_name_.c_str(),
+        filter.c_str());
+  };
+
+  // H_1 from the kernel part only (initial cell state is zero).
+  std::string h = StrFormat(
+      "SELECT id, node, sigmoid(zi) * tanh(zc) AS c, "
+      "sigmoid(zo) * tanh(sigmoid(zi) * tanh(zc)) AS h FROM (%s) AS k",
+      kernel_sql(0).c_str());
+
+  // Steps 2..T: combine the kernel part with the recurrent part computed
+  // from H_{t-1} joined to the recurrent-kernel edges. The previous cell
+  // state is smuggled through the same aggregation via a CASE that matches
+  // the diagonal (p.node = m.node), so H_{t-1} is referenced exactly once
+  // per step and nesting depth stays linear in the number of time steps.
+  for (int64_t t = 1; t < timesteps; ++t) {
+    std::string rec_join = "p.node = m.node_in";
+    rec_join += EdgeFilter(ll, /*kernel_edges=*/false);
+    std::string recurrent = StrFormat(
+        "SELECT p.id AS id, m.node AS node, "
+        "SUM(p.h * m.u_i) AS ri, SUM(p.h * m.u_f) AS rf, "
+        "SUM(p.h * m.u_c) AS rc, SUM(p.h * m.u_o) AS ro, "
+        "SUM(CASE WHEN p.node = m.node THEN p.c ELSE 0.0 END) AS c_prev "
+        "FROM (%s) AS p, %s AS m WHERE %s GROUP BY p.id, m.node",
+        h.c_str(), table_name_.c_str(), rec_join.c_str());
+    std::string combined = StrFormat(
+        "SELECT k.id AS id, k.node AS node, "
+        "k.zi + r.ri AS zi, k.zf + r.rf AS zf, k.zc + r.rc AS zc, "
+        "k.zo + r.ro AS zo, r.c_prev AS c_prev "
+        "FROM (%s) AS k, (%s) AS r WHERE k.id = r.id AND k.node = r.node",
+        kernel_sql(t).c_str(), recurrent.c_str());
+    h = StrFormat(
+        "SELECT id, node, "
+        "sigmoid(zi) * tanh(zc) + sigmoid(zf) * c_prev AS c, "
+        "sigmoid(zo) * tanh(sigmoid(zi) * tanh(zc) + sigmoid(zf) * c_prev) AS h "
+        "FROM (%s) AS g",
+        combined.c_str());
+  }
+
+  // Adapt H_T to the layer-forward interface: h is the activated output.
+  if (options_.unique_node_ids) {
+    return StrFormat("SELECT id, node, h AS output_activated FROM (%s) AS ht",
+                     h.c_str());
+  }
+  return StrFormat("SELECT id, %lld AS layer, node, h AS output_activated "
+                   "FROM (%s) AS ht",
+                   static_cast<long long>(ll.graph_layer), h.c_str());
+}
+
+
+Result<std::string> MlToSql::GruSql(const FactTableInfo& fact,
+                                    const std::vector<LayerLayout>& layout) const {
+  const nn::GruLayer& gru = model_->layers()[0].gru;
+  if (gru.input_dim != 1) {
+    return Status::NotImplemented(
+        "ML-To-SQL supports univariate GRU input (one feature per time step)");
+  }
+  const LayerLayout& ll = layout[0];
+  const int64_t timesteps = model_->timesteps();
+
+  // Kernel part of step t: z/r/candidate pre-activations from the input
+  // column (GRU gates live in the i/f/c weight slots).
+  auto kernel_sql = [&](int64_t t) {
+    std::string filter = "m.node_in = -1";
+    filter += EdgeFilter(ll, /*kernel_edges=*/true);
+    const char* x = fact.input_columns[static_cast<size_t>(t)].c_str();
+    return StrFormat(
+        "SELECT d.%s AS id, m.node AS node, "
+        "d.%s * m.w_i + m.b_i AS kz, d.%s * m.w_f + m.b_f AS kr, "
+        "d.%s * m.w_c + m.b_c AS kh "
+        "FROM %s AS d, %s AS m WHERE %s",
+        fact.id_column.c_str(), x, x, x, fact.table.c_str(), table_name_.c_str(),
+        filter.c_str());
+  };
+
+  // H_1: zero initial state — h = (1 - sigmoid(kz)) * tanh(kh).
+  std::string h = StrFormat(
+      "SELECT id, node, (1.0 - sigmoid(kz)) * tanh(kh) AS h FROM (%s) AS k",
+      kernel_sql(0).c_str());
+
+  // Steps 2..T need two aggregation rounds: the update/reset recurrent sums
+  // first, then the candidate sum over the reset-scaled state. The previous
+  // state rides along via the diagonal-CASE trick, so nesting stays linear.
+  for (int64_t t = 1; t < timesteps; ++t) {
+    std::string rec_join = "p.node = m.node_in";
+    rec_join += EdgeFilter(ll, /*kernel_edges=*/false);
+    std::string r1 = StrFormat(
+        "SELECT p.id AS id, m.node AS node, "
+        "SUM(p.h * m.u_i) AS rz, SUM(p.h * m.u_f) AS rr, "
+        "SUM(CASE WHEN p.node = m.node THEN p.h ELSE 0.0 END) AS hp "
+        "FROM (%s) AS p, %s AS m WHERE %s GROUP BY p.id, m.node",
+        h.c_str(), table_name_.c_str(), rec_join.c_str());
+    std::string gates = StrFormat(
+        "SELECT k.id AS id, k.node AS node, sigmoid(k.kz + r1.rz) AS z, "
+        "sigmoid(k.kr + r1.rr) * r1.hp AS rh, k.kh AS kh, r1.hp AS hp "
+        "FROM (%s) AS k, (%s) AS r1 WHERE k.id = r1.id AND k.node = r1.node",
+        kernel_sql(t).c_str(), r1.c_str());
+    std::string a_join = "a.node = m.node_in";
+    a_join += EdgeFilter(ll, /*kernel_edges=*/false);
+    std::string r2 = StrFormat(
+        "SELECT a.id AS id, m.node AS node, SUM(a.rh * m.u_c) AS ch, "
+        "SUM(CASE WHEN a.node = m.node THEN a.z ELSE 0.0 END) AS z, "
+        "SUM(CASE WHEN a.node = m.node THEN a.kh ELSE 0.0 END) AS kh, "
+        "SUM(CASE WHEN a.node = m.node THEN a.hp ELSE 0.0 END) AS hp "
+        "FROM (%s) AS a, %s AS m WHERE %s GROUP BY a.id, m.node",
+        gates.c_str(), table_name_.c_str(), a_join.c_str());
+    h = StrFormat(
+        "SELECT id, node, z * hp + (1.0 - z) * tanh(kh + ch) AS h FROM (%s) AS g",
+        r2.c_str());
+  }
+
+  if (options_.unique_node_ids) {
+    return StrFormat("SELECT id, node, h AS output_activated FROM (%s) AS ht",
+                     h.c_str());
+  }
+  return StrFormat("SELECT id, %lld AS layer, node, h AS output_activated "
+                   "FROM (%s) AS ht",
+                   static_cast<long long>(ll.graph_layer), h.c_str());
+}
+
+std::string MlToSql::OutputFunctionSql(const std::string& inference_sql,
+                                       const FactTableInfo& fact,
+                                       const LayerLayout& last_layer) const {
+  // Output function (§4.3.4): join the inference result back to the fact
+  // table on the unique id ("late projection" of payload columns).
+  std::string fact_cols = StrFormat("f.%s AS %s", fact.id_column.c_str(),
+                                    fact.id_column.c_str());
+  for (const std::string& c : fact.payload_columns) {
+    fact_cols += StrFormat(", f.%s AS %s", c.c_str(), c.c_str());
+  }
+  if (last_layer.units == 1) {
+    return StrFormat(
+        "SELECT %s, r.output_activated AS prediction "
+        "FROM (%s) AS r, %s AS f WHERE r.id = f.%s",
+        fact_cols.c_str(), inference_sql.c_str(), fact.table.c_str(),
+        fact.id_column.c_str());
+  }
+  // Multi-output: pivot the (id, node, value) rows into one column per
+  // output node, then attach the payload.
+  std::string pivots;
+  for (int64_t j = 0; j < last_layer.units; ++j) {
+    int64_t node = options_.unique_node_ids ? last_layer.first_node + j : j;
+    pivots += StrFormat(
+        ", SUM(CASE WHEN node = %lld THEN output_activated ELSE 0.0 END) "
+        "AS prediction_%lld",
+        static_cast<long long>(node), static_cast<long long>(j));
+  }
+  std::string pivot_sql =
+      StrFormat("SELECT id%s FROM (%s) AS r GROUP BY id", pivots.c_str(),
+                inference_sql.c_str());
+  return StrFormat("SELECT %s%s FROM (%s) AS r, %s AS f WHERE r.id = f.%s",
+                   fact_cols.c_str(),
+                   [&] {
+                     std::string preds;
+                     for (int64_t j = 0; j < last_layer.units; ++j) {
+                       preds += StrFormat(", r.prediction_%lld AS prediction_%lld",
+                                          static_cast<long long>(j),
+                                          static_cast<long long>(j));
+                     }
+                     return preds;
+                   }()
+                       .c_str(),
+                   pivot_sql.c_str(), fact.table.c_str(), fact.id_column.c_str());
+}
+
+Result<std::string> MlToSql::GenerateInferenceSql(const FactTableInfo& fact) const {
+  if (model_->layers().empty()) {
+    return Status::InvalidArgument("model has no layers");
+  }
+  if (static_cast<int64_t>(fact.input_columns.size()) != model_->input_width()) {
+    return Status::InvalidArgument(StrFormat(
+        "fact table provides %zu input columns, model expects %lld",
+        fact.input_columns.size(), static_cast<long long>(model_->input_width())));
+  }
+  std::vector<LayerLayout> layouts = ComputeLayout();
+
+  std::string sql;
+  size_t first_dense = 0;
+  if (model_->layers()[0].kind == LayerKind::kLstm) {
+    INDBML_ASSIGN_OR_RETURN(sql, LstmSql(fact, layouts));
+    first_dense = 1;
+  } else if (model_->layers()[0].kind == LayerKind::kGru) {
+    INDBML_ASSIGN_OR_RETURN(sql, GruSql(fact, layouts));
+    first_dense = 1;
+  } else {
+    sql = InputFunctionSql(fact, layouts);
+  }
+  for (size_t li = first_dense; li < model_->layers().size(); ++li) {
+    if (model_->layers()[li].kind != LayerKind::kDense) {
+      return Status::NotImplemented(
+          "recurrent layers are only supported as the first layer");
+    }
+    sql = DenseForwardSql(sql, layouts[li]);
+    sql = ActivationSql(sql, model_->layers()[li].dense.activation);
+  }
+  return OutputFunctionSql(sql, fact, layouts.back());
+}
+
+Result<std::vector<std::string>> MlToSql::GenerateLoadStatements() const {
+  INDBML_ASSIGN_OR_RETURN(auto table, BuildModelTable());
+  std::vector<std::string> statements;
+
+  std::string create = "CREATE TABLE " + table_name_ + " (";
+  for (int i = 0; i < table->num_columns(); ++i) {
+    if (i) create += ", ";
+    const Field& f = table->fields()[static_cast<size_t>(i)];
+    create += f.name + " ";
+    create += f.type == DataType::kInt64 ? "BIGINT" : "REAL";
+  }
+  create += ");";
+  statements.push_back(create);
+
+  for (int64_t r = 0; r < table->num_rows(); ++r) {
+    std::string insert = "INSERT INTO " + table_name_ + " VALUES (";
+    for (int c = 0; c < table->num_columns(); ++c) {
+      if (c) insert += ", ";
+      Value v = table->column(c).GetValue(r);
+      insert += v.type == DataType::kInt64 ? std::to_string(v.i) : FormatFloat(v.f);
+    }
+    insert += ");";
+    statements.push_back(insert);
+  }
+  return statements;
+}
+
+}  // namespace indbml::mltosql

@@ -1,0 +1,117 @@
+#ifndef INDBML_MLTOSQL_MLTOSQL_H_
+#define INDBML_MLTOSQL_MLTOSQL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/model.h"
+#include "sql/query_engine.h"
+#include "storage/table.h"
+
+namespace indbml::mltosql {
+
+/// Optimizations from paper §4.4, individually toggleable so the ablation
+/// benchmark can quantify each.
+struct MlToSqlOptions {
+  /// Replace (Layer, Node) pairs with one globally unique node id assigned
+  /// by graph traversal; the artificial input node gets id -1. Shrinks the
+  /// model table (14 instead of 16 columns) and the join predicate.
+  bool unique_node_ids = true;
+  /// Emit node-range (unique ids) / layer (pair ids) filter predicates on
+  /// the model side of every layer-forward join, enabling zone-map block
+  /// pruning and smaller hash tables.
+  bool range_filters = true;
+  /// Physically sort the model table; combined with a fact table sorted on
+  /// its unique id this lets the engine run the aggregations order-based
+  /// (pipelined, low memory) instead of hash-based.
+  bool sorted_model_table = true;
+};
+
+/// Which fact table the generated query runs against.
+struct FactTableInfo {
+  std::string table;
+  std::string id_column = "id";
+  /// Model input columns in model input order (for LSTM: time-step order).
+  std::vector<std::string> input_columns;
+  /// Extra columns to carry into the result via the final output join
+  /// ("late projection", §4.2).
+  std::vector<std::string> payload_columns;
+};
+
+/// \brief The ML-To-SQL framework (paper §4): converts a neural network
+/// into the generic relational model representation and generates standard
+/// SQL performing the ModelJoin as nested queries built from the four
+/// function types of Table 1 (input / layer forward / activation / output).
+///
+/// \code
+///   MlToSql framework(model, "iris_model");
+///   INDBML_RETURN_NOT_OK(framework.Deploy(&engine));
+///   INDBML_ASSIGN_OR_RETURN(std::string sql, framework.GenerateInferenceSql(fact));
+///   auto result = engine.ExecuteQuery(sql);
+/// \endcode
+class MlToSql {
+ public:
+  MlToSql(const nn::Model* model, std::string model_table_name,
+          MlToSqlOptions options = {});
+
+  /// Builds the relational model representation (§4.1): one row per edge of
+  /// the internal graph (Fig. 4) with the 12-element weight vector spread
+  /// over typed columns. Rows are emitted sorted when the option is set.
+  Result<storage::TablePtr> BuildModelTable() const;
+
+  /// Registers the model table in the engine's catalog (replacing any
+  /// previous version).
+  Status Deploy(sql::QueryEngine* engine) const;
+
+  /// Generates the nested inference query (Listing 1 structure). The result
+  /// columns are the fact id, payload columns, and `prediction` /
+  /// `prediction_<i>`.
+  Result<std::string> GenerateInferenceSql(const FactTableInfo& fact) const;
+
+  /// Portability demonstration: CREATE TABLE + INSERT statements that load
+  /// the relational representation into any SQL database.
+  Result<std::vector<std::string>> GenerateLoadStatements() const;
+
+  const std::string& model_table_name() const { return table_name_; }
+  const MlToSqlOptions& options() const { return options_; }
+
+ private:
+  struct LayerLayout {
+    nn::LayerKind kind;
+    int64_t graph_layer;  ///< layer number in the (Layer, Node) scheme
+    int64_t first_node;   ///< first unique node id of this layer
+    int64_t units;
+  };
+
+  /// Unique-node-id layout of the model graph (§4.4): input nodes first,
+  /// then each layer's nodes consecutively.
+  std::vector<LayerLayout> ComputeLayout() const;
+
+  /// Model-side join condition for edges of layer `layout` arriving from
+  /// `from` ("kernel" selects node_in = -1 edges of an LSTM).
+  std::string EdgeFilter(const LayerLayout& layout, bool kernel_edges) const;
+
+  // SQL builders for the four function types (§4.3).
+  std::string InputFunctionSql(const FactTableInfo& fact,
+                               const std::vector<LayerLayout>& layout) const;
+  std::string DenseForwardSql(const std::string& input_sql,
+                              const LayerLayout& layer) const;
+  std::string ActivationSql(const std::string& input_sql,
+                            nn::Activation activation) const;
+  Result<std::string> LstmSql(const FactTableInfo& fact,
+                              const std::vector<LayerLayout>& layout) const;
+  Result<std::string> GruSql(const FactTableInfo& fact,
+                             const std::vector<LayerLayout>& layout) const;
+  std::string OutputFunctionSql(const std::string& inference_sql,
+                                const FactTableInfo& fact,
+                                const LayerLayout& last_layer) const;
+
+  const nn::Model* model_;
+  std::string table_name_;
+  MlToSqlOptions options_;
+};
+
+}  // namespace indbml::mltosql
+
+#endif  // INDBML_MLTOSQL_MLTOSQL_H_

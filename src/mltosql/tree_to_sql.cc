@@ -1,0 +1,112 @@
+#include "mltosql/tree_to_sql.h"
+
+#include "common/string_util.h"
+
+namespace indbml::mltosql {
+
+using nn::DecisionTree;
+using storage::DataType;
+using storage::Field;
+using storage::Value;
+
+Result<storage::TablePtr> TreeToSql::BuildTreeTable() const {
+  auto table = std::make_shared<storage::Table>(
+      table_name_, std::vector<Field>{{"node_id", DataType::kInt64},
+                                      {"feature", DataType::kInt64},
+                                      {"threshold", DataType::kFloat},
+                                      {"left_child", DataType::kInt64},
+                                      {"right_child", DataType::kInt64},
+                                      {"value", DataType::kFloat}});
+  const auto& nodes = tree_->nodes();
+  table->Reserve(static_cast<int64_t>(nodes.size()));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const DecisionTree::Node& n = nodes[i];
+    INDBML_RETURN_NOT_OK(table->AppendRow(
+        {Value::Int64(static_cast<int64_t>(i)),
+         Value::Int64(n.is_leaf ? -1 : n.feature),
+         Value::Float(n.threshold),
+         Value::Int64(n.is_leaf ? -1 : n.left),
+         Value::Int64(n.is_leaf ? -1 : n.right),
+         Value::Float(n.value)}));
+  }
+  table->Finalize();
+  table->SetSortedBy({"node_id"});
+  return table;
+}
+
+Status TreeToSql::Deploy(sql::QueryEngine* engine) const {
+  INDBML_ASSIGN_OR_RETURN(auto table, BuildTreeTable());
+  engine->catalog()->CreateOrReplaceTable(std::move(table));
+  return Status::OK();
+}
+
+Result<std::string> TreeToSql::GenerateInferenceSql(const FactTableInfo& fact) const {
+  if (static_cast<int>(fact.input_columns.size()) != tree_->num_features()) {
+    return Status::InvalidArgument(
+        StrFormat("tree expects %d feature columns, fact table provides %zu",
+                  tree_->num_features(), fact.input_columns.size()));
+  }
+  const int depth = tree_->depth();
+
+  // Feature selection per node: CASE over the split feature index.
+  std::string feature_value = "CASE";
+  for (size_t f = 0; f < fact.input_columns.size(); ++f) {
+    feature_value += StrFormat(" WHEN t.feature = %zu THEN d.%s", f,
+                               fact.input_columns[f].c_str());
+  }
+  feature_value += " ELSE 0.0 END";
+
+  // Level 0: every tuple starts at the root.
+  std::string sql = StrFormat("SELECT d.%s AS id, 0 AS node FROM %s AS d",
+                              fact.id_column.c_str(), fact.table.c_str());
+
+  // One traversal step per level. Leaves keep the tuple in place
+  // (left_child = -1 marks a leaf row).
+  for (int level = 0; level < depth; ++level) {
+    sql = StrFormat(
+        "SELECT s.id AS id, "
+        "CASE WHEN t.left_child = -1 THEN t.node_id "
+        "WHEN (%s) < t.threshold THEN t.left_child "
+        "ELSE t.right_child END AS node "
+        "FROM (%s) AS s, %s AS t, %s AS d "
+        "WHERE s.node = t.node_id AND s.id = d.%s",
+        feature_value.c_str(), sql.c_str(), table_name_.c_str(), fact.table.c_str(),
+        fact.id_column.c_str());
+  }
+
+  // Resolve the final node's value and attach payload columns.
+  std::string payload;
+  for (const std::string& c : fact.payload_columns) {
+    payload += StrFormat(", f.%s AS %s", c.c_str(), c.c_str());
+  }
+  return StrFormat(
+      "SELECT r.id AS id%s, t.value AS prediction "
+      "FROM (%s) AS r, %s AS t, %s AS f "
+      "WHERE r.node = t.node_id AND r.id = f.%s",
+      payload.c_str(), sql.c_str(), table_name_.c_str(), fact.table.c_str(),
+      fact.id_column.c_str());
+}
+
+Result<std::string> TreeToSql::GenerateCaseExpression(
+    const std::vector<std::string>& feature_columns) const {
+  if (static_cast<int>(feature_columns.size()) != tree_->num_features()) {
+    return Status::InvalidArgument("feature column count mismatch");
+  }
+  // Recursive nested-CASE rendering.
+  struct Renderer {
+    const std::vector<DecisionTree::Node>& nodes;
+    const std::vector<std::string>& columns;
+    std::string Render(int32_t index) const {
+      const DecisionTree::Node& n = nodes[static_cast<size_t>(index)];
+      if (n.is_leaf) return StrFormat("%.9g", static_cast<double>(n.value));
+      return StrFormat("CASE WHEN %s < %.9g THEN %s ELSE %s END",
+                       columns[static_cast<size_t>(n.feature)].c_str(),
+                       static_cast<double>(n.threshold), Render(n.left).c_str(),
+                       Render(n.right).c_str());
+    }
+  };
+  Renderer renderer{tree_->nodes(), feature_columns};
+  return renderer.Render(0);
+}
+
+}  // namespace indbml::mltosql

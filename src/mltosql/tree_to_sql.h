@@ -1,0 +1,55 @@
+#ifndef INDBML_MLTOSQL_TREE_TO_SQL_H_
+#define INDBML_MLTOSQL_TREE_TO_SQL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mltosql/mltosql.h"
+#include "nn/decision_tree.h"
+
+namespace indbml::mltosql {
+
+/// \brief Decision trees through the ML-To-SQL building blocks.
+///
+/// The paper (§4) notes that the relational-representation + generated-SQL
+/// approach "is also applicable for the existing approaches for decision
+/// trees or classifiers" [33]. This class provides both established
+/// encodings:
+///
+/// 1. **Relational traversal** (`GenerateInferenceSql`): the tree lives in a
+///    node table `(node_id, feature, threshold, left_child, right_child,
+///    value)`; the query unrolls one self-join per tree level, with leaves
+///    absorbing further levels (left_child = -1 keeps the tuple on its
+///    leaf). No aggregation is needed — predictions arrive after
+///    `depth` joins.
+/// 2. **Pure expression** (`GenerateCaseExpression`): a nested CASE WHEN
+///    translation (the MASQ-style encoding), usable inside any SELECT list.
+class TreeToSql {
+ public:
+  TreeToSql(const nn::DecisionTree* tree, std::string table_name)
+      : tree_(tree), table_name_(std::move(table_name)) {}
+
+  /// Builds the node table (sorted by node_id).
+  Result<storage::TablePtr> BuildTreeTable() const;
+
+  /// Registers the node table in the engine's catalog.
+  Status Deploy(sql::QueryEngine* engine) const;
+
+  /// Generates the relational-traversal inference query: one row per fact
+  /// tuple with columns (id, payload..., prediction).
+  Result<std::string> GenerateInferenceSql(const FactTableInfo& fact) const;
+
+  /// Generates a standalone nested-CASE expression over the given column
+  /// names (fact.input_columns order = tree feature order).
+  Result<std::string> GenerateCaseExpression(
+      const std::vector<std::string>& feature_columns) const;
+
+ private:
+  const nn::DecisionTree* tree_;
+  std::string table_name_;
+};
+
+}  // namespace indbml::mltosql
+
+#endif  // INDBML_MLTOSQL_TREE_TO_SQL_H_

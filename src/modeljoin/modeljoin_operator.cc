@@ -1,0 +1,303 @@
+#include "modeljoin/modeljoin_operator.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/config.h"
+
+namespace indbml::modeljoin {
+
+using nn::LayerKind;
+using nn::LayerMeta;
+
+/// Device buffers reused across Next() calls: the input matrix, two
+/// ping-pong activation buffers sized for the widest layer, and the LSTM
+/// gate/state buffers.
+struct ModelJoinOperator::Scratch {
+  device::Device* device = nullptr;
+  int64_t vs = 0;
+  int64_t input_width = 0;
+  int64_t max_units = 0;
+  bool has_lstm = false;
+
+  float* x = nullptr;        ///< [input_width x vs]
+  float* a = nullptr;        ///< [max_units x vs]
+  float* b = nullptr;        ///< [max_units x vs]
+  float* z[nn::kNumGates] = {nullptr, nullptr, nullptr, nullptr};
+  float* h = nullptr;
+  float* c = nullptr;
+  float* tmp = nullptr;
+  std::vector<float> host_staging;  ///< column gather/scatter buffer
+
+  ~Scratch() {
+    if (device == nullptr) return;
+    device->Free(x, input_width * vs);
+    device->Free(a, max_units * vs);
+    device->Free(b, max_units * vs);
+    if (has_lstm) {
+      for (auto& g : z) device->Free(g, max_units * vs);
+      device->Free(h, max_units * vs);
+      device->Free(c, max_units * vs);
+      device->Free(tmp, max_units * vs);
+    }
+  }
+};
+
+ModelJoinOperator::ModelJoinOperator(exec::OperatorPtr child,
+                                     std::shared_ptr<SharedModel> model,
+                                     storage::TablePtr model_table,
+                                     std::vector<int> input_column_indexes,
+                                     std::vector<std::string> prediction_names,
+                                     int partition)
+    : child_(std::move(child)),
+      model_(std::move(model)),
+      model_table_(std::move(model_table)),
+      input_columns_(std::move(input_column_indexes)),
+      partition_(partition) {
+  types_ = child_->output_types();
+  names_ = child_->output_names();
+  for (const std::string& name : prediction_names) {
+    types_.push_back(exec::DataType::kFloat);
+    names_.push_back(name);
+  }
+}
+
+ModelJoinOperator::~ModelJoinOperator() = default;
+
+Status ModelJoinOperator::Open(exec::ExecContext* ctx) {
+  INDBML_RETURN_NOT_OK(child_->Open(ctx));
+
+  // Build phase: parse this partition's share of the model table into the
+  // shared model, synchronising with the other partitions.
+  INDBML_RETURN_NOT_OK(model_->BuildPartition(*model_table_, partition_));
+
+  // Allocate inference scratch.
+  const nn::ModelMeta& meta = model_->meta();
+  scratch_ = std::make_unique<Scratch>();
+  scratch_->device = model_->device();
+  scratch_->vs = model_->vector_size();
+  scratch_->input_width = std::max<int64_t>(1, meta.input_width());
+  int64_t max_units = 1;
+  for (const LayerMeta& layer : meta.layers) {
+    max_units = std::max(max_units, layer.units);
+    if (layer.kind != LayerKind::kDense) scratch_->has_lstm = true;
+  }
+  scratch_->max_units = max_units;
+  device::Device* device = scratch_->device;
+  scratch_->x = device->Allocate(scratch_->input_width * scratch_->vs);
+  scratch_->a = device->Allocate(max_units * scratch_->vs);
+  scratch_->b = device->Allocate(max_units * scratch_->vs);
+  if (scratch_->has_lstm) {
+    for (auto& g : scratch_->z) g = device->Allocate(max_units * scratch_->vs);
+    scratch_->h = device->Allocate(max_units * scratch_->vs);
+    scratch_->c = device->Allocate(max_units * scratch_->vs);
+    scratch_->tmp = device->Allocate(max_units * scratch_->vs);
+  }
+  scratch_->host_staging.resize(static_cast<size_t>(scratch_->vs));
+  opened_ = true;
+  return Status::OK();
+}
+
+void ModelJoinOperator::DenseForward(size_t li, const float* x, int64_t in_dim,
+                                     int64_t n, float* z) {
+  const LayerMeta& layer = model_->meta().layers[li];
+  device::Device* device = scratch_->device;
+  // Bias first (the replicated bias matrix is [units x vectorsize]; copy
+  // the first n columns of each row).
+  if (n == scratch_->vs) {
+    device->CopyOnDevice(z, model_->dense_bias_matrix(li), layer.units * n);
+  } else {
+    for (int64_t u = 0; u < layer.units; ++u) {
+      device->CopyOnDevice(z + u * n,
+                           model_->dense_bias_matrix(li) + u * scratch_->vs, n);
+    }
+  }
+  // z += W[units x in] * x[in x n]
+  device->Gemm(false, false, layer.units, n, in_dim, 1.0f, model_->dense_kernel(li),
+               in_dim, x, n, 1.0f, z, n);
+  device->Activate(layer.activation, layer.units * n, z);
+}
+
+void ModelJoinOperator::LstmForward(size_t li, const float* x, int64_t n,
+                                    float* h_out) {
+  const LayerMeta& layer = model_->meta().layers[li];
+  const nn::ModelMeta& meta = model_->meta();
+  device::Device* device = scratch_->device;
+  const int64_t units = layer.units;
+  const int64_t f = layer.input_dim;  // 1 (univariate)
+  const int64_t m = units * n;
+  float* h = scratch_->h;
+  float* c = scratch_->c;
+  float* tmp = scratch_->tmp;
+
+  for (int64_t t = 0; t < meta.timesteps; ++t) {
+    const float* x_t = x + t * f * n;  // rows [t*f, (t+1)*f) of the input
+    for (int g = 0; g < nn::kNumGates; ++g) {
+      float* z = scratch_->z[g];
+      // z = bias matrix
+      if (n == scratch_->vs) {
+        device->CopyOnDevice(z, model_->lstm_bias_matrix(li, g), m);
+      } else {
+        for (int64_t u = 0; u < units; ++u) {
+          device->CopyOnDevice(z + u * n,
+                               model_->lstm_bias_matrix(li, g) + u * scratch_->vs, n);
+        }
+      }
+      // z += W_g[units x f] * x_t[f x n]
+      device->Gemm(false, false, units, n, f, 1.0f, model_->lstm_kernel(li, g), f,
+                   x_t, n, 1.0f, z, n);
+      if (t > 0) {
+        // z += U_g[units x units] * h[units x n]
+        device->Gemm(false, false, units, n, units, 1.0f,
+                     model_->lstm_recurrent(li, g), units, h, n, 1.0f, z, n);
+      }
+    }
+    device->Activate(nn::Activation::kSigmoid, m, scratch_->z[nn::kGateI]);
+    device->Activate(nn::Activation::kSigmoid, m, scratch_->z[nn::kGateF]);
+    device->Activate(nn::Activation::kTanh, m, scratch_->z[nn::kGateC]);
+    device->Activate(nn::Activation::kSigmoid, m, scratch_->z[nn::kGateO]);
+
+    // c = (t > 0 ? f_gate * c : 0) + i_gate * c~
+    device->EwMul(m, scratch_->z[nn::kGateI], scratch_->z[nn::kGateC], tmp);
+    if (t > 0) {
+      device->EwMul(m, scratch_->z[nn::kGateF], c, c);
+      device->EwAdd(m, c, tmp, c);
+    } else {
+      device->CopyOnDevice(c, tmp, m);
+    }
+    // h = o_gate * tanh(c)
+    device->CopyOnDevice(h, c, m);
+    device->Activate(nn::Activation::kTanh, m, h);
+    device->EwMul(m, scratch_->z[nn::kGateO], h, h);
+  }
+  if (h_out != h) device->CopyOnDevice(h_out, h, m);
+}
+
+void ModelJoinOperator::GruForward(size_t li, const float* x, int64_t n,
+                                   float* h_out) {
+  const LayerMeta& layer = model_->meta().layers[li];
+  const nn::ModelMeta& meta = model_->meta();
+  device::Device* device = scratch_->device;
+  const int64_t units = layer.units;
+  const int64_t f = layer.input_dim;  // 1 (univariate)
+  const int64_t m = units * n;
+  float* h = scratch_->h;
+  float* tmp = scratch_->tmp;
+
+  for (int64_t t = 0; t < meta.timesteps; ++t) {
+    const float* x_t = x + t * f * n;
+    for (int g = 0; g < nn::kNumGruGates; ++g) {
+      float* z = scratch_->z[g];
+      if (n == scratch_->vs) {
+        device->CopyOnDevice(z, model_->lstm_bias_matrix(li, g), m);
+      } else {
+        for (int64_t u = 0; u < units; ++u) {
+          device->CopyOnDevice(z + u * n,
+                               model_->lstm_bias_matrix(li, g) + u * scratch_->vs, n);
+        }
+      }
+      device->Gemm(false, false, units, n, f, 1.0f, model_->lstm_kernel(li, g), f,
+                   x_t, n, 1.0f, z, n);
+    }
+    if (t > 0) {
+      device->Gemm(false, false, units, n, units, 1.0f,
+                   model_->lstm_recurrent(li, nn::kGruZ), units, h, n, 1.0f,
+                   scratch_->z[nn::kGruZ], n);
+      device->Gemm(false, false, units, n, units, 1.0f,
+                   model_->lstm_recurrent(li, nn::kGruR), units, h, n, 1.0f,
+                   scratch_->z[nn::kGruR], n);
+    }
+    device->Activate(nn::Activation::kSigmoid, m, scratch_->z[nn::kGruZ]);
+    device->Activate(nn::Activation::kSigmoid, m, scratch_->z[nn::kGruR]);
+    if (t > 0) {
+      // Candidate input: U_h * (r * h_prev).
+      device->EwMul(m, scratch_->z[nn::kGruR], h, tmp);
+      device->Gemm(false, false, units, n, units, 1.0f,
+                   model_->lstm_recurrent(li, nn::kGruH), units, tmp, n, 1.0f,
+                   scratch_->z[nn::kGruH], n);
+    }
+    device->Activate(nn::Activation::kTanh, m, scratch_->z[nn::kGruH]);
+    device->GruCombine(m, scratch_->z[nn::kGruZ], t > 0 ? h : nullptr,
+                       scratch_->z[nn::kGruH], h);
+  }
+  if (h_out != h) device->CopyOnDevice(h_out, h, m);
+}
+
+Status ModelJoinOperator::Infer(const float* x, int64_t n, const float** result) {
+  const nn::ModelMeta& meta = model_->meta();
+  const float* current = x;
+  int64_t current_dim = meta.input_width();
+  float* front = scratch_->a;
+  float* back = scratch_->b;
+  for (size_t li = 0; li < meta.layers.size(); ++li) {
+    const LayerMeta& layer = meta.layers[li];
+    if (layer.kind == LayerKind::kLstm) {
+      LstmForward(li, current, n, front);
+    } else if (layer.kind == LayerKind::kGru) {
+      GruForward(li, current, n, front);
+    } else {
+      DenseForward(li, current, current_dim, n, front);
+    }
+    current = front;
+    current_dim = layer.units;
+    std::swap(front, back);
+  }
+  *result = current;
+  return Status::OK();
+}
+
+Status ModelJoinOperator::Next(exec::ExecContext* ctx, exec::DataChunk* out,
+                               bool* eof) {
+  exec::DataChunk in;
+  in.Reset(child_->output_types());
+  INDBML_RETURN_NOT_OK(child_->Next(ctx, &in, eof));
+  const int64_t n = in.size;
+  const int64_t child_width = in.num_columns();
+  if (n == 0) {
+    return Status::OK();
+  }
+  device::Device* device = scratch_->device;
+  const nn::ModelMeta& meta = model_->meta();
+
+  // Input conversion (§5.3): one contiguous transfer per input column into
+  // the transposed input matrix.
+  for (size_t ci = 0; ci < input_columns_.size(); ++ci) {
+    const exec::Vector& col = in.column(input_columns_[ci]);
+    const float* src;
+    if (col.type() == exec::DataType::kFloat) {
+      src = col.floats();
+    } else {
+      // Integer feature columns are converted on the host first.
+      for (int64_t r = 0; r < n; ++r) {
+        scratch_->host_staging[static_cast<size_t>(r)] =
+            static_cast<float>(col.GetValue(r).AsDouble());
+      }
+      src = scratch_->host_staging.data();
+    }
+    device->CopyToDevice(scratch_->x + static_cast<int64_t>(ci) * n, src, n);
+  }
+
+  const float* predictions = nullptr;
+  INDBML_RETURN_NOT_OK(Infer(scratch_->x, n, &predictions));
+
+  // Pass-through columns.
+  for (int64_t c = 0; c < child_width; ++c) {
+    out->column(c) = std::move(in.column(c));
+  }
+  // Output conversion: one contiguous transfer per prediction column.
+  int64_t out_dim = meta.output_dim();
+  for (int64_t p = 0; p < out_dim; ++p) {
+    exec::Vector& col = out->column(child_width + p);
+    col.Resize(n);
+    device->CopyToHost(col.floats(), predictions + p * n, n);
+  }
+  out->size = n;
+  return Status::OK();
+}
+
+void ModelJoinOperator::Close(exec::ExecContext* ctx) {
+  child_->Close(ctx);
+  scratch_.reset();
+}
+
+}  // namespace indbml::modeljoin

@@ -1,0 +1,68 @@
+#ifndef INDBML_MODELJOIN_MODELJOIN_OPERATOR_H_
+#define INDBML_MODELJOIN_MODELJOIN_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "modeljoin/shared_model.h"
+
+namespace indbml::modeljoin {
+
+/// \brief The native ModelJoin query operator (paper §5).
+///
+/// Volcano-style two-phase join: Open() runs this partition's share of the
+/// parallel model build (blocking until the shared model is complete);
+/// Next() pulls a chunk from the input flow, converts the input columns
+/// into a transposed [input_width x vectorsize] device matrix (one
+/// contiguous copy per column, §5.3), runs the vectorized layer-forward
+/// functions on the device (§5.4) and appends the prediction columns to the
+/// pass-through child columns. The operator is fully pipelined — not a
+/// pipeline breaker (§5.4).
+class ModelJoinOperator final : public exec::Operator {
+ public:
+  ModelJoinOperator(exec::OperatorPtr child, std::shared_ptr<SharedModel> model,
+                    storage::TablePtr model_table,
+                    std::vector<int> input_column_indexes,
+                    std::vector<std::string> prediction_names, int partition);
+  ~ModelJoinOperator() override;
+
+  const std::vector<exec::DataType>& output_types() const override { return types_; }
+  const std::vector<std::string>& output_names() const override { return names_; }
+
+  Status Open(exec::ExecContext* ctx) override;
+  Status Next(exec::ExecContext* ctx, exec::DataChunk* out, bool* eof) override;
+  void Close(exec::ExecContext* ctx) override;
+
+ private:
+  /// Runs the model on the device input matrix `x` ([input_width x n],
+  /// transposed layout); returns the device buffer holding the final
+  /// [output_dim x n] activations (owned by scratch_).
+  Status Infer(const float* x, int64_t n, const float** result);
+
+  /// Dense layer forward: z = W * x + bias_matrix; activation in place.
+  void DenseForward(size_t li, const float* x, int64_t in_dim, int64_t n, float* z);
+  /// LSTM layer forward over all time steps (paper Listing 5).
+  void LstmForward(size_t li, const float* x, int64_t n, float* h_out);
+  /// GRU layer forward over all time steps (§2 extension).
+  void GruForward(size_t li, const float* x, int64_t n, float* h_out);
+
+  exec::OperatorPtr child_;
+  std::shared_ptr<SharedModel> model_;
+  storage::TablePtr model_table_;
+  std::vector<int> input_columns_;
+  std::vector<exec::DataType> types_;
+  std::vector<std::string> names_;
+  int partition_;
+
+  /// Device scratch buffers sized for one vector (allocated in Open,
+  /// released in Close / destructor).
+  struct Scratch;
+  std::unique_ptr<Scratch> scratch_;
+  bool opened_ = false;
+};
+
+}  // namespace indbml::modeljoin
+
+#endif  // INDBML_MODELJOIN_MODELJOIN_OPERATOR_H_

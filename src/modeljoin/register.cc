@@ -1,0 +1,42 @@
+#include "modeljoin/register.h"
+
+#include "common/config.h"
+#include "modeljoin/modeljoin_operator.h"
+
+namespace indbml::modeljoin {
+
+device::Device* DefaultDevice(const std::string& name) {
+  if (name == "gpu" || name == "simgpu") return device::SharedSimGpuDevice();
+  return device::SharedCpuDevice();
+}
+
+void RegisterNativeModelJoin(sql::QueryEngine* engine, DeviceProvider provider) {
+  if (provider == nullptr) {
+    provider = [](const std::string& name) { return DefaultDevice(name); };
+  }
+
+  sql::ModelJoinStateFactory state_factory =
+      [provider](const nn::ModelMeta& meta, const std::string& device_name,
+                 int num_partitions) -> Result<std::shared_ptr<void>> {
+    device::Device* device = provider(device_name);
+    if (device == nullptr) {
+      return Status::InvalidArgument("unknown ModelJoin device: " + device_name);
+    }
+    return std::shared_ptr<void>(std::make_shared<SharedModel>(
+        meta, device, num_partitions, kDefaultVectorSize));
+  };
+
+  sql::ModelJoinOperatorFactory operator_factory =
+      [](sql::ModelJoinPhysicalArgs args) -> Result<exec::OperatorPtr> {
+    auto model = std::static_pointer_cast<SharedModel>(args.shared_state);
+    return exec::OperatorPtr(std::make_unique<ModelJoinOperator>(
+        std::move(args.child), std::move(model), std::move(args.model_table),
+        std::move(args.input_column_indexes), std::move(args.prediction_names),
+        args.partition));
+  };
+
+  engine->SetModelJoinFactories(std::move(state_factory),
+                                std::move(operator_factory));
+}
+
+}  // namespace indbml::modeljoin

@@ -1,0 +1,29 @@
+#ifndef INDBML_MODELJOIN_REGISTER_H_
+#define INDBML_MODELJOIN_REGISTER_H_
+
+#include <functional>
+#include <string>
+
+#include "device/device.h"
+#include "sql/query_engine.h"
+
+namespace indbml::modeljoin {
+
+/// Maps a `DEVICE '<name>'` string from the MODEL JOIN syntax to a live
+/// Device. The devices must outlive the engine's queries; the provider is
+/// how benchmarks hand in instrumented devices whose stats they read.
+using DeviceProvider = std::function<device::Device*(const std::string& name)>;
+
+/// Installs the native ModelJoin implementation into `engine`, making
+/// `SELECT ... FROM t MODEL JOIN model_table USING MODEL 'name'
+/// [DEVICE 'cpu'|'gpu']` executable. With the default provider, "cpu" maps
+/// to a shared CpuDevice and "gpu" to a shared SimGpuDevice.
+void RegisterNativeModelJoin(sql::QueryEngine* engine,
+                             DeviceProvider provider = nullptr);
+
+/// The process-wide default devices used when no provider is given.
+device::Device* DefaultDevice(const std::string& name);
+
+}  // namespace indbml::modeljoin
+
+#endif  // INDBML_MODELJOIN_REGISTER_H_

@@ -1,0 +1,254 @@
+#include "modeljoin/shared_model.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace indbml::modeljoin {
+
+using nn::LayerKind;
+using nn::LayerMeta;
+
+namespace {
+
+/// Column order of the unique-node-id relational representation.
+struct ModelTableColumns {
+  int node_in = -1;
+  int node = -1;
+  int w[nn::kNumGates] = {-1, -1, -1, -1};
+  int u[nn::kNumGates] = {-1, -1, -1, -1};
+  int b[nn::kNumGates] = {-1, -1, -1, -1};
+};
+
+Result<ModelTableColumns> ResolveColumns(const storage::Table& table) {
+  ModelTableColumns cols;
+  auto get = [&](const char* name) -> Result<int> { return table.ColumnIndex(name); };
+  INDBML_ASSIGN_OR_RETURN(cols.node_in, get("node_in"));
+  INDBML_ASSIGN_OR_RETURN(cols.node, get("node"));
+  const char* gates = "ifco";
+  for (int g = 0; g < nn::kNumGates; ++g) {
+    char name[8];
+    std::snprintf(name, sizeof(name), "w_%c", gates[g]);
+    INDBML_ASSIGN_OR_RETURN(cols.w[g], get(name));
+    std::snprintf(name, sizeof(name), "u_%c", gates[g]);
+    INDBML_ASSIGN_OR_RETURN(cols.u[g], get(name));
+    std::snprintf(name, sizeof(name), "b_%c", gates[g]);
+    INDBML_ASSIGN_OR_RETURN(cols.b[g], get(name));
+  }
+  if (table.ColumnIndex("layer").ok()) {
+    return Status::InvalidArgument(
+        "the native ModelJoin expects the unique-node-id model representation "
+        "(no layer columns); regenerate the model table with "
+        "MlToSqlOptions::unique_node_ids");
+  }
+  return cols;
+}
+
+}  // namespace
+
+SharedModel::SharedModel(nn::ModelMeta meta, device::Device* device,
+                         int num_partitions, int vector_size)
+    : meta_(std::move(meta)),
+      device_(device),
+      num_partitions_(num_partitions),
+      vector_size_(vector_size),
+      build_barrier_(num_partitions),
+      upload_barrier_(num_partitions) {
+  // Unique-node-id layout: input nodes first for dense-input models.
+  const bool dense_input =
+      meta_.layers.empty() || meta_.layers[0].kind == LayerKind::kDense;
+  input_nodes_ = dense_input ? meta_.input_width() : 0;
+  int64_t next = input_nodes_;
+  for (const LayerMeta& layer : meta_.layers) {
+    first_node_.push_back(next);
+    next += layer.units;
+  }
+
+  // Allocate staging and device buffers.
+  host_.resize(meta_.layers.size());
+  layers_.resize(meta_.layers.size());
+  const bool gpu = device_->is_gpu();
+  for (size_t li = 0; li < meta_.layers.size(); ++li) {
+    const LayerMeta& layer = meta_.layers[li];
+    LayerBuffers& h = host_[li];
+    LayerBuffers& d = layers_[li];
+    int gates = layer.kind == LayerKind::kDense  ? 1
+                : layer.kind == LayerKind::kLstm ? nn::kNumGates
+                                                 : nn::kNumGruGates;
+    h.w_size = layer.units * layer.input_dim;
+    h.u_size = layer.kind == LayerKind::kDense ? 0 : layer.units * layer.units;
+    h.bias_size = layer.units;
+    d.w_size = h.w_size;
+    d.u_size = h.u_size;
+    d.bias_size = h.bias_size;
+    for (int g = 0; g < gates; ++g) {
+      h.w[g] = new float[static_cast<size_t>(h.w_size)]();
+      h.bias[g] = new float[static_cast<size_t>(h.bias_size)]();
+      if (h.u_size > 0) h.u[g] = new float[static_cast<size_t>(h.u_size)]();
+      if (gpu) {
+        d.w[g] = device_->Allocate(d.w_size);
+        d.bias_mat[g] = device_->Allocate(layer.units * vector_size_);
+        if (d.u_size > 0) d.u[g] = device_->Allocate(d.u_size);
+      } else {
+        d.w[g] = h.w[g];
+        d.bias_mat[g] = device_->Allocate(layer.units * vector_size_);
+        d.u[g] = h.u[g];
+      }
+      device_bytes_ += (d.w_size + layer.units * vector_size_ + d.u_size) * 4;
+    }
+  }
+}
+
+SharedModel::~SharedModel() {
+  const bool gpu = device_->is_gpu();
+  for (size_t li = 0; li < meta_.layers.size(); ++li) {
+    const LayerMeta& layer = meta_.layers[li];
+    int gates = layer.kind == LayerKind::kDense  ? 1
+                : layer.kind == LayerKind::kLstm ? nn::kNumGates
+                                                 : nn::kNumGruGates;
+    for (int g = 0; g < gates; ++g) {
+      if (gpu) {
+        device_->Free(layers_[li].w[g], layers_[li].w_size);
+        if (layers_[li].u[g] != nullptr) {
+          device_->Free(layers_[li].u[g], layers_[li].u_size);
+        }
+      }
+      device_->Free(layers_[li].bias_mat[g], layer.units * vector_size_);
+      delete[] host_[li].w[g];
+      delete[] host_[li].bias[g];
+      delete[] host_[li].u[g];
+    }
+  }
+}
+
+Status SharedModel::LocateLayer(int64_t node, size_t* layer_index) const {
+  for (size_t li = meta_.layers.size(); li-- > 0;) {
+    if (node >= first_node_[li]) {
+      if (node >= first_node_[li] + meta_.layers[li].units) break;
+      *layer_index = li;
+      return Status::OK();
+    }
+  }
+  return Status::ExecutionError(
+      StrFormat("model-table node id %lld outside the registered model layout",
+                static_cast<long long>(node)));
+}
+
+Status SharedModel::ParsePartition(const storage::Table& model_table,
+                                   storage::PartitionRange range) {
+  INDBML_ASSIGN_OR_RETURN(ModelTableColumns cols, ResolveColumns(model_table));
+  const storage::Column& node_in_col = model_table.column(cols.node_in);
+  const storage::Column& node_col = model_table.column(cols.node);
+
+  for (int64_t r = range.begin; r < range.end; ++r) {
+    int64_t node_in = node_in_col.GetInt64(r);
+    int64_t node = node_col.GetInt64(r);
+    if (node < input_nodes_) {
+      // Artificial-input edge of a dense-input model (weight 1): the native
+      // operator reads the input columns directly, nothing to store.
+      continue;
+    }
+    size_t li;
+    INDBML_RETURN_NOT_OK(LocateLayer(node, &li));
+    const LayerMeta& layer = meta_.layers[li];
+    LayerBuffers& h = host_[li];
+    int64_t out = node - first_node_[li];
+
+    if (layer.kind == LayerKind::kDense) {
+      int64_t prev_first = li == 0 ? 0 : first_node_[li - 1];
+      int64_t in = node_in - prev_first;
+      if (in < 0 || in >= layer.input_dim) {
+        return Status::ExecutionError("dense edge with out-of-range node_in");
+      }
+      // Transposed storage: w[out][in].
+      h.w[0][out * layer.input_dim + in] =
+          model_table.column(cols.w[0]).GetFloat(r);
+      if (in == 0) {
+        // Exactly one edge per output node carries the bias write (the
+        // value is replicated on every in-edge, §4.3).
+        h.bias[0][out] = model_table.column(cols.b[0]).GetFloat(r);
+      }
+    } else {
+      if (layer.input_dim != 1) {
+        return Status::NotImplemented(
+            "native ModelJoin supports univariate recurrent input");
+      }
+      int gates =
+          layer.kind == LayerKind::kLstm ? nn::kNumGates : nn::kNumGruGates;
+      if (node_in == -1) {
+        // Kernel edge (+ biases).
+        for (int g = 0; g < gates; ++g) {
+          h.w[g][out] = model_table.column(cols.w[g]).GetFloat(r);
+          h.bias[g][out] = model_table.column(cols.b[g]).GetFloat(r);
+        }
+      } else {
+        int64_t in = node_in - first_node_[li];
+        if (in < 0 || in >= layer.units) {
+          return Status::ExecutionError("recurrent edge with out-of-range node_in");
+        }
+        for (int g = 0; g < gates; ++g) {
+          h.u[g][out * layer.units + in] =
+              model_table.column(cols.u[g]).GetFloat(r);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void SharedModel::UploadToDevice() {
+  const bool gpu = device_->is_gpu();
+  std::vector<float> bias_row(static_cast<size_t>(vector_size_));
+  for (size_t li = 0; li < meta_.layers.size(); ++li) {
+    const LayerMeta& layer = meta_.layers[li];
+    int gates = layer.kind == LayerKind::kDense  ? 1
+                : layer.kind == LayerKind::kLstm ? nn::kNumGates
+                                                 : nn::kNumGruGates;
+    for (int g = 0; g < gates; ++g) {
+      if (gpu) {
+        device_->CopyToDevice(layers_[li].w[g], host_[li].w[g], host_[li].w_size);
+        if (host_[li].u_size > 0) {
+          device_->CopyToDevice(layers_[li].u[g], host_[li].u[g], host_[li].u_size);
+        }
+      }
+      // Replicate the bias vector into the [units x vectorsize] matrix
+      // (§5.4: one-time effort so bias addition is a single large copy).
+      std::vector<float> expanded(
+          static_cast<size_t>(layer.units * vector_size_));
+      for (int64_t u = 0; u < layer.units; ++u) {
+        float b = host_[li].bias[g][u];
+        for (int v = 0; v < vector_size_; ++v) {
+          expanded[static_cast<size_t>(u * vector_size_ + v)] = b;
+        }
+      }
+      device_->CopyToDevice(layers_[li].bias_mat[g], expanded.data(),
+                            layer.units * vector_size_);
+    }
+  }
+}
+
+Status SharedModel::BuildPartition(const storage::Table& model_table, int partition) {
+  auto ranges = model_table.MakePartitions(num_partitions_);
+  Status status = ParsePartition(model_table, ranges[static_cast<size_t>(partition)]);
+  if (!status.ok()) {
+    failed_.store(true);
+    std::lock_guard<std::mutex> lock(failure_mu_);
+    failure_message_ = status.ToString();
+  }
+  // All participants must reach the barrier even on failure, or the others
+  // would deadlock (paper §5.2: single synchronisation point).
+  build_barrier_.Wait();
+  if (failed_.load()) {
+    std::lock_guard<std::mutex> lock(failure_mu_);
+    return Status::ExecutionError("ModelJoin build failed: " + failure_message_);
+  }
+  // One thread moves the finished model to the device (§5.2 optimisation:
+  // build on host memory, upload once at the end).
+  if (partition == 0) {
+    UploadToDevice();
+  }
+  upload_barrier_.Wait();
+  return Status::OK();
+}
+
+}  // namespace indbml::modeljoin

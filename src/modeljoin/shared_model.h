@@ -1,0 +1,106 @@
+#ifndef INDBML_MODELJOIN_SHARED_MODEL_H_
+#define INDBML_MODELJOIN_SHARED_MODEL_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "device/device.h"
+#include "nn/model_meta.h"
+#include "storage/table.h"
+
+namespace indbml::modeljoin {
+
+/// \brief The shared model of the native ModelJoin (paper §5.2).
+///
+/// One instance exists per query; all execution threads fill disjoint parts
+/// of the shared weight matrices from their partition of the model table
+/// and synchronise on a barrier before inference starts. Weights are stored
+/// *transposed* ([units x input] row-major) and biases replicated into
+/// [units x vectorsize] matrices (§5.4) so the per-chunk inference is plain
+/// GEMM + one large addition.
+///
+/// On a GPU device the build writes host staging buffers; after the barrier
+/// one thread uploads the finished model to device memory (the §5.2
+/// optimisation avoiding fine-grained transfers).
+class SharedModel {
+ public:
+  /// `num_partitions` build participants will call BuildPartition.
+  SharedModel(nn::ModelMeta meta, device::Device* device, int num_partitions,
+              int vector_size);
+  ~SharedModel();
+
+  SharedModel(const SharedModel&) = delete;
+  SharedModel& operator=(const SharedModel&) = delete;
+
+  /// Parses partition `partition` of `model_table` (unique-node-id
+  /// relational representation, 14 columns) into the shared weights, then
+  /// waits on the build barrier. Every participant must call this exactly
+  /// once; the call returns only after the whole model is built (and
+  /// uploaded to the device).
+  Status BuildPartition(const storage::Table& model_table, int partition);
+
+  const nn::ModelMeta& meta() const { return meta_; }
+  device::Device* device() const { return device_; }
+  int vector_size() const { return vector_size_; }
+
+  /// Device pointers, valid after BuildPartition returned OK.
+  /// Dense layer li: kernel() is [units x input_dim] (transposed).
+  const float* dense_kernel(size_t li) const { return layers_[li].w[0]; }
+  const float* dense_bias_matrix(size_t li) const { return layers_[li].bias_mat[0]; }
+  /// Recurrent-layer gate weights (LSTM g in [0,4), GRU g in [0,3)):
+  /// kernel [units x input_dim], recurrent [units x units], bias matrix
+  /// [units x vectorsize].
+  const float* lstm_kernel(size_t li, int g) const { return layers_[li].w[g]; }
+  const float* lstm_recurrent(size_t li, int g) const { return layers_[li].u[g]; }
+  const float* lstm_bias_matrix(size_t li, int g) const {
+    return layers_[li].bias_mat[g];
+  }
+
+  /// Bytes of device memory held by the model (Table 3 accounting).
+  int64_t DeviceBytes() const { return device_bytes_; }
+
+ private:
+  struct LayerBuffers {
+    // Host staging (build target); identical to device pointers on CPU.
+    float* w[nn::kNumGates] = {nullptr, nullptr, nullptr, nullptr};
+    float* u[nn::kNumGates] = {nullptr, nullptr, nullptr, nullptr};
+    float* bias[nn::kNumGates] = {nullptr, nullptr, nullptr, nullptr};
+    float* bias_mat[nn::kNumGates] = {nullptr, nullptr, nullptr, nullptr};
+    int64_t w_size = 0;
+    int64_t u_size = 0;
+    int64_t bias_size = 0;
+  };
+
+  /// Locates the layer owning node id `node`; kept in `first_node_` order.
+  Status LocateLayer(int64_t node, size_t* layer_index) const;
+
+  Status ParsePartition(const storage::Table& model_table,
+                        storage::PartitionRange range);
+  void UploadToDevice();
+
+  nn::ModelMeta meta_;
+  device::Device* device_;
+  int num_partitions_;
+  int vector_size_;
+
+  std::vector<int64_t> first_node_;  ///< unique-id layout per layer
+  int64_t input_nodes_ = 0;          ///< ids reserved for input nodes
+
+  std::vector<LayerBuffers> host_;    ///< staging (owned host arrays)
+  std::vector<LayerBuffers> layers_;  ///< device buffers (== host on CPU)
+  int64_t device_bytes_ = 0;
+
+  Barrier build_barrier_;
+  Barrier upload_barrier_;
+  std::atomic<bool> failed_{false};
+  std::string failure_message_;
+  std::mutex failure_mu_;
+};
+
+}  // namespace indbml::modeljoin
+
+#endif  // INDBML_MODELJOIN_SHARED_MODEL_H_

@@ -1,0 +1,155 @@
+#include "modeljoin/validate.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace indbml::modeljoin {
+
+using nn::LayerKind;
+using nn::LayerMeta;
+
+namespace {
+
+Status Fail(const char* what, int64_t row) {
+  return Status::InvalidArgument(
+      StrFormat("model table validation failed: %s (row %lld)", what,
+                static_cast<long long>(row)));
+}
+
+}  // namespace
+
+Result<ModelTableReport> ValidateModelTable(const storage::Table& table,
+                                            const nn::ModelMeta& meta) {
+  if (table.num_columns() != 14) {
+    return Status::InvalidArgument(StrFormat(
+        "model table must have the 14-column unique-node-id schema, got %lld "
+        "columns",
+        static_cast<long long>(table.num_columns())));
+  }
+  INDBML_ASSIGN_OR_RETURN(int node_in_col, table.ColumnIndex("node_in"));
+  INDBML_ASSIGN_OR_RETURN(int node_col, table.ColumnIndex("node"));
+  INDBML_ASSIGN_OR_RETURN(int w_i_col, table.ColumnIndex("w_i"));
+  INDBML_ASSIGN_OR_RETURN(int b_i_col, table.ColumnIndex("b_i"));
+
+  // Unique-id layout.
+  const bool dense_input =
+      meta.layers.empty() || meta.layers[0].kind == LayerKind::kDense;
+  const int64_t input_nodes = dense_input ? meta.input_width() : 0;
+  std::vector<int64_t> first_node;
+  int64_t next = input_nodes;
+  for (const LayerMeta& layer : meta.layers) {
+    first_node.push_back(next);
+    next += layer.units;
+  }
+  const int64_t max_node = next;
+
+  auto locate = [&](int64_t node) -> int {
+    for (size_t li = meta.layers.size(); li-- > 0;) {
+      if (node >= first_node[li]) {
+        return node < first_node[li] + meta.layers[li].units ? static_cast<int>(li)
+                                                             : -1;
+      }
+    }
+    return -1;
+  };
+
+  ModelTableReport report;
+  // Edge multiset per layer + bias consistency per node.
+  std::map<std::pair<int64_t, int64_t>, int64_t> edge_count;
+  std::map<int64_t, float> bias_by_node;
+  int64_t prev_node = std::numeric_limits<int64_t>::min();
+  int64_t prev_node_in = std::numeric_limits<int64_t>::min();
+  report.sorted = true;
+
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    int64_t node_in = table.column(node_in_col).GetInt64(r);
+    int64_t node = table.column(node_col).GetInt64(r);
+    if (node < 0 || node >= max_node) return Fail("node id out of layout range", r);
+    if (node_in < -1 || node_in >= max_node) {
+      return Fail("node_in id out of layout range", r);
+    }
+    if (++edge_count[{node_in, node}] > 1) return Fail("duplicate edge", r);
+    if (node < prev_node || (node == prev_node && node_in < prev_node_in)) {
+      report.sorted = false;
+    }
+    prev_node = node;
+    prev_node_in = node_in;
+
+    if (node < input_nodes) {
+      // Artificial input edge: weight W_i must be exactly 1 (§4.3.1).
+      if (node_in != -1) return Fail("input edge must originate from node -1", r);
+      if (table.column(w_i_col).GetFloat(r) != 1.0f) {
+        return Fail("input edge weight must be 1", r);
+      }
+      ++report.input_edges;
+      continue;
+    }
+    int li = locate(node);
+    if (li < 0) return Fail("node id between layers", r);
+    const LayerMeta& layer = meta.layers[static_cast<size_t>(li)];
+    if (layer.kind == LayerKind::kDense) {
+      int64_t prev_first = li == 0 ? 0 : first_node[static_cast<size_t>(li - 1)];
+      int64_t in = node_in - prev_first;
+      if (in < 0 || in >= layer.input_dim) {
+        return Fail("dense edge from a node outside the previous layer", r);
+      }
+      // Replicated bias must agree across all in-edges of a node (§4.3).
+      float bias = table.column(b_i_col).GetFloat(r);
+      auto [it, inserted] = bias_by_node.emplace(node, bias);
+      if (!inserted && it->second != bias) {
+        return Fail("inconsistent replicated bias", r);
+      }
+      ++report.dense_edges;
+    } else {
+      if (node_in == -1) {
+        ++report.lstm_kernel_edges;
+      } else {
+        int64_t in = node_in - first_node[static_cast<size_t>(li)];
+        if (in < 0 || in >= layer.units) {
+          return Fail("recurrent edge from a node outside the LSTM layer", r);
+        }
+        ++report.lstm_recurrent_edges;
+      }
+    }
+  }
+
+  // Completeness: expected edge counts per layer.
+  int64_t expected_input = dense_input ? meta.input_width() : 0;
+  if (report.input_edges != expected_input) {
+    return Status::InvalidArgument(
+        StrFormat("expected %lld input edges, found %lld",
+                  static_cast<long long>(expected_input),
+                  static_cast<long long>(report.input_edges)));
+  }
+  int64_t expected_dense = 0;
+  int64_t expected_kernel = 0;
+  int64_t expected_recurrent = 0;
+  for (const LayerMeta& layer : meta.layers) {
+    if (layer.kind == LayerKind::kDense) {
+      expected_dense += layer.input_dim * layer.units;
+    } else {
+      expected_kernel += layer.input_dim * layer.units;
+      expected_recurrent += layer.units * layer.units;
+    }
+  }
+  if (report.dense_edges != expected_dense ||
+      report.lstm_kernel_edges != expected_kernel ||
+      report.lstm_recurrent_edges != expected_recurrent) {
+    return Status::InvalidArgument(StrFormat(
+        "incomplete edge set: dense %lld/%lld, kernel %lld/%lld, recurrent "
+        "%lld/%lld",
+        static_cast<long long>(report.dense_edges),
+        static_cast<long long>(expected_dense),
+        static_cast<long long>(report.lstm_kernel_edges),
+        static_cast<long long>(expected_kernel),
+        static_cast<long long>(report.lstm_recurrent_edges),
+        static_cast<long long>(expected_recurrent)));
+  }
+  return report;
+}
+
+}  // namespace indbml::modeljoin

@@ -1,0 +1,63 @@
+#ifndef INDBML_NN_ACTIVATION_H_
+#define INDBML_NN_ACTIVATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/blas.h"
+
+namespace indbml::nn {
+
+/// Activation functions supported across every inference approach
+/// (paper §4.3.5: linear, ReLU, sigmoid and tanh).
+enum class Activation { kLinear = 0, kRelu = 1, kSigmoid = 2, kTanh = 3 };
+
+inline const char* ActivationName(Activation a) {
+  switch (a) {
+    case Activation::kLinear:
+      return "linear";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kSigmoid:
+      return "sigmoid";
+    case Activation::kTanh:
+      return "tanh";
+  }
+  return "?";
+}
+
+/// Parses "relu" / "sigmoid" / "tanh" / "linear" (case-sensitive lowercase,
+/// matching the names produced by ActivationName).
+Result<Activation> ActivationFromName(const std::string& name);
+
+inline float ApplyActivation(Activation a, float x) {
+  switch (a) {
+    case Activation::kLinear:
+      return x;
+    case Activation::kRelu:
+      return blas::ScalarRelu(x);
+    case Activation::kSigmoid:
+      return blas::ScalarSigmoid(x);
+    case Activation::kTanh:
+      return blas::ScalarTanh(x);
+  }
+  return x;
+}
+
+/// In-place vector activation.
+inline void ApplyActivation(Activation a, int64_t n, float* x) {
+  switch (a) {
+    case Activation::kLinear:
+      return;
+    case Activation::kRelu:
+      return blas::VsRelu(n, x);
+    case Activation::kSigmoid:
+      return blas::VsSigmoid(n, x);
+    case Activation::kTanh:
+      return blas::VsTanh(n, x);
+  }
+}
+
+}  // namespace indbml::nn
+
+#endif  // INDBML_NN_ACTIVATION_H_

@@ -1,0 +1,116 @@
+#include "nn/blas.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace indbml::blas {
+
+namespace {
+
+// Block size for the cache-blocked GEMM kernel. 64x64 float blocks fit
+// comfortably in L1/L2 on commodity hardware.
+constexpr int64_t kBlock = 64;
+
+inline float Fetch(const float* a, int64_t ld, bool trans, int64_t r, int64_t c) {
+  return trans ? a[c * ld + r] : a[r * ld + c];
+}
+
+}  // namespace
+
+void Sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
+           const float* a, int64_t lda, const float* b, int64_t ldb, float beta,
+           float* c, int64_t ldc) {
+  // Scale C by beta first.
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      std::memset(crow, 0, static_cast<size_t>(n) * sizeof(float));
+    } else if (beta != 1.0f) {
+      for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+
+  if (!trans_a && !trans_b) {
+    // Fast path: row-major A (m x k) times row-major B (k x n), i-k-j loop
+    // order with blocking, which keeps B rows streaming through cache.
+    for (int64_t ii = 0; ii < m; ii += kBlock) {
+      int64_t imax = std::min(ii + kBlock, m);
+      for (int64_t kk = 0; kk < k; kk += kBlock) {
+        int64_t kmax = std::min(kk + kBlock, k);
+        for (int64_t i = ii; i < imax; ++i) {
+          float* crow = c + i * ldc;
+          const float* arow = a + i * lda;
+          for (int64_t p = kk; p < kmax; ++p) {
+            float av = alpha * arow[p];
+            if (av == 0.0f) continue;
+            const float* brow = b + p * ldb;
+            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+    return;
+  }
+
+  // Generic path for transposed operands.
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += Fetch(a, lda, trans_a, i, p) * Fetch(b, ldb, trans_b, p, j);
+      }
+      crow[j] += alpha * acc;
+    }
+  }
+}
+
+void SgemmTight(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                float alpha, const float* a, const float* b, float beta, float* c) {
+  int64_t lda = trans_a ? m : k;
+  int64_t ldb = trans_b ? k : n;
+  Sgemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, n);
+}
+
+void Saxpy(int64_t n, float alpha, const float* x, float* y) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Sger(int64_t m, int64_t n, float alpha, const float* x, const float* y, float* a,
+          int64_t lda) {
+  for (int64_t i = 0; i < m; ++i) {
+    float av = alpha * x[i];
+    float* arow = a + i * lda;
+    for (int64_t j = 0; j < n; ++j) arow[j] += av * y[j];
+  }
+}
+
+void VsMul(int64_t n, const float* x, const float* y, float* z) {
+  for (int64_t i = 0; i < n; ++i) z[i] = x[i] * y[i];
+}
+
+void VsAdd(int64_t n, const float* x, const float* y, float* z) {
+  for (int64_t i = 0; i < n; ++i) z[i] = x[i] + y[i];
+}
+
+float ScalarSigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+float ScalarTanh(float x) { return std::tanh(x); }
+float ScalarRelu(float x) { return x > 0.0f ? x : 0.0f; }
+
+void VsSigmoid(int64_t n, float* x) {
+  for (int64_t i = 0; i < n; ++i) x[i] = ScalarSigmoid(x[i]);
+}
+
+void VsTanh(int64_t n, float* x) {
+  for (int64_t i = 0; i < n; ++i) x[i] = ScalarTanh(x[i]);
+}
+
+void VsRelu(int64_t n, float* x) {
+  for (int64_t i = 0; i < n; ++i) x[i] = ScalarRelu(x[i]);
+}
+
+}  // namespace indbml::blas

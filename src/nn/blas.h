@@ -1,0 +1,53 @@
+#ifndef INDBML_NN_BLAS_H_
+#define INDBML_NN_BLAS_H_
+
+#include <cstdint>
+
+namespace indbml::blas {
+
+/// \file Minimal BLAS subset ("miniblas").
+///
+/// Stands in for Intel MKL / cuBLAS in the paper's ModelJoin design (§5.4,
+/// Listing 5). Only the routines the inference kernels need are provided;
+/// all matrices are dense row-major float32.
+
+/// C := alpha * op(A) * op(B) + beta * C
+/// op(X) = X or X^T depending on the transpose flags.
+/// A is m x k (after op), B is k x n (after op), C is m x n.
+/// lda/ldb are the *stored* leading dimensions (row strides) of A and B.
+void Sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
+           const float* a, int64_t lda, const float* b, int64_t ldb, float beta,
+           float* c, int64_t ldc);
+
+/// Convenience wrapper for the common row-major case with tight strides.
+void SgemmTight(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                float alpha, const float* a, const float* b, float beta, float* c);
+
+/// y := alpha * x + y (vectors of length n).
+void Saxpy(int64_t n, float alpha, const float* x, float* y);
+
+/// Rank-1 update used by the LSTM kernel step for 1-feature inputs
+/// (paper Listing 5, `sger`): A := alpha * x * y^T + A, A is m x n.
+void Sger(int64_t m, int64_t n, float alpha, const float* x, const float* y, float* a,
+          int64_t lda);
+
+/// Elementwise z := x * y (MKL vsMul).
+void VsMul(int64_t n, const float* x, const float* y, float* z);
+
+/// Elementwise z := x + y (MKL vsAdd).
+void VsAdd(int64_t n, const float* x, const float* y, float* z);
+
+/// Elementwise activations, in place.
+void VsSigmoid(int64_t n, float* x);
+void VsTanh(int64_t n, float* x);
+void VsRelu(int64_t n, float* x);
+
+/// Scalar activation helpers (shared with the SQL expression evaluator so
+/// every approach computes bit-identical activations).
+float ScalarSigmoid(float x);
+float ScalarTanh(float x);
+float ScalarRelu(float x);
+
+}  // namespace indbml::blas
+
+#endif  // INDBML_NN_BLAS_H_

@@ -1,0 +1,68 @@
+#include "nn/cost_model.h"
+
+#include <algorithm>
+
+namespace indbml::nn {
+
+CostEstimate EstimateCost(const Model& model) {
+  CostEstimate est;
+  for (const Layer& layer : model.layers()) {
+    if (layer.kind == LayerKind::kDense) {
+      const DenseLayer& d = layer.dense;
+      // One MAC per kernel weight plus the bias add and activation.
+      est.flops_per_tuple += 2.0 * static_cast<double>(d.input_dim) *
+                                 static_cast<double>(d.units) +
+                             2.0 * static_cast<double>(d.units);
+      est.intermediate_bytes_per_tuple =
+          std::max(est.intermediate_bytes_per_tuple, 4.0 * d.units);
+      // ML-To-SQL materialises one row per (tuple, node) after each layer
+      // and one join partner per edge during the aggregation.
+      est.relational_rows_per_tuple +=
+          static_cast<double>(d.input_dim) * static_cast<double>(d.units) +
+          static_cast<double>(d.units);
+      est.model_table_rows += d.input_dim * d.units;
+    } else {
+      const LstmLayer& l = layer.lstm;
+      double steps = static_cast<double>(model.timesteps());
+      double per_step = 2.0 * kNumGates *
+                        (static_cast<double>(l.input_dim) + l.units + 1.0) *
+                        static_cast<double>(l.units);
+      est.flops_per_tuple += steps * per_step;
+      est.intermediate_bytes_per_tuple =
+          std::max(est.intermediate_bytes_per_tuple, 8.0 * l.units);
+      est.relational_rows_per_tuple +=
+          steps * (static_cast<double>(l.units) * l.units +
+                   static_cast<double>(l.input_dim) * l.units + l.units);
+      est.model_table_rows +=
+          l.input_dim * l.units + l.units * l.units;
+    }
+  }
+  return est;
+}
+
+double PredictSeconds(const CostEstimate& estimate, const CostCoefficients& coeff,
+                      int64_t tuples) {
+  double t = static_cast<double>(tuples);
+  return coeff.fixed_seconds + t * estimate.flops_per_tuple * coeff.seconds_per_flop +
+         t * estimate.relational_rows_per_tuple * coeff.seconds_per_relational_row;
+}
+
+CostCoefficients CalibrateFromMeasurement(const CostEstimate& estimate,
+                                          int64_t probe_tuples, double probe_seconds,
+                                          bool relational) {
+  CostCoefficients coeff;
+  coeff.fixed_seconds = 0;
+  coeff.seconds_per_flop = 0;
+  coeff.seconds_per_relational_row = 0;
+  double t = static_cast<double>(probe_tuples);
+  if (t <= 0) return coeff;
+  if (relational && estimate.relational_rows_per_tuple > 0) {
+    coeff.seconds_per_relational_row =
+        probe_seconds / (t * estimate.relational_rows_per_tuple);
+  } else if (estimate.flops_per_tuple > 0) {
+    coeff.seconds_per_flop = probe_seconds / (t * estimate.flops_per_tuple);
+  }
+  return coeff;
+}
+
+}  // namespace indbml::nn

@@ -1,0 +1,55 @@
+#ifndef INDBML_NN_COST_MODEL_H_
+#define INDBML_NN_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "nn/model.h"
+
+namespace indbml::nn {
+
+/// \brief Structural inference-cost estimate for a model.
+///
+/// The paper's conclusion (§7) names a cost model for ModelJoin queries as
+/// the key missing piece for optimizing queries that embed inference, and
+/// observes that "costs increase linearly with model size". This implements
+/// that proposal: costs are derived purely from the model structure
+/// (parameters, FLOPs, intermediate sizes) and a small set of per-approach
+/// calibration coefficients.
+struct CostEstimate {
+  /// Multiply-accumulate operations needed to infer one tuple.
+  double flops_per_tuple = 0;
+  /// Bytes of intermediate state per tuple (max across layers).
+  double intermediate_bytes_per_tuple = 0;
+  /// Rows the relational (ML-To-SQL) representation materialises per tuple,
+  /// summed over layers — the driver of the SQL approach's cost.
+  double relational_rows_per_tuple = 0;
+  /// Model-table rows (one per edge, §4.1).
+  int64_t model_table_rows = 0;
+};
+
+/// Computes the structural estimate for `model`.
+CostEstimate EstimateCost(const Model& model);
+
+/// Calibration coefficients translating the structural estimate into
+/// seconds for one approach class. Defaults are placeholders; use
+/// `CalibrateFromMeasurement` with a small probe run.
+struct CostCoefficients {
+  double seconds_per_flop = 1e-9;
+  double seconds_per_relational_row = 1e-7;
+  double fixed_seconds = 1e-3;
+};
+
+/// Predicted runtime in seconds for `tuples` input rows.
+double PredictSeconds(const CostEstimate& estimate, const CostCoefficients& coeff,
+                      int64_t tuples);
+
+/// Fits `seconds_per_flop` (compute-bound approaches) or
+/// `seconds_per_relational_row` (ML-To-SQL) from one measured probe point.
+CostCoefficients CalibrateFromMeasurement(const CostEstimate& estimate,
+                                          int64_t probe_tuples, double probe_seconds,
+                                          bool relational);
+
+}  // namespace indbml::nn
+
+#endif  // INDBML_NN_COST_MODEL_H_

@@ -1,0 +1,198 @@
+#include "nn/decision_tree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace indbml::nn {
+
+namespace {
+
+/// One candidate split's bookkeeping.
+struct BestSplit {
+  bool found = false;
+  int feature = -1;
+  float threshold = 0;
+  double score = 0;  ///< weighted child variance (smaller is better)
+};
+
+double SumSquares(const std::vector<float>& y, const std::vector<int64_t>& rows) {
+  double sum = 0;
+  double sq = 0;
+  for (int64_t r : rows) {
+    sum += y[static_cast<size_t>(r)];
+    sq += static_cast<double>(y[static_cast<size_t>(r)]) * y[static_cast<size_t>(r)];
+  }
+  double n = static_cast<double>(rows.size());
+  return n > 0 ? sq - sum * sum / n : 0;
+}
+
+float Mean(const std::vector<float>& y, const std::vector<int64_t>& rows) {
+  double sum = 0;
+  for (int64_t r : rows) sum += y[static_cast<size_t>(r)];
+  return rows.empty() ? 0.0f : static_cast<float>(sum / static_cast<double>(rows.size()));
+}
+
+}  // namespace
+
+Result<DecisionTree> DecisionTree::FromNodes(std::vector<Node> nodes,
+                                             int num_features) {
+  if (nodes.empty()) return Status::InvalidArgument("tree needs at least one node");
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    if (n.is_leaf) continue;
+    if (n.feature < 0 || n.feature >= num_features) {
+      return Status::InvalidArgument(
+          StrFormat("node %zu splits on invalid feature %d", i, n.feature));
+    }
+    if (n.left < 0 || n.right < 0 ||
+        static_cast<size_t>(n.left) >= nodes.size() ||
+        static_cast<size_t>(n.right) >= nodes.size()) {
+      return Status::InvalidArgument(StrFormat("node %zu has invalid children", i));
+    }
+    if (static_cast<size_t>(n.left) <= i || static_cast<size_t>(n.right) <= i) {
+      return Status::InvalidArgument(
+          StrFormat("node %zu children must have larger ids (no cycles)", i));
+    }
+  }
+  DecisionTree tree;
+  tree.nodes_ = std::move(nodes);
+  tree.num_features_ = num_features;
+  return tree;
+}
+
+float DecisionTree::Predict(const float* features) const {
+  const Node* node = &nodes_[0];
+  while (!node->is_leaf) {
+    node = features[node->feature] < node->threshold
+               ? &nodes_[static_cast<size_t>(node->left)]
+               : &nodes_[static_cast<size_t>(node->right)];
+  }
+  return node->value;
+}
+
+int DecisionTree::depth() const {
+  // Nodes are in topological order; compute depth by propagation.
+  std::vector<int> depth(nodes_.size(), 0);
+  int max_depth = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_leaf) continue;
+    depth[static_cast<size_t>(nodes_[i].left)] = depth[i] + 1;
+    depth[static_cast<size_t>(nodes_[i].right)] = depth[i] + 1;
+    max_depth = std::max(max_depth, depth[i] + 1);
+  }
+  return max_depth;
+}
+
+Result<DecisionTree> DecisionTree::TrainRegression(const Tensor& x,
+                                                   const std::vector<float>& y) {
+  return TrainRegression(x, y, TrainOptions());
+}
+
+Result<DecisionTree> DecisionTree::TrainRegression(const Tensor& x,
+                                                   const std::vector<float>& y,
+                                                   const TrainOptions& options) {
+  if (x.rank() != 2 || x.dim(0) != static_cast<int64_t>(y.size())) {
+    return Status::InvalidArgument("x must be [n, features] matching y");
+  }
+  if (x.dim(0) == 0) return Status::InvalidArgument("empty training set");
+  const int features = static_cast<int>(x.dim(1));
+
+  DecisionTree tree;
+  tree.num_features_ = features;
+
+  struct WorkItem {
+    size_t node_index;
+    std::vector<int64_t> rows;
+    int depth;
+  };
+  std::vector<WorkItem> queue;
+  tree.nodes_.push_back(Node{});
+  {
+    std::vector<int64_t> all(static_cast<size_t>(x.dim(0)));
+    std::iota(all.begin(), all.end(), 0);
+    queue.push_back({0, std::move(all), 0});
+  }
+
+  // Breadth-first growth keeps child ids larger than parents (FromNodes'
+  // topological invariant).
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    WorkItem item = std::move(queue[qi]);
+    Node& node = tree.nodes_[item.node_index];
+    node.value = Mean(y, item.rows);
+
+    if (item.depth >= options.max_depth ||
+        static_cast<int64_t>(item.rows.size()) < 2 * options.min_leaf_rows) {
+      continue;  // stays a leaf
+    }
+
+    double parent_score = SumSquares(y, item.rows);
+    BestSplit best;
+    std::vector<int64_t> sorted = item.rows;
+    for (int f = 0; f < features; ++f) {
+      std::sort(sorted.begin(), sorted.end(), [&](int64_t a, int64_t b) {
+        return x.At(a, f) < x.At(b, f);
+      });
+      // Prefix sums over the sorted order.
+      double left_sum = 0;
+      double left_sq = 0;
+      double total_sum = 0;
+      double total_sq = 0;
+      for (int64_t r : sorted) {
+        total_sum += y[static_cast<size_t>(r)];
+        total_sq += static_cast<double>(y[static_cast<size_t>(r)]) *
+                    y[static_cast<size_t>(r)];
+      }
+      for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+        float yv = y[static_cast<size_t>(sorted[i])];
+        left_sum += yv;
+        left_sq += static_cast<double>(yv) * yv;
+        float lo = x.At(sorted[i], f);
+        float hi = x.At(sorted[i + 1], f);
+        if (lo == hi) continue;  // no split point between equal values
+        int64_t nl = static_cast<int64_t>(i) + 1;
+        int64_t nr = static_cast<int64_t>(sorted.size()) - nl;
+        if (nl < options.min_leaf_rows || nr < options.min_leaf_rows) continue;
+        double right_sum = total_sum - left_sum;
+        double right_sq = total_sq - left_sq;
+        double score = (left_sq - left_sum * left_sum / static_cast<double>(nl)) +
+                       (right_sq - right_sum * right_sum / static_cast<double>(nr));
+        if (!best.found || score < best.score) {
+          best.found = true;
+          best.feature = f;
+          best.threshold = 0.5f * (lo + hi);
+          best.score = score;
+        }
+      }
+    }
+    if (!best.found || best.score >= parent_score - 1e-12) continue;
+
+    std::vector<int64_t> left_rows;
+    std::vector<int64_t> right_rows;
+    for (int64_t r : item.rows) {
+      (x.At(r, best.feature) < best.threshold ? left_rows : right_rows).push_back(r);
+    }
+    if (left_rows.empty() || right_rows.empty()) continue;
+
+    // Reserve child slots first: push_back may reallocate and would
+    // invalidate a reference into nodes_.
+    int32_t left_index = static_cast<int32_t>(tree.nodes_.size());
+    int32_t right_index = left_index + 1;
+    tree.nodes_.push_back(Node{});
+    tree.nodes_.push_back(Node{});
+    Node& parent = tree.nodes_[item.node_index];
+    parent.is_leaf = false;
+    parent.feature = best.feature;
+    parent.threshold = best.threshold;
+    parent.left = left_index;
+    parent.right = right_index;
+    queue.push_back(
+        {static_cast<size_t>(left_index), std::move(left_rows), item.depth + 1});
+    queue.push_back(
+        {static_cast<size_t>(right_index), std::move(right_rows), item.depth + 1});
+  }
+  return tree;
+}
+
+}  // namespace indbml::nn

@@ -1,0 +1,60 @@
+#ifndef INDBML_NN_DECISION_TREE_H_
+#define INDBML_NN_DECISION_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/tensor.h"
+
+namespace indbml::nn {
+
+/// \brief Binary regression tree (CART, variance-reduction splits).
+///
+/// The paper notes ML-To-SQL's building-block design also covers "the
+/// existing approaches for decision trees or classifiers" (§4, citing
+/// Sattler & Dunemann [33]); this is that model class. Classification over
+/// k classes is done by regressing the class id and rounding, or by one
+/// tree per class — both exercised in the tests.
+class DecisionTree {
+ public:
+  struct Node {
+    bool is_leaf = true;
+    int feature = -1;       ///< split feature index (internal nodes)
+    float threshold = 0;    ///< go left if x[feature] < threshold
+    float value = 0;        ///< prediction (leaves)
+    int32_t left = -1;      ///< child node ids (internal nodes)
+    int32_t right = -1;
+  };
+
+  /// Training options for the CART builder.
+  struct TrainOptions {
+    int max_depth = 6;
+    int64_t min_leaf_rows = 4;
+  };
+
+  /// Fits a regression tree on `x` [n, features] against targets `y` [n].
+  static Result<DecisionTree> TrainRegression(const Tensor& x,
+                                              const std::vector<float>& y);
+  static Result<DecisionTree> TrainRegression(const Tensor& x,
+                                              const std::vector<float>& y,
+                                              const TrainOptions& options);
+
+  /// Builds directly from a node list (node 0 is the root).
+  static Result<DecisionTree> FromNodes(std::vector<Node> nodes, int num_features);
+
+  float Predict(const float* features) const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  int num_features() const { return num_features_; }
+  int depth() const;
+
+ private:
+  std::vector<Node> nodes_;
+  int num_features_ = 0;
+};
+
+}  // namespace indbml::nn
+
+#endif  // INDBML_NN_DECISION_TREE_H_

@@ -1,0 +1,489 @@
+#include "nn/model.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace indbml::nn {
+
+namespace {
+
+void InitGlorot(Tensor& t, int64_t fan_in, int64_t fan_out, Random& rng) {
+  float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  float* d = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) d[i] = rng.NextFloat(-limit, limit);
+}
+
+/// One LSTM time step for a whole batch, Keras equations:
+///   i = sigmoid(x W_i + h U_i + b_i)      f = sigmoid(x W_f + h U_f + b_f)
+///   c~ = tanh(x W_c + h U_c + b_c)        o = sigmoid(x W_o + h U_o + b_o)
+///   c' = f*c + i*c~                       h' = o * tanh(c')
+void LstmStep(const LstmLayer& layer, int64_t batch, const float* x_t, float* h,
+              float* c, bool first_step) {
+  const int64_t units = layer.units;
+  const int64_t in = layer.input_dim;
+  const int64_t n = batch * units;
+  std::vector<float> z[kNumGates];
+  for (int g = 0; g < kNumGates; ++g) {
+    z[g].resize(static_cast<size_t>(n));
+    // Broadcast bias.
+    for (int64_t r = 0; r < batch; ++r) {
+      std::memcpy(&z[g][static_cast<size_t>(r * units)], layer.bias[g].data(),
+                  static_cast<size_t>(units) * sizeof(float));
+    }
+    // x_t [batch, in] * W_g [in, units]
+    blas::SgemmTight(false, false, batch, units, in, 1.0f, x_t,
+                     layer.kernel[g].data(), 1.0f, z[g].data());
+    if (!first_step) {
+      // h [batch, units] * U_g [units, units]
+      blas::SgemmTight(false, false, batch, units, units, 1.0f, h,
+                       layer.recurrent[g].data(), 1.0f, z[g].data());
+    }
+  }
+  blas::VsSigmoid(n, z[kGateI].data());
+  blas::VsSigmoid(n, z[kGateF].data());
+  blas::VsTanh(n, z[kGateC].data());
+  blas::VsSigmoid(n, z[kGateO].data());
+
+  if (first_step) {
+    // c = i * c~
+    blas::VsMul(n, z[kGateI].data(), z[kGateC].data(), c);
+  } else {
+    // c = f * c + i * c~
+    blas::VsMul(n, z[kGateF].data(), c, c);
+    std::vector<float> ic(static_cast<size_t>(n));
+    blas::VsMul(n, z[kGateI].data(), z[kGateC].data(), ic.data());
+    blas::VsAdd(n, c, ic.data(), c);
+  }
+  // h = o * tanh(c)
+  std::memcpy(h, c, static_cast<size_t>(n) * sizeof(float));
+  blas::VsTanh(n, h);
+  blas::VsMul(n, z[kGateO].data(), h, h);
+}
+
+/// One GRU time step for a whole batch (classic equations, see GruLayer).
+void GruStep(const GruLayer& layer, int64_t batch, const float* x_t, float* h,
+             bool first_step) {
+  const int64_t units = layer.units;
+  const int64_t in = layer.input_dim;
+  const int64_t n = batch * units;
+  std::vector<float> z[kNumGruGates];
+  for (int g = 0; g < kNumGruGates; ++g) {
+    z[g].resize(static_cast<size_t>(n));
+    for (int64_t r = 0; r < batch; ++r) {
+      std::memcpy(&z[g][static_cast<size_t>(r * units)], layer.bias[g].data(),
+                  static_cast<size_t>(units) * sizeof(float));
+    }
+    blas::SgemmTight(false, false, batch, units, in, 1.0f, x_t,
+                     layer.kernel[g].data(), 1.0f, z[g].data());
+  }
+  if (!first_step) {
+    // Update and reset gates see the raw previous state.
+    blas::SgemmTight(false, false, batch, units, units, 1.0f, h,
+                     layer.recurrent[kGruZ].data(), 1.0f, z[kGruZ].data());
+    blas::SgemmTight(false, false, batch, units, units, 1.0f, h,
+                     layer.recurrent[kGruR].data(), 1.0f, z[kGruR].data());
+  }
+  blas::VsSigmoid(n, z[kGruZ].data());
+  blas::VsSigmoid(n, z[kGruR].data());
+  if (!first_step) {
+    // Candidate sees the reset-scaled previous state.
+    std::vector<float> rh(static_cast<size_t>(n));
+    blas::VsMul(n, z[kGruR].data(), h, rh.data());
+    blas::SgemmTight(false, false, batch, units, units, 1.0f, rh.data(),
+                     layer.recurrent[kGruH].data(), 1.0f, z[kGruH].data());
+  }
+  blas::VsTanh(n, z[kGruH].data());
+  // h' = z * h + (1 - z) * h~
+  for (int64_t i = 0; i < n; ++i) {
+    float zv = z[kGruZ][static_cast<size_t>(i)];
+    float prev = first_step ? 0.0f : h[i];
+    h[i] = zv * prev + (1.0f - zv) * z[kGruH][static_cast<size_t>(i)];
+  }
+}
+
+}  // namespace
+
+int64_t Model::NumParameters() const {
+  int64_t total = 0;
+  for (const Layer& layer : layers_) {
+    if (layer.kind == LayerKind::kDense) {
+      total += layer.dense.kernel.size() + layer.dense.bias.size();
+    } else if (layer.kind == LayerKind::kLstm) {
+      for (int g = 0; g < kNumGates; ++g) {
+        total += layer.lstm.kernel[g].size() + layer.lstm.recurrent[g].size() +
+                 layer.lstm.bias[g].size();
+      }
+    } else {
+      for (int g = 0; g < kNumGruGates; ++g) {
+        total += layer.gru.kernel[g].size() + layer.gru.recurrent[g].size() +
+                 layer.gru.bias[g].size();
+      }
+    }
+  }
+  return total;
+}
+
+Result<Tensor> Model::Predict(const Tensor& x) const {
+  if (x.rank() != 2 || x.dim(1) != input_width()) {
+    return Status::InvalidArgument(StrFormat(
+        "model expects [batch, %lld] input, got [%lld, %lld]",
+        static_cast<long long>(input_width()), static_cast<long long>(x.dim(0)),
+        static_cast<long long>(x.rank() == 2 ? x.dim(1) : -1)));
+  }
+  const int64_t batch = x.dim(0);
+  Tensor current = x;
+
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    if (layer.kind == LayerKind::kLstm || layer.kind == LayerKind::kGru) {
+      const int64_t f = layer.input_dim();
+      Tensor h = Tensor::Matrix(batch, layer.units());
+      Tensor c = Tensor::Matrix(batch, layer.units());
+      // Gather the t-th step columns into a contiguous [batch, f] slice.
+      Tensor x_t = Tensor::Matrix(batch, f);
+      for (int64_t t = 0; t < timesteps_; ++t) {
+        for (int64_t r = 0; r < batch; ++r) {
+          std::memcpy(&x_t.At(r, 0), &current.At(r, t * f),
+                      static_cast<size_t>(f) * sizeof(float));
+        }
+        if (layer.kind == LayerKind::kLstm) {
+          LstmStep(layer.lstm, batch, x_t.data(), h.data(), c.data(), t == 0);
+        } else {
+          GruStep(layer.gru, batch, x_t.data(), h.data(), t == 0);
+        }
+      }
+      current = h;
+    } else {
+      const DenseLayer& dense = layer.dense;
+      Tensor out = Tensor::Matrix(batch, dense.units);
+      for (int64_t r = 0; r < batch; ++r) {
+        std::memcpy(&out.At(r, 0), dense.bias.data(),
+                    static_cast<size_t>(dense.units) * sizeof(float));
+      }
+      blas::SgemmTight(false, false, batch, dense.units, dense.input_dim, 1.0f,
+                       current.data(), dense.kernel.data(), 1.0f, out.data());
+      ApplyActivation(dense.activation, out.size(), out.data());
+      current = out;
+    }
+  }
+  return current;
+}
+
+void Model::InitRandom(uint64_t seed) {
+  Random rng(seed);
+  for (Layer& layer : layers_) {
+    if (layer.kind == LayerKind::kDense) {
+      InitGlorot(layer.dense.kernel, layer.dense.input_dim, layer.dense.units, rng);
+      for (int64_t i = 0; i < layer.dense.bias.size(); ++i) {
+        layer.dense.bias[i] = rng.NextFloat(-0.1f, 0.1f);
+      }
+    } else if (layer.kind == LayerKind::kLstm) {
+      for (int g = 0; g < kNumGates; ++g) {
+        InitGlorot(layer.lstm.kernel[g], layer.lstm.input_dim, layer.lstm.units, rng);
+        InitGlorot(layer.lstm.recurrent[g], layer.lstm.units, layer.lstm.units, rng);
+        for (int64_t i = 0; i < layer.lstm.bias[g].size(); ++i) {
+          layer.lstm.bias[g][i] = rng.NextFloat(-0.1f, 0.1f);
+        }
+      }
+    } else {
+      for (int g = 0; g < kNumGruGates; ++g) {
+        InitGlorot(layer.gru.kernel[g], layer.gru.input_dim, layer.gru.units, rng);
+        InitGlorot(layer.gru.recurrent[g], layer.gru.units, layer.gru.units, rng);
+        for (int64_t i = 0; i < layer.gru.bias[g].size(); ++i) {
+          layer.gru.bias[g][i] = rng.NextFloat(-0.1f, 0.1f);
+        }
+      }
+    }
+  }
+}
+
+std::string Model::ToString() const {
+  if (!layers_.empty() && layers_[0].kind == LayerKind::kLstm) {
+    return StrFormat("lstm(w=%lld,t=%lld)", static_cast<long long>(layers_[0].units()),
+                     static_cast<long long>(timesteps_));
+  }
+  if (!layers_.empty() && layers_[0].kind == LayerKind::kGru) {
+    return StrFormat("gru(w=%lld,t=%lld)", static_cast<long long>(layers_[0].units()),
+                     static_cast<long long>(timesteps_));
+  }
+  int64_t width = layers_.empty() ? 0 : layers_[0].units();
+  return StrFormat("dense(w=%lld,d=%lld)", static_cast<long long>(width),
+                   static_cast<long long>(layers_.size() > 0 ? layers_.size() - 1 : 0));
+}
+
+namespace {
+constexpr uint32_t kModelMagic = 0x4D4C4442;  // "MLDB"
+
+void WriteTensor(FILE* f, const Tensor& t) {
+  int32_t rank = static_cast<int32_t>(t.rank());
+  std::fwrite(&rank, sizeof(rank), 1, f);
+  for (int i = 0; i < rank; ++i) {
+    int64_t d = t.dim(i);
+    std::fwrite(&d, sizeof(d), 1, f);
+  }
+  std::fwrite(t.data(), sizeof(float), static_cast<size_t>(t.size()), f);
+}
+
+Result<Tensor> ReadTensor(FILE* f) {
+  int32_t rank = 0;
+  if (std::fread(&rank, sizeof(rank), 1, f) != 1 || rank < 0 || rank > 4) {
+    return Status::IOError("corrupt tensor header");
+  }
+  std::vector<int64_t> shape(static_cast<size_t>(rank));
+  for (auto& d : shape) {
+    if (std::fread(&d, sizeof(d), 1, f) != 1 || d < 0 || d > (1 << 28)) {
+      return Status::IOError("corrupt tensor shape");
+    }
+  }
+  Tensor t(shape);
+  if (std::fread(t.data(), sizeof(float), static_cast<size_t>(t.size()), f) !=
+      static_cast<size_t>(t.size())) {
+    return Status::IOError("truncated tensor data");
+  }
+  return t;
+}
+}  // namespace
+
+Status Model::SaveToFile(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path + " for writing");
+  WriteToStream(f);
+  std::fclose(f);
+  return Status::OK();
+}
+
+void Model::WriteToStream(FILE* f) const {
+  std::fwrite(&kModelMagic, sizeof(kModelMagic), 1, f);
+  std::fwrite(&timesteps_, sizeof(timesteps_), 1, f);
+  std::fwrite(&features_, sizeof(features_), 1, f);
+  int32_t num_layers = static_cast<int32_t>(layers_.size());
+  std::fwrite(&num_layers, sizeof(num_layers), 1, f);
+  for (const Layer& layer : layers_) {
+    int32_t kind = layer.kind == LayerKind::kDense ? 0
+                   : layer.kind == LayerKind::kLstm ? 1
+                                                    : 2;
+    std::fwrite(&kind, sizeof(kind), 1, f);
+    if (layer.kind == LayerKind::kDense) {
+      int32_t act = static_cast<int32_t>(layer.dense.activation);
+      std::fwrite(&act, sizeof(act), 1, f);
+      WriteTensor(f, layer.dense.kernel);
+      WriteTensor(f, layer.dense.bias);
+    } else if (layer.kind == LayerKind::kLstm) {
+      for (int g = 0; g < kNumGates; ++g) WriteTensor(f, layer.lstm.kernel[g]);
+      for (int g = 0; g < kNumGates; ++g) WriteTensor(f, layer.lstm.recurrent[g]);
+      for (int g = 0; g < kNumGates; ++g) WriteTensor(f, layer.lstm.bias[g]);
+    } else {
+      for (int g = 0; g < kNumGruGates; ++g) WriteTensor(f, layer.gru.kernel[g]);
+      for (int g = 0; g < kNumGruGates; ++g) WriteTensor(f, layer.gru.recurrent[g]);
+      for (int g = 0; g < kNumGruGates; ++g) WriteTensor(f, layer.gru.bias[g]);
+    }
+  }
+}
+
+Result<Model> Model::LoadFromFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  return ReadFromStream(f, path);
+}
+
+Result<Model> Model::ReadFromStream(FILE* f, const std::string& path) {
+  auto fail = [&](const std::string& msg) -> Status {
+    std::fclose(f);
+    return Status::IOError(msg + " in " + path);
+  };
+  uint32_t magic = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f) != 1 || magic != kModelMagic) {
+    return fail("bad magic");
+  }
+  Model model;
+  int32_t num_layers = 0;
+  if (std::fread(&model.timesteps_, sizeof(model.timesteps_), 1, f) != 1 ||
+      std::fread(&model.features_, sizeof(model.features_), 1, f) != 1 ||
+      std::fread(&num_layers, sizeof(num_layers), 1, f) != 1 || num_layers < 0) {
+    return fail("bad header");
+  }
+  for (int32_t i = 0; i < num_layers; ++i) {
+    int32_t kind = -1;
+    if (std::fread(&kind, sizeof(kind), 1, f) != 1) return fail("bad layer kind");
+    Layer layer;
+    if (kind == 0) {
+      layer.kind = LayerKind::kDense;
+      int32_t act = 0;
+      if (std::fread(&act, sizeof(act), 1, f) != 1) return fail("bad activation");
+      layer.dense.activation = static_cast<Activation>(act);
+      auto k = ReadTensor(f);
+      if (!k.ok()) return fail(k.status().message());
+      auto b = ReadTensor(f);
+      if (!b.ok()) return fail(b.status().message());
+      layer.dense.kernel = *k;
+      layer.dense.bias = *b;
+      layer.dense.input_dim = layer.dense.kernel.dim(0);
+      layer.dense.units = layer.dense.kernel.dim(1);
+    } else if (kind == 1) {
+      layer.kind = LayerKind::kLstm;
+      Tensor tensors[3 * kNumGates];
+      for (auto& t : tensors) {
+        auto r = ReadTensor(f);
+        if (!r.ok()) return fail(r.status().message());
+        t = *r;
+      }
+      for (int g = 0; g < kNumGates; ++g) {
+        layer.lstm.kernel[g] = tensors[g];
+        layer.lstm.recurrent[g] = tensors[kNumGates + g];
+        layer.lstm.bias[g] = tensors[2 * kNumGates + g];
+      }
+      layer.lstm.input_dim = layer.lstm.kernel[0].dim(0);
+      layer.lstm.units = layer.lstm.kernel[0].dim(1);
+    } else if (kind == 2) {
+      layer.kind = LayerKind::kGru;
+      Tensor tensors[3 * kNumGruGates];
+      for (auto& t : tensors) {
+        auto r = ReadTensor(f);
+        if (!r.ok()) return fail(r.status().message());
+        t = *r;
+      }
+      for (int g = 0; g < kNumGruGates; ++g) {
+        layer.gru.kernel[g] = tensors[g];
+        layer.gru.recurrent[g] = tensors[kNumGruGates + g];
+        layer.gru.bias[g] = tensors[2 * kNumGruGates + g];
+      }
+      layer.gru.input_dim = layer.gru.kernel[0].dim(0);
+      layer.gru.units = layer.gru.kernel[0].dim(1);
+    } else {
+      return fail("unknown layer kind");
+    }
+    model.layers_.push_back(std::move(layer));
+  }
+  std::fclose(f);
+  return model;
+}
+
+Result<std::vector<uint8_t>> Model::SaveToBytes() const {
+  char* buffer = nullptr;
+  size_t size = 0;
+  FILE* f = open_memstream(&buffer, &size);
+  if (f == nullptr) return Status::IOError("open_memstream failed");
+  WriteToStream(f);
+  std::fclose(f);
+  std::vector<uint8_t> out(reinterpret_cast<uint8_t*>(buffer),
+                           reinterpret_cast<uint8_t*>(buffer) + size);
+  free(buffer);
+  return out;
+}
+
+Result<Model> Model::LoadFromBytes(const uint8_t* data, size_t size) {
+  FILE* f = fmemopen(const_cast<uint8_t*>(data), size, "rb");
+  if (f == nullptr) return Status::IOError("fmemopen failed");
+  return ReadFromStream(f, "<memory>");
+}
+
+ModelBuilder& ModelBuilder::AddDense(int64_t units, Activation activation) {
+  specs_.push_back({LayerKind::kDense, units, activation});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::AddLstm(int64_t units) {
+  specs_.push_back({LayerKind::kLstm, units, Activation::kTanh});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::AddGru(int64_t units) {
+  specs_.push_back({LayerKind::kGru, units, Activation::kTanh});
+  return *this;
+}
+
+Result<Model> ModelBuilder::Build(uint64_t seed) const {
+  if (features_ <= 0) return Status::InvalidArgument("features must be positive");
+  if (timesteps_ <= 0) return Status::InvalidArgument("timesteps must be positive");
+  if (specs_.empty()) return Status::InvalidArgument("model needs at least one layer");
+
+  Model model;
+  model.timesteps_ = timesteps_;
+  model.features_ = features_;
+
+  int64_t current_dim = features_;
+  bool after_first = false;
+  for (const Spec& spec : specs_) {
+    if (spec.units <= 0) return Status::InvalidArgument("layer units must be positive");
+    Layer layer;
+    if (spec.kind == LayerKind::kLstm) {
+      if (after_first) {
+        return Status::NotImplemented(
+            "recurrent layers are only supported as the first layer");
+      }
+      layer.kind = LayerKind::kLstm;
+      layer.lstm.input_dim = current_dim;
+      layer.lstm.units = spec.units;
+      for (int g = 0; g < kNumGates; ++g) {
+        layer.lstm.kernel[g] = Tensor::Matrix(current_dim, spec.units);
+        layer.lstm.recurrent[g] = Tensor::Matrix(spec.units, spec.units);
+        layer.lstm.bias[g] = Tensor::Vector(spec.units);
+      }
+    } else if (spec.kind == LayerKind::kGru) {
+      if (after_first) {
+        return Status::NotImplemented(
+            "recurrent layers are only supported as the first layer");
+      }
+      layer.kind = LayerKind::kGru;
+      layer.gru.input_dim = current_dim;
+      layer.gru.units = spec.units;
+      for (int g = 0; g < kNumGruGates; ++g) {
+        layer.gru.kernel[g] = Tensor::Matrix(current_dim, spec.units);
+        layer.gru.recurrent[g] = Tensor::Matrix(spec.units, spec.units);
+        layer.gru.bias[g] = Tensor::Vector(spec.units);
+      }
+    } else {
+      if (!after_first && timesteps_ > 1) {
+        return Status::InvalidArgument(
+            "a multi-timestep model must start with a recurrent layer");
+      }
+      layer.kind = LayerKind::kDense;
+      layer.dense.input_dim = current_dim;
+      layer.dense.units = spec.units;
+      layer.dense.activation = spec.activation;
+      layer.dense.kernel = Tensor::Matrix(current_dim, spec.units);
+      layer.dense.bias = Tensor::Vector(spec.units);
+    }
+    current_dim = spec.units;
+    after_first = true;
+    model.layers_.push_back(std::move(layer));
+  }
+  model.InitRandom(seed);
+  return model;
+}
+
+Result<Model> MakeDenseBenchmarkModel(int64_t width, int64_t depth, uint64_t seed) {
+  ModelBuilder b(/*features=*/4);
+  for (int64_t i = 0; i < depth; ++i) b.AddDense(width, Activation::kRelu);
+  b.AddDense(1, Activation::kLinear);
+  return b.Build(seed);
+}
+
+Result<Model> MakeLstmBenchmarkModel(int64_t width, int64_t timesteps, uint64_t seed) {
+  ModelBuilder b = ModelBuilder::TimeSeries(timesteps, /*features=*/1);
+  b.AddLstm(width);
+  b.AddDense(1, Activation::kLinear);
+  return b.Build(seed);
+}
+
+Result<Model> MakeGruBenchmarkModel(int64_t width, int64_t timesteps, uint64_t seed) {
+  ModelBuilder b = ModelBuilder::TimeSeries(timesteps, /*features=*/1);
+  b.AddGru(width);
+  b.AddDense(1, Activation::kLinear);
+  return b.Build(seed);
+}
+
+Result<Activation> ActivationFromName(const std::string& name) {
+  if (name == "linear") return Activation::kLinear;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  if (name == "tanh") return Activation::kTanh;
+  return Status::InvalidArgument("unknown activation: " + name);
+}
+
+}  // namespace indbml::nn

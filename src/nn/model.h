@@ -1,0 +1,204 @@
+#ifndef INDBML_NN_MODEL_H_
+#define INDBML_NN_MODEL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/activation.h"
+#include "nn/tensor.h"
+
+namespace indbml::nn {
+
+/// Gate order used for all LSTM weight arrays, matching Keras:
+/// input, forget, cell (candidate), output.
+enum LstmGate { kGateI = 0, kGateF = 1, kGateC = 2, kGateO = 3 };
+inline constexpr int kNumGates = 4;
+
+/// Gate order for GRU weight arrays: update (z), reset (r), candidate (h).
+enum GruGate { kGruZ = 0, kGruR = 1, kGruH = 2 };
+inline constexpr int kNumGruGates = 3;
+
+enum class LayerKind { kDense, kLstm, kGru };
+
+/// \brief Fully-connected layer: out = activation(x * kernel + bias).
+struct DenseLayer {
+  int64_t input_dim = 0;
+  int64_t units = 0;
+  Tensor kernel;  ///< [input_dim, units]
+  Tensor bias;    ///< [units]
+  Activation activation = Activation::kLinear;
+};
+
+/// \brief LSTM layer with Keras semantics (recurrent_activation = sigmoid,
+/// activation = tanh), processing `timesteps` steps of `input_dim` features
+/// and emitting the final hidden state h_T.
+struct LstmLayer {
+  int64_t input_dim = 0;  ///< features per time step
+  int64_t units = 0;
+  Tensor kernel[kNumGates];     ///< W_g: [input_dim, units]
+  Tensor recurrent[kNumGates];  ///< U_g: [units, units]
+  Tensor bias[kNumGates];       ///< b_g: [units]
+};
+
+/// \brief GRU layer (classic / reset-before-matmul formulation, §2's GRUs):
+///   z = sigmoid(x W_z + h U_z + b_z)      r = sigmoid(x W_r + h U_r + b_r)
+///   h~ = tanh(x W_h + (r * h) U_h + b_h)  h' = z * h + (1 - z) * h~
+/// Processes `timesteps` steps and emits the final hidden state.
+struct GruLayer {
+  int64_t input_dim = 0;  ///< features per time step
+  int64_t units = 0;
+  Tensor kernel[kNumGruGates];     ///< W_g: [input_dim, units]
+  Tensor recurrent[kNumGruGates];  ///< U_g: [units, units]
+  Tensor bias[kNumGruGates];       ///< b_g: [units]
+};
+
+/// A layer is dense, LSTM or GRU; only the first layer of a model may be
+/// recurrent (the paper's evaluation uses a single recurrent layer followed
+/// by a dense output layer, §6.1).
+struct Layer {
+  LayerKind kind;
+  DenseLayer dense;
+  LstmLayer lstm;
+  GruLayer gru;
+
+  int64_t units() const {
+    switch (kind) {
+      case LayerKind::kDense:
+        return dense.units;
+      case LayerKind::kLstm:
+        return lstm.units;
+      case LayerKind::kGru:
+        return gru.units;
+    }
+    return 0;
+  }
+  int64_t input_dim() const {
+    switch (kind) {
+      case LayerKind::kDense:
+        return dense.input_dim;
+      case LayerKind::kLstm:
+        return lstm.input_dim;
+      case LayerKind::kGru:
+        return gru.input_dim;
+    }
+    return 0;
+  }
+};
+
+/// \brief A feed-forward / recurrent neural network (paper §2 scope:
+/// dense layers and LSTM layers).
+///
+/// The model input is a flat row of `timesteps * features` float columns
+/// (time-major: step 0 first). For pure dense models `timesteps == 1` and
+/// `features` is the number of input columns.
+class Model {
+ public:
+  int64_t timesteps() const { return timesteps_; }
+  int64_t features() const { return features_; }
+  /// Number of input columns a fact table must provide.
+  int64_t input_width() const { return timesteps_ * features_; }
+  int64_t output_dim() const {
+    return layers_.empty() ? input_width() : layers_.back().units();
+  }
+
+  const std::vector<Layer>& layers() const { return layers_; }
+  std::vector<Layer>& mutable_layers() { return layers_; }
+
+  /// Total number of trainable parameters (weights + biases). The paper uses
+  /// this to discuss quadratic parameter growth (§6.2.1) and the cost model
+  /// sketch (§7).
+  int64_t NumParameters() const;
+
+  /// Reference batch inference: `x` is [batch, input_width()], returns
+  /// [batch, output_dim()]. This is the numerical ground truth every other
+  /// approach is validated against.
+  Result<Tensor> Predict(const Tensor& x) const;
+
+  /// Initialises all weights Glorot-uniform and biases to small constants,
+  /// deterministically from `seed`.
+  void InitRandom(uint64_t seed);
+
+  /// Binary model serialisation (the stand-in for a saved Keras model).
+  Status SaveToFile(const std::string& path) const;
+  static Result<Model> LoadFromFile(const std::string& path);
+
+  /// In-memory variants of the same format (used by the external runtime's
+  /// C API to create sessions without touching the filesystem).
+  Result<std::vector<uint8_t>> SaveToBytes() const;
+  static Result<Model> LoadFromBytes(const uint8_t* data, size_t size);
+
+  /// Short description, e.g. "dense(w=32,d=4)" or "lstm(w=128,t=3)".
+  std::string ToString() const;
+
+ private:
+  friend class ModelBuilder;
+
+  /// Stream helpers shared by the file and byte serialisation paths.
+  /// ReadFromStream closes `f`.
+  void WriteToStream(std::FILE* f) const;
+  static Result<Model> ReadFromStream(std::FILE* f, const std::string& path);
+
+  int64_t timesteps_ = 1;
+  int64_t features_ = 0;
+  std::vector<Layer> layers_;
+};
+
+/// \brief Fluent construction of models.
+///
+/// \code
+///   ModelBuilder b(/*features=*/4);
+///   b.AddDense(32, Activation::kRelu).AddDense(1, Activation::kLinear);
+///   INDBML_ASSIGN_OR_RETURN(Model m, b.Build(/*seed=*/7));
+/// \endcode
+class ModelBuilder {
+ public:
+  /// Dense-model builder with `features` input columns.
+  explicit ModelBuilder(int64_t features) : timesteps_(1), features_(features) {}
+
+  /// Time-series builder: `timesteps` steps of `features` columns each.
+  static ModelBuilder TimeSeries(int64_t timesteps, int64_t features) {
+    ModelBuilder b(features);
+    b.timesteps_ = timesteps;
+    return b;
+  }
+
+  ModelBuilder& AddDense(int64_t units, Activation activation);
+  ModelBuilder& AddLstm(int64_t units);
+  ModelBuilder& AddGru(int64_t units);
+
+  /// Validates the layer stack, allocates weights and initialises them from
+  /// `seed`. Fails if an LSTM appears anywhere but the first layer or if a
+  /// dense model was given >1 timestep without a leading LSTM.
+  Result<Model> Build(uint64_t seed = 42) const;
+
+ private:
+  struct Spec {
+    LayerKind kind;
+    int64_t units;
+    Activation activation;
+  };
+  int64_t timesteps_;
+  int64_t features_;
+  std::vector<Spec> specs_;
+};
+
+/// Builds the paper's dense benchmark network (§6.1): `depth` hidden layers
+/// of `width` ReLU units over 4 Iris features plus a 1-unit linear output.
+Result<Model> MakeDenseBenchmarkModel(int64_t width, int64_t depth, uint64_t seed = 42);
+
+/// Builds the paper's LSTM benchmark network (§6.1): one LSTM of `width`
+/// units over 3 time steps of a univariate series plus a 1-unit linear output.
+Result<Model> MakeLstmBenchmarkModel(int64_t width, int64_t timesteps = 3,
+                                     uint64_t seed = 42);
+
+/// GRU analogue of the LSTM benchmark network (§2 names GRUs alongside
+/// LSTMs as the recurrent layers relevant for relational workloads).
+Result<Model> MakeGruBenchmarkModel(int64_t width, int64_t timesteps = 3,
+                                    uint64_t seed = 42);
+
+}  // namespace indbml::nn
+
+#endif  // INDBML_NN_MODEL_H_

@@ -1,0 +1,54 @@
+#ifndef INDBML_NN_MODEL_META_H_
+#define INDBML_NN_MODEL_META_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace indbml::nn {
+
+/// Structural description of one layer — what the native ModelJoin operator
+/// needs to allocate and parse the relational model representation, without
+/// the weights themselves (those are read from the model *table*).
+struct LayerMeta {
+  LayerKind kind;
+  int64_t input_dim = 0;
+  int64_t units = 0;
+  Activation activation = Activation::kLinear;
+};
+
+/// Model metadata passed to the ModelJoin call (paper §5.5: layer
+/// dimensions, layer types and activation functions; a future DBMS would
+/// keep this in the catalog — our QueryEngine registers it by name).
+struct ModelMeta {
+  std::string name;
+  int64_t timesteps = 1;
+  int64_t features = 0;
+  std::vector<LayerMeta> layers;
+
+  int64_t input_width() const { return timesteps * features; }
+  int64_t output_dim() const { return layers.empty() ? 0 : layers.back().units; }
+};
+
+/// Extracts the metadata of a model.
+inline ModelMeta MetaOf(const Model& model, std::string name = "model") {
+  ModelMeta meta;
+  meta.name = std::move(name);
+  meta.timesteps = model.timesteps();
+  meta.features = model.features();
+  for (const Layer& layer : model.layers()) {
+    LayerMeta lm;
+    lm.kind = layer.kind;
+    lm.input_dim = layer.input_dim();
+    lm.units = layer.units();
+    lm.activation = layer.kind == LayerKind::kDense ? layer.dense.activation
+                                                    : Activation::kTanh;
+    meta.layers.push_back(lm);
+  }
+  return meta;
+}
+
+}  // namespace indbml::nn
+
+#endif  // INDBML_NN_MODEL_META_H_

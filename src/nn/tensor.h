@@ -1,0 +1,76 @@
+#ifndef INDBML_NN_TENSOR_H_
+#define INDBML_NN_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/memory_tracker.h"
+
+namespace indbml::nn {
+
+/// \brief Dense row-major float32 tensor.
+///
+/// The library follows the paper in using 4-byte floats for all weights and
+/// activations. Storage is shared (copy-on-write is *not* provided; copies
+/// share the buffer) and reported to the global MemoryTracker so peak-memory
+/// experiments capture model and intermediate sizes.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialised tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+    int64_t n = size();
+    buffer_ = std::shared_ptr<Buffer>(new Buffer(n));
+  }
+
+  /// Convenience constructors for vectors and matrices.
+  static Tensor Vector(int64_t n) { return Tensor({n}); }
+  static Tensor Matrix(int64_t rows, int64_t cols) { return Tensor({rows, cols}); }
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t rank() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t dim(int i) const { return shape_[static_cast<size_t>(i)]; }
+
+  int64_t size() const {
+    return std::accumulate(shape_.begin(), shape_.end(), int64_t{1},
+                           std::multiplies<int64_t>());
+  }
+
+  float* data() { return buffer_ ? buffer_->data.get() : nullptr; }
+  const float* data() const { return buffer_ ? buffer_->data.get() : nullptr; }
+
+  /// 2-D element access (row-major).
+  float& At(int64_t r, int64_t c) {
+    INDBML_DCHECK(rank() == 2);
+    return data()[r * dim(1) + c];
+  }
+  float At(int64_t r, int64_t c) const {
+    INDBML_DCHECK(rank() == 2);
+    return data()[r * dim(1) + c];
+  }
+
+  /// 1-D element access.
+  float& operator[](int64_t i) { return data()[i]; }
+  float operator[](int64_t i) const { return data()[i]; }
+
+  bool defined() const { return buffer_ != nullptr; }
+
+ private:
+  struct Buffer {
+    explicit Buffer(int64_t n)
+        : data(new float[static_cast<size_t>(n)]()), tracked(n * 4) {}
+    std::unique_ptr<float[]> data;
+    ScopedTracked tracked;
+  };
+
+  std::vector<int64_t> shape_;
+  std::shared_ptr<Buffer> buffer_;
+};
+
+}  // namespace indbml::nn
+
+#endif  // INDBML_NN_TENSOR_H_

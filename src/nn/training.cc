@@ -1,0 +1,150 @@
+#include "nn/training.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "nn/blas.h"
+
+namespace indbml::nn {
+
+namespace {
+
+/// Derivative of the activation given its *output* value (valid for the
+/// activations we support: relu/sigmoid/tanh/linear).
+float ActivationGradFromOutput(Activation a, float out) {
+  switch (a) {
+    case Activation::kLinear:
+      return 1.0f;
+    case Activation::kRelu:
+      return out > 0.0f ? 1.0f : 0.0f;
+    case Activation::kSigmoid:
+      return out * (1.0f - out);
+    case Activation::kTanh:
+      return 1.0f - out * out;
+  }
+  return 1.0f;
+}
+
+}  // namespace
+
+float MeanSquaredError(const Tensor& pred, const Tensor& y) {
+  double sum = 0;
+  for (int64_t i = 0; i < pred.size(); ++i) {
+    double d = pred[i] - y[i];
+    sum += d * d;
+  }
+  return pred.size() > 0 ? static_cast<float>(sum / static_cast<double>(pred.size()))
+                         : 0.0f;
+}
+
+Result<float> TrainDenseMse(Model* model, const Tensor& x, const Tensor& y,
+                            const TrainOptions& options) {
+  for (const Layer& layer : model->layers()) {
+    if (layer.kind != LayerKind::kDense) {
+      return Status::NotImplemented("training supports dense-only models");
+    }
+  }
+  if (x.rank() != 2 || y.rank() != 2 || x.dim(0) != y.dim(0)) {
+    return Status::InvalidArgument("x and y must be 2-D with matching row counts");
+  }
+  if (x.dim(1) != model->input_width() || y.dim(1) != model->output_dim()) {
+    return Status::InvalidArgument("x/y widths do not match the model");
+  }
+
+  const int64_t n = x.dim(0);
+  auto& layers = model->mutable_layers();
+  const size_t num_layers = layers.size();
+  Random rng(options.shuffle_seed);
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  float last_loss = 0.0f;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (int64_t i = n - 1; i > 0; --i) {
+      std::swap(order[static_cast<size_t>(i)],
+                order[rng.NextUint64(static_cast<uint64_t>(i + 1))]);
+    }
+    double epoch_loss = 0;
+    int64_t batches = 0;
+    for (int64_t start = 0; start < n; start += options.batch_size) {
+      int64_t bs = std::min<int64_t>(options.batch_size, n - start);
+      // Forward pass, keeping every layer's activated output.
+      std::vector<Tensor> acts;
+      acts.reserve(num_layers + 1);
+      Tensor input = Tensor::Matrix(bs, x.dim(1));
+      for (int64_t r = 0; r < bs; ++r) {
+        std::memcpy(&input.At(r, 0),
+                    x.data() + order[static_cast<size_t>(start + r)] * x.dim(1),
+                    static_cast<size_t>(x.dim(1)) * sizeof(float));
+      }
+      acts.push_back(input);
+      for (const Layer& layer : layers) {
+        const DenseLayer& d = layer.dense;
+        Tensor out = Tensor::Matrix(bs, d.units);
+        for (int64_t r = 0; r < bs; ++r) {
+          std::memcpy(&out.At(r, 0), d.bias.data(),
+                      static_cast<size_t>(d.units) * sizeof(float));
+        }
+        blas::SgemmTight(false, false, bs, d.units, d.input_dim, 1.0f,
+                         acts.back().data(), d.kernel.data(), 1.0f, out.data());
+        ApplyActivation(d.activation, out.size(), out.data());
+        acts.push_back(out);
+      }
+
+      // Output-layer delta from the MSE gradient.
+      Tensor delta = Tensor::Matrix(bs, model->output_dim());
+      const Tensor& pred = acts.back();
+      for (int64_t r = 0; r < bs; ++r) {
+        for (int64_t j = 0; j < delta.dim(1); ++j) {
+          float target = y.At(order[static_cast<size_t>(start + r)], j);
+          float out = pred.At(r, j);
+          float grad = 2.0f * (out - target) / static_cast<float>(bs * delta.dim(1));
+          epoch_loss += (out - target) * (out - target);
+          delta.At(r, j) =
+              grad * ActivationGradFromOutput(layers.back().dense.activation, out);
+        }
+      }
+
+      // Backward pass with SGD update.
+      for (size_t li = num_layers; li-- > 0;) {
+        DenseLayer& d = layers[li].dense;
+        const Tensor& layer_in = acts[li];
+        // Kernel gradient: in^T * delta.
+        Tensor kernel_grad = Tensor::Matrix(d.input_dim, d.units);
+        blas::SgemmTight(true, false, d.input_dim, d.units, bs, 1.0f, layer_in.data(),
+                         delta.data(), 0.0f, kernel_grad.data());
+        // Delta for the previous layer (before updating the kernel).
+        Tensor prev_delta;
+        if (li > 0) {
+          prev_delta = Tensor::Matrix(bs, d.input_dim);
+          blas::SgemmTight(false, true, bs, d.input_dim, d.units, 1.0f, delta.data(),
+                           d.kernel.data(), 0.0f, prev_delta.data());
+          const DenseLayer& prev = layers[li - 1].dense;
+          for (int64_t i = 0; i < prev_delta.size(); ++i) {
+            prev_delta[i] *=
+                ActivationGradFromOutput(prev.activation, acts[li][i]);
+          }
+        }
+        blas::Saxpy(kernel_grad.size(), -options.learning_rate, kernel_grad.data(),
+                    d.kernel.data());
+        for (int64_t j = 0; j < d.units; ++j) {
+          float g = 0;
+          for (int64_t r = 0; r < bs; ++r) g += delta.At(r, j);
+          d.bias[j] -= options.learning_rate * g;
+        }
+        if (li > 0) delta = prev_delta;
+      }
+      ++batches;
+    }
+    last_loss = static_cast<float>(
+        epoch_loss / static_cast<double>(n * model->output_dim()));
+    (void)batches;
+  }
+  return last_loss;
+}
+
+}  // namespace indbml::nn

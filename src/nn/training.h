@@ -1,0 +1,34 @@
+#ifndef INDBML_NN_TRAINING_H_
+#define INDBML_NN_TRAINING_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "nn/model.h"
+
+namespace indbml::nn {
+
+/// Options for mini-batch SGD training of dense models.
+///
+/// Training is out of scope for the paper's evaluation (it uses pre-trained
+/// Keras models), but the examples use it to produce *meaningful* weights so
+/// the Iris example actually classifies rather than emitting random scores.
+struct TrainOptions {
+  float learning_rate = 0.05f;
+  int epochs = 200;
+  int batch_size = 32;
+  uint64_t shuffle_seed = 7;
+};
+
+/// Trains a dense-only model in place against mean-squared-error loss.
+/// `x` is [n, input_width], `y` is [n, output_dim]. Returns the final
+/// epoch's mean loss. Fails for models containing LSTM layers.
+Result<float> TrainDenseMse(Model* model, const Tensor& x, const Tensor& y,
+                            const TrainOptions& options = {});
+
+/// Mean squared error between a prediction matrix and targets.
+float MeanSquaredError(const Tensor& pred, const Tensor& y);
+
+}  // namespace indbml::nn
+
+#endif  // INDBML_NN_TRAINING_H_

@@ -1,0 +1,87 @@
+#ifndef INDBML_SQL_AST_H_
+#define INDBML_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace indbml::sql {
+
+/// \file Parse-tree (unbound) representation of SELECT statements —
+/// names are unresolved, types unknown. The binder turns this into a typed
+/// logical plan.
+
+struct ParsedExpr;
+using ParsedExprPtr = std::unique_ptr<ParsedExpr>;
+
+struct ParsedExpr {
+  enum class Kind {
+    kColumn,       ///< [qualifier.]name
+    kStar,         ///< * (select list or COUNT(*))
+    kIntLiteral,
+    kFloatLiteral,
+    kBoolLiteral,
+    kBinary,       ///< op in {+,-,*,/,%,=,<>,<,<=,>,>=,AND,OR}
+    kUnary,        ///< NOT, unary -
+    kFunction,     ///< name(args) — scalar or aggregate
+    kCase,         ///< WHEN/THEN pairs + optional ELSE in children
+  };
+
+  Kind kind;
+  std::string qualifier;  ///< kColumn
+  std::string name;       ///< kColumn / kFunction name / operator text
+  int64_t int_value = 0;
+  double float_value = 0;
+  bool bool_value = false;
+  std::vector<ParsedExprPtr> children;
+  /// kCase: children = when1, then1, ..., [else]; has_else marks the tail.
+  bool has_else = false;
+
+  std::string ToString() const;
+};
+
+struct SelectItem {
+  ParsedExprPtr expr;  ///< null for bare '*'
+  std::string alias;   ///< empty if none
+};
+
+struct SelectStatement;
+
+struct TableRef {
+  enum class Kind { kBase, kSubquery, kJoin, kCrossJoin, kModelJoin };
+
+  Kind kind;
+  // kBase
+  std::string table_name;
+  std::string alias;
+  // kSubquery
+  std::unique_ptr<SelectStatement> subquery;
+  // kJoin / kCrossJoin
+  std::unique_ptr<TableRef> left;
+  std::unique_ptr<TableRef> right;
+  ParsedExprPtr join_condition;  ///< null for cross joins
+  // kModelJoin (left = input relation): MODEL JOIN <model_table>
+  //   USING MODEL '<meta name>' [DEVICE '<cpu|gpu>'] [PREDICT (cols...)]
+  std::string model_table;
+  std::string model_name;
+  std::string device = "cpu";
+  std::vector<std::string> predict_columns;  ///< input columns; empty = all
+};
+
+struct OrderItem {
+  ParsedExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> select_list;
+  std::unique_ptr<TableRef> from;  ///< may be null (SELECT 1+1)
+  ParsedExprPtr where;             ///< nullable
+  std::vector<ParsedExprPtr> group_by;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  ///< -1 = none
+};
+
+}  // namespace indbml::sql
+
+#endif  // INDBML_SQL_AST_H_

@@ -1,0 +1,613 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace indbml::sql {
+
+using exec::DataType;
+using exec::Expr;
+using exec::ExprPtr;
+
+void ModelMetaRegistry::Register(nn::ModelMeta meta) {
+  metas_[ToLower(meta.name)] = std::move(meta);
+}
+
+Result<const nn::ModelMeta*> ModelMetaRegistry::Get(const std::string& name) const {
+  auto it = metas_.find(ToLower(name));
+  if (it == metas_.end()) {
+    return Status::NotFound("model '" + name + "' is not registered");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> ModelMetaRegistry::ListModels() const {
+  std::vector<std::string> names;
+  for (const auto& [k, v] : metas_) names.push_back(v.name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool ContainsAggregate(const ParsedExpr& e) {
+  if (e.kind == ParsedExpr::Kind::kFunction) {
+    std::string lower = ToLower(e.name);
+    if (lower == "sum" || lower == "count" || lower == "min" || lower == "max" ||
+        lower == "avg") {
+      return true;
+    }
+  }
+  for (const auto& c : e.children) {
+    if (ContainsAggregate(*c)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool IsAggregateName(const std::string& lower) {
+  return lower == "sum" || lower == "count" || lower == "min" || lower == "max" ||
+         lower == "avg";
+}
+
+Result<exec::AggFunction> AggFromName(const std::string& lower) {
+  if (lower == "sum") return exec::AggFunction::kSum;
+  if (lower == "count") return exec::AggFunction::kCount;
+  if (lower == "min") return exec::AggFunction::kMin;
+  if (lower == "max") return exec::AggFunction::kMax;
+  if (lower == "avg") return exec::AggFunction::kAvg;
+  return Status::BindError("unknown aggregate: " + lower);
+}
+
+Result<exec::ScalarFn> ScalarFromName(const std::string& lower) {
+  if (lower == "sigmoid") return exec::ScalarFn::kSigmoid;
+  if (lower == "tanh") return exec::ScalarFn::kTanh;
+  if (lower == "relu") return exec::ScalarFn::kRelu;
+  if (lower == "exp") return exec::ScalarFn::kExp;
+  if (lower == "abs") return exec::ScalarFn::kAbs;
+  if (lower == "sin") return exec::ScalarFn::kSin;
+  return Status::BindError("unknown function: " + lower);
+}
+
+Result<exec::BinaryOp> BinaryFromText(const std::string& op) {
+  if (op == "+") return exec::BinaryOp::kAdd;
+  if (op == "-") return exec::BinaryOp::kSub;
+  if (op == "*") return exec::BinaryOp::kMul;
+  if (op == "/") return exec::BinaryOp::kDiv;
+  if (op == "%") return exec::BinaryOp::kMod;
+  if (op == "=") return exec::BinaryOp::kEq;
+  if (op == "<>") return exec::BinaryOp::kNe;
+  if (op == "<") return exec::BinaryOp::kLt;
+  if (op == "<=") return exec::BinaryOp::kLe;
+  if (op == ">") return exec::BinaryOp::kGt;
+  if (op == ">=") return exec::BinaryOp::kGe;
+  if (op == "AND") return exec::BinaryOp::kAnd;
+  if (op == "OR") return exec::BinaryOp::kOr;
+  return Status::BindError("unknown operator: " + op);
+}
+
+/// Normalised text used for GROUP BY expression matching.
+std::string NormalizedText(const ParsedExpr& e) { return ToLower(e.ToString()); }
+
+/// Output name for an unaliased select item.
+std::string DeriveName(const ParsedExpr& e, size_t index) {
+  if (e.kind == ParsedExpr::Kind::kColumn) return e.name;
+  if (e.kind == ParsedExpr::Kind::kFunction) return ToLower(e.name);
+  return StrFormat("col_%zu", index);
+}
+
+}  // namespace
+
+Result<LogicalOpPtr> Binder::Bind(const SelectStatement& stmt) {
+  return BindSelect(stmt);
+}
+
+Result<BoundColumn> Binder::ResolveColumn(const ParsedExpr& parsed,
+                                          const Scope& scope) {
+  const BoundColumn* found = nullptr;
+  if (!parsed.qualifier.empty()) {
+    std::string q = ToLower(parsed.qualifier);
+    for (const auto& entry : scope.entries) {
+      if (entry.alias != q) continue;
+      for (const auto& col : entry.columns) {
+        if (EqualsIgnoreCase(col.name, parsed.name)) return col;
+      }
+      return Status::BindError("column '" + parsed.qualifier + "." + parsed.name +
+                               "' not found");
+    }
+    // Projection scopes (ORDER BY binding) use an empty alias: fall back to
+    // matching the bare column name there, so `ORDER BY p.id` resolves to
+    // the projected `id` column.
+    for (const auto& entry : scope.entries) {
+      if (!entry.alias.empty()) continue;
+      for (const auto& col : entry.columns) {
+        if (EqualsIgnoreCase(col.name, parsed.name)) return col;
+      }
+    }
+    return Status::BindError("unknown table alias '" + parsed.qualifier + "'");
+  }
+  for (const auto& entry : scope.entries) {
+    for (const auto& col : entry.columns) {
+      if (EqualsIgnoreCase(col.name, parsed.name)) {
+        if (found != nullptr) {
+          return Status::BindError("ambiguous column '" + parsed.name + "'");
+        }
+        found = &col;
+      }
+    }
+  }
+  if (found == nullptr) {
+    return Status::BindError("column '" + parsed.name + "' not found");
+  }
+  return *found;
+}
+
+Result<ExprPtr> Binder::BindExpr(const ParsedExpr& parsed, const Scope& scope) {
+  switch (parsed.kind) {
+    case ParsedExpr::Kind::kColumn: {
+      INDBML_ASSIGN_OR_RETURN(BoundColumn col, ResolveColumn(parsed, scope));
+      return exec::MakeColumnRef(col.id, col.type, col.name);
+    }
+    case ParsedExpr::Kind::kIntLiteral:
+      return exec::MakeConstant(exec::Value::Int64(parsed.int_value));
+    case ParsedExpr::Kind::kFloatLiteral:
+      return exec::MakeConstant(
+          exec::Value::Float(static_cast<float>(parsed.float_value)));
+    case ParsedExpr::Kind::kBoolLiteral:
+      return exec::MakeConstant(exec::Value::Bool(parsed.bool_value));
+    case ParsedExpr::Kind::kStar:
+      return Status::BindError("'*' is only valid in the select list or COUNT(*)");
+    case ParsedExpr::Kind::kBinary: {
+      INDBML_ASSIGN_OR_RETURN(auto lhs, BindExpr(*parsed.children[0], scope));
+      INDBML_ASSIGN_OR_RETURN(auto rhs, BindExpr(*parsed.children[1], scope));
+      INDBML_ASSIGN_OR_RETURN(exec::BinaryOp op, BinaryFromText(parsed.name));
+      if ((op == exec::BinaryOp::kAnd || op == exec::BinaryOp::kOr) &&
+          (lhs->type != DataType::kBool || rhs->type != DataType::kBool)) {
+        return Status::BindError("AND/OR require boolean operands");
+      }
+      return exec::MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    case ParsedExpr::Kind::kUnary: {
+      INDBML_ASSIGN_OR_RETURN(auto child, BindExpr(*parsed.children[0], scope));
+      if (parsed.name == "NOT") {
+        if (child->type != DataType::kBool) {
+          return Status::BindError("NOT requires a boolean operand");
+        }
+        return exec::MakeUnary(exec::UnaryOp::kNot, std::move(child));
+      }
+      return exec::MakeUnary(exec::UnaryOp::kNegate, std::move(child));
+    }
+    case ParsedExpr::Kind::kFunction: {
+      std::string lower = ToLower(parsed.name);
+      if (IsAggregateName(lower)) {
+        return Status::BindError("aggregate '" + lower +
+                                 "' is not allowed in this context");
+      }
+      INDBML_ASSIGN_OR_RETURN(exec::ScalarFn fn, ScalarFromName(lower));
+      if (parsed.children.size() != 1) {
+        return Status::BindError("function '" + lower + "' takes one argument");
+      }
+      INDBML_ASSIGN_OR_RETURN(auto arg, BindExpr(*parsed.children[0], scope));
+      std::vector<ExprPtr> args;
+      args.push_back(std::move(arg));
+      return exec::MakeFunction(fn, std::move(args));
+    }
+    case ParsedExpr::Kind::kCase: {
+      size_t pairs_len = parsed.children.size() - (parsed.has_else ? 1 : 0);
+      std::vector<ExprPtr> parts;
+      DataType result_type = DataType::kInt64;
+      bool any_float = false;
+      std::vector<ExprPtr> thens;
+      for (size_t i = 0; i + 2 <= pairs_len; i += 2) {
+        INDBML_ASSIGN_OR_RETURN(auto cond, BindExpr(*parsed.children[i], scope));
+        if (cond->type != DataType::kBool) {
+          return Status::BindError("CASE WHEN condition must be boolean");
+        }
+        INDBML_ASSIGN_OR_RETURN(auto then, BindExpr(*parsed.children[i + 1], scope));
+        if (then->type == DataType::kFloat) any_float = true;
+        parts.push_back(std::move(cond));
+        parts.push_back(std::move(then));
+      }
+      ExprPtr els;
+      if (parsed.has_else) {
+        INDBML_ASSIGN_OR_RETURN(els, BindExpr(*parsed.children.back(), scope));
+        if (els->type == DataType::kFloat) any_float = true;
+      }
+      result_type = any_float ? DataType::kFloat : DataType::kInt64;
+      // Coerce all THEN/ELSE branches to the common type.
+      for (size_t i = 1; i < parts.size(); i += 2) {
+        parts[i] = exec::MakeCast(std::move(parts[i]), result_type);
+      }
+      if (els) parts.push_back(exec::MakeCast(std::move(els), result_type));
+      auto out = exec::MakeCase(std::move(parts));
+      out->type = result_type;
+      return out;
+    }
+  }
+  return Status::Internal("unhandled parsed expression kind");
+}
+
+Result<LogicalOpPtr> Binder::BindFrom(const TableRef& ref, Scope* scope) {
+  switch (ref.kind) {
+    case TableRef::Kind::kBase: {
+      INDBML_ASSIGN_OR_RETURN(storage::TablePtr table,
+                              catalog_->GetTable(ref.table_name));
+      auto op = std::make_unique<LogicalOp>();
+      op->kind = LogicalKind::kScan;
+      op->table = table;
+      for (int i = 0; i < table->num_columns(); ++i) {
+        BoundColumn col;
+        col.id = NextId();
+        col.name = table->fields()[static_cast<size_t>(i)].name;
+        col.type = table->fields()[static_cast<size_t>(i)].type;
+        op->outputs.push_back(col);
+        op->scan_columns.push_back(i);
+      }
+      ScopeEntry entry;
+      entry.alias = ToLower(ref.alias.empty() ? ref.table_name : ref.alias);
+      entry.columns = op->outputs;
+      scope->entries.push_back(std::move(entry));
+      return op;
+    }
+    case TableRef::Kind::kSubquery: {
+      INDBML_ASSIGN_OR_RETURN(auto plan, BindSelect(*ref.subquery));
+      ScopeEntry entry;
+      entry.alias = ToLower(ref.alias);
+      entry.columns = plan->outputs;
+      scope->entries.push_back(std::move(entry));
+      return plan;
+    }
+    case TableRef::Kind::kCrossJoin:
+    case TableRef::Kind::kJoin: {
+      INDBML_ASSIGN_OR_RETURN(auto left, BindFrom(*ref.left, scope));
+      INDBML_ASSIGN_OR_RETURN(auto right, BindFrom(*ref.right, scope));
+      auto join = std::make_unique<LogicalOp>();
+      join->kind = LogicalKind::kCrossJoin;
+      join->outputs = left->outputs;
+      for (const auto& c : right->outputs) join->outputs.push_back(c);
+      join->children.push_back(std::move(left));
+      join->children.push_back(std::move(right));
+      if (ref.kind == TableRef::Kind::kJoin) {
+        auto filter = std::make_unique<LogicalOp>();
+        filter->kind = LogicalKind::kFilter;
+        INDBML_ASSIGN_OR_RETURN(filter->condition,
+                                BindExpr(*ref.join_condition, *scope));
+        if (filter->condition->type != DataType::kBool) {
+          return Status::BindError("JOIN condition must be boolean");
+        }
+        filter->outputs = join->outputs;
+        filter->children.push_back(std::move(join));
+        return filter;
+      }
+      return join;
+    }
+    case TableRef::Kind::kModelJoin: {
+      INDBML_ASSIGN_OR_RETURN(auto input, BindFrom(*ref.left, scope));
+      INDBML_ASSIGN_OR_RETURN(storage::TablePtr model_table,
+                              catalog_->GetTable(ref.model_table));
+      INDBML_ASSIGN_OR_RETURN(const nn::ModelMeta* meta,
+                              models_->Get(ref.model_name));
+      auto op = std::make_unique<LogicalOp>();
+      op->kind = LogicalKind::kModelJoin;
+      op->modeljoin.model_table = model_table;
+      op->modeljoin.meta = *meta;
+      op->modeljoin.device = ref.device;
+
+      // Resolve the model's input columns from the child outputs.
+      if (!ref.predict_columns.empty()) {
+        for (const std::string& name : ref.predict_columns) {
+          const BoundColumn* found = nullptr;
+          for (const auto& c : input->outputs) {
+            if (EqualsIgnoreCase(c.name, name)) {
+              found = &c;
+              break;
+            }
+          }
+          if (found == nullptr) {
+            return Status::BindError("PREDICT column '" + name + "' not found");
+          }
+          op->modeljoin.input_column_ids.push_back(found->id);
+        }
+      } else {
+        // Default: all columns except one named "id" (the unique row id).
+        for (const auto& c : input->outputs) {
+          if (EqualsIgnoreCase(c.name, "id")) continue;
+          op->modeljoin.input_column_ids.push_back(c.id);
+        }
+      }
+      if (static_cast<int64_t>(op->modeljoin.input_column_ids.size()) !=
+          meta->input_width()) {
+        return Status::BindError(StrFormat(
+            "model '%s' expects %lld input columns, ModelJoin received %zu",
+            meta->name.c_str(), static_cast<long long>(meta->input_width()),
+            op->modeljoin.input_column_ids.size()));
+      }
+
+      op->outputs = input->outputs;
+      int64_t out_dim = meta->output_dim();
+      for (int64_t i = 0; i < out_dim; ++i) {
+        BoundColumn col;
+        col.id = NextId();
+        col.name = out_dim == 1 ? "prediction" : StrFormat("prediction_%lld",
+                                                           static_cast<long long>(i));
+        col.type = DataType::kFloat;
+        op->outputs.push_back(col);
+      }
+      op->children.push_back(std::move(input));
+
+      ScopeEntry entry;
+      entry.alias = "__modeljoin__";
+      // Only the prediction columns are newly visible under this pseudo
+      // alias; the input columns stay visible through their own entries.
+      entry.columns.assign(op->outputs.end() - out_dim, op->outputs.end());
+      scope->entries.push_back(std::move(entry));
+      return op;
+    }
+  }
+  return Status::Internal("unhandled table ref kind");
+}
+
+Result<ExprPtr> Binder::BindGroupedExpr(const ParsedExpr& parsed, const Scope& scope,
+                                        const std::vector<std::string>& group_texts,
+                                        const std::vector<BoundColumn>& group_outputs,
+                                        std::vector<exec::AggregateSpec>* aggs,
+                                        std::vector<BoundColumn>* agg_outputs) {
+  // Whole-subtree match against a GROUP BY expression?
+  std::string text = NormalizedText(parsed);
+  for (size_t g = 0; g < group_texts.size(); ++g) {
+    if (group_texts[g] == text) {
+      const BoundColumn& col = group_outputs[g];
+      return exec::MakeColumnRef(col.id, col.type, col.name);
+    }
+  }
+  // Aggregate call?
+  if (parsed.kind == ParsedExpr::Kind::kFunction && IsAggregateName(ToLower(parsed.name))) {
+    INDBML_ASSIGN_OR_RETURN(exec::AggFunction fn, AggFromName(ToLower(parsed.name)));
+    exec::AggregateSpec spec;
+    spec.function = fn;
+    if (parsed.children.size() == 1 &&
+        parsed.children[0]->kind == ParsedExpr::Kind::kStar) {
+      if (fn != exec::AggFunction::kCount) {
+        return Status::BindError("'*' argument is only valid for COUNT");
+      }
+      spec.argument = nullptr;
+      spec.result_type = DataType::kInt64;
+    } else {
+      if (parsed.children.size() != 1) {
+        return Status::BindError("aggregates take exactly one argument");
+      }
+      INDBML_ASSIGN_OR_RETURN(spec.argument, BindExpr(*parsed.children[0], scope));
+      switch (fn) {
+        case exec::AggFunction::kCount:
+          spec.result_type = DataType::kInt64;
+          break;
+        case exec::AggFunction::kAvg:
+          spec.result_type = DataType::kFloat;
+          break;
+        default:
+          spec.result_type = spec.argument->type;
+          break;
+      }
+    }
+    BoundColumn col;
+    col.id = NextId();
+    col.name = StrFormat("%s_%zu", ToLower(parsed.name).c_str(), agg_outputs->size());
+    col.type = spec.result_type;
+    spec.name = col.name;
+    agg_outputs->push_back(col);
+    aggs->push_back(std::move(spec));
+    return exec::MakeColumnRef(col.id, col.type, col.name);
+  }
+  // Otherwise descend; bare columns at this point are errors.
+  switch (parsed.kind) {
+    case ParsedExpr::Kind::kColumn:
+      return Status::BindError("column '" + parsed.ToString() +
+                               "' must appear in GROUP BY or inside an aggregate");
+    case ParsedExpr::Kind::kIntLiteral:
+    case ParsedExpr::Kind::kFloatLiteral:
+    case ParsedExpr::Kind::kBoolLiteral:
+      return BindExpr(parsed, scope);
+    case ParsedExpr::Kind::kBinary: {
+      INDBML_ASSIGN_OR_RETURN(
+          auto lhs, BindGroupedExpr(*parsed.children[0], scope, group_texts,
+                                    group_outputs, aggs, agg_outputs));
+      INDBML_ASSIGN_OR_RETURN(
+          auto rhs, BindGroupedExpr(*parsed.children[1], scope, group_texts,
+                                    group_outputs, aggs, agg_outputs));
+      INDBML_ASSIGN_OR_RETURN(exec::BinaryOp op, BinaryFromText(parsed.name));
+      return exec::MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    case ParsedExpr::Kind::kUnary: {
+      INDBML_ASSIGN_OR_RETURN(
+          auto child, BindGroupedExpr(*parsed.children[0], scope, group_texts,
+                                      group_outputs, aggs, agg_outputs));
+      return exec::MakeUnary(
+          parsed.name == "NOT" ? exec::UnaryOp::kNot : exec::UnaryOp::kNegate,
+          std::move(child));
+    }
+    case ParsedExpr::Kind::kFunction: {
+      INDBML_ASSIGN_OR_RETURN(exec::ScalarFn fn, ScalarFromName(ToLower(parsed.name)));
+      if (parsed.children.size() != 1) {
+        return Status::BindError("function takes one argument");
+      }
+      INDBML_ASSIGN_OR_RETURN(
+          auto arg, BindGroupedExpr(*parsed.children[0], scope, group_texts,
+                                    group_outputs, aggs, agg_outputs));
+      std::vector<ExprPtr> args;
+      args.push_back(std::move(arg));
+      return exec::MakeFunction(fn, std::move(args));
+    }
+    case ParsedExpr::Kind::kCase: {
+      size_t pairs_len = parsed.children.size() - (parsed.has_else ? 1 : 0);
+      std::vector<ExprPtr> parts;
+      bool any_float = false;
+      for (size_t i = 0; i + 2 <= pairs_len; i += 2) {
+        INDBML_ASSIGN_OR_RETURN(
+            auto cond, BindGroupedExpr(*parsed.children[i], scope, group_texts,
+                                       group_outputs, aggs, agg_outputs));
+        INDBML_ASSIGN_OR_RETURN(
+            auto then, BindGroupedExpr(*parsed.children[i + 1], scope, group_texts,
+                                       group_outputs, aggs, agg_outputs));
+        if (then->type == DataType::kFloat) any_float = true;
+        parts.push_back(std::move(cond));
+        parts.push_back(std::move(then));
+      }
+      ExprPtr els;
+      if (parsed.has_else) {
+        INDBML_ASSIGN_OR_RETURN(
+            els, BindGroupedExpr(*parsed.children.back(), scope, group_texts,
+                                 group_outputs, aggs, agg_outputs));
+        if (els->type == DataType::kFloat) any_float = true;
+      }
+      DataType result_type = any_float ? DataType::kFloat : DataType::kInt64;
+      for (size_t i = 1; i < parts.size(); i += 2) {
+        parts[i] = exec::MakeCast(std::move(parts[i]), result_type);
+      }
+      if (els) parts.push_back(exec::MakeCast(std::move(els), result_type));
+      auto out = exec::MakeCase(std::move(parts));
+      out->type = result_type;
+      return out;
+    }
+    case ParsedExpr::Kind::kStar:
+      return Status::BindError("'*' is not valid here");
+  }
+  return Status::Internal("unhandled grouped expression");
+}
+
+Result<LogicalOpPtr> Binder::BindSelect(const SelectStatement& stmt) {
+  Scope scope;
+  LogicalOpPtr plan;
+  if (stmt.from != nullptr) {
+    INDBML_ASSIGN_OR_RETURN(plan, BindFrom(*stmt.from, &scope));
+  } else {
+    return Status::NotImplemented("SELECT without FROM is not supported");
+  }
+
+  if (stmt.where != nullptr) {
+    auto filter = std::make_unique<LogicalOp>();
+    filter->kind = LogicalKind::kFilter;
+    INDBML_ASSIGN_OR_RETURN(filter->condition, BindExpr(*stmt.where, scope));
+    if (filter->condition->type != DataType::kBool) {
+      return Status::BindError("WHERE condition must be boolean");
+    }
+    filter->outputs = plan->outputs;
+    filter->children.push_back(std::move(plan));
+    plan = std::move(filter);
+  }
+
+  bool has_aggregates = !stmt.group_by.empty();
+  for (const auto& item : stmt.select_list) {
+    if (item.expr && ContainsAggregate(*item.expr)) has_aggregates = true;
+  }
+
+  std::vector<exec::ExprPtr> select_exprs;
+  std::vector<std::string> select_names;
+
+  if (has_aggregates) {
+    // Bind GROUP BY expressions and give each an output column.
+    std::vector<std::string> group_texts;
+    std::vector<BoundColumn> group_outputs;
+    std::vector<exec::ExprPtr> group_exprs;
+    std::vector<std::string> group_names;
+    for (const auto& g : stmt.group_by) {
+      INDBML_ASSIGN_OR_RETURN(auto bound, BindExpr(*g, scope));
+      BoundColumn col;
+      col.id = NextId();
+      col.name = g->kind == ParsedExpr::Kind::kColumn
+                     ? g->name
+                     : StrFormat("group_%zu", group_outputs.size());
+      col.type = bound->type;
+      group_texts.push_back(NormalizedText(*g));
+      group_outputs.push_back(col);
+      group_names.push_back(col.name);
+      group_exprs.push_back(std::move(bound));
+    }
+
+    std::vector<exec::AggregateSpec> aggs;
+    std::vector<BoundColumn> agg_outputs;
+    for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+      const SelectItem& item = stmt.select_list[i];
+      if (item.expr->kind == ParsedExpr::Kind::kStar) {
+        return Status::BindError("SELECT * cannot be combined with GROUP BY");
+      }
+      INDBML_ASSIGN_OR_RETURN(
+          auto bound, BindGroupedExpr(*item.expr, scope, group_texts, group_outputs,
+                                      &aggs, &agg_outputs));
+      select_names.push_back(item.alias.empty() ? DeriveName(*item.expr, i)
+                                                : item.alias);
+      select_exprs.push_back(std::move(bound));
+    }
+
+    auto agg = std::make_unique<LogicalOp>();
+    agg->kind = LogicalKind::kAggregate;
+    agg->groups = std::move(group_exprs);
+    agg->aggregates = std::move(aggs);
+    agg->outputs = group_outputs;
+    for (const auto& c : agg_outputs) agg->outputs.push_back(c);
+    agg->children.push_back(std::move(plan));
+    plan = std::move(agg);
+  } else {
+    for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+      const SelectItem& item = stmt.select_list[i];
+      if (item.expr->kind == ParsedExpr::Kind::kStar) {
+        for (const auto& entry : scope.entries) {
+          for (const auto& col : entry.columns) {
+            select_exprs.push_back(exec::MakeColumnRef(col.id, col.type, col.name));
+            select_names.push_back(col.name);
+          }
+        }
+        continue;
+      }
+      INDBML_ASSIGN_OR_RETURN(auto bound, BindExpr(*item.expr, scope));
+      select_names.push_back(item.alias.empty() ? DeriveName(*item.expr, i)
+                                                : item.alias);
+      select_exprs.push_back(std::move(bound));
+    }
+  }
+
+  // Final projection.
+  auto project = std::make_unique<LogicalOp>();
+  project->kind = LogicalKind::kProject;
+  for (size_t i = 0; i < select_exprs.size(); ++i) {
+    BoundColumn col;
+    col.id = NextId();
+    col.name = select_names[i];
+    col.type = select_exprs[i]->type;
+    project->outputs.push_back(col);
+  }
+  project->exprs = std::move(select_exprs);
+  project->children.push_back(std::move(plan));
+  plan = std::move(project);
+
+  // ORDER BY binds against the projected outputs (by name/alias).
+  if (!stmt.order_by.empty()) {
+    Scope out_scope;
+    ScopeEntry entry;
+    entry.alias = "";
+    entry.columns = plan->outputs;
+    out_scope.entries.push_back(std::move(entry));
+
+    auto sort = std::make_unique<LogicalOp>();
+    sort->kind = LogicalKind::kSort;
+    for (const auto& item : stmt.order_by) {
+      INDBML_ASSIGN_OR_RETURN(auto key, BindExpr(*item.expr, out_scope));
+      sort->sort_keys.push_back(std::move(key));
+      sort->ascending.push_back(item.ascending);
+    }
+    sort->outputs = plan->outputs;
+    sort->children.push_back(std::move(plan));
+    plan = std::move(sort);
+  }
+
+  if (stmt.limit >= 0) {
+    auto limit = std::make_unique<LogicalOp>();
+    limit->kind = LogicalKind::kLimit;
+    limit->limit = stmt.limit;
+    limit->outputs = plan->outputs;
+    limit->children.push_back(std::move(plan));
+    plan = std::move(limit);
+  }
+  return plan;
+}
+
+}  // namespace indbml::sql

@@ -1,0 +1,76 @@
+#ifndef INDBML_SQL_BINDER_H_
+#define INDBML_SQL_BINDER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/logical_plan.h"
+
+namespace indbml::sql {
+
+/// Registry of model metadata referenced by `USING MODEL '<name>'`
+/// (paper §5.5: the model's layer dimensions/types/activations, which a
+/// production system would keep in the catalog).
+class ModelMetaRegistry {
+ public:
+  void Register(nn::ModelMeta meta);
+  Result<const nn::ModelMeta*> Get(const std::string& name) const;
+  std::vector<std::string> ListModels() const;
+
+ private:
+  std::unordered_map<std::string, nn::ModelMeta> metas_;
+};
+
+/// \brief Resolves a parsed SELECT statement into a typed logical plan.
+///
+/// Responsibilities: name resolution against the catalog and FROM scopes,
+/// type derivation and coercion, aggregate extraction (GROUP BY handling),
+/// and MODEL JOIN resolution against the model registry. The produced plan
+/// is unoptimized: INNER JOINs appear as Filter(CrossJoin).
+class Binder {
+ public:
+  Binder(storage::Catalog* catalog, const ModelMetaRegistry* models)
+      : catalog_(catalog), models_(models) {}
+
+  Result<LogicalOpPtr> Bind(const SelectStatement& stmt);
+
+ private:
+  struct ScopeEntry {
+    std::string alias;  ///< lower-cased
+    std::vector<BoundColumn> columns;
+  };
+  struct Scope {
+    std::vector<ScopeEntry> entries;
+  };
+
+  int64_t NextId() { return next_id_++; }
+
+  Result<LogicalOpPtr> BindSelect(const SelectStatement& stmt);
+  Result<LogicalOpPtr> BindFrom(const TableRef& ref, Scope* scope);
+  Result<exec::ExprPtr> BindExpr(const ParsedExpr& parsed, const Scope& scope);
+  Result<BoundColumn> ResolveColumn(const ParsedExpr& parsed, const Scope& scope);
+
+  /// Binds a select/order expression in the presence of GROUP BY: matches
+  /// group expressions textually, extracts aggregate calls into `aggs`, and
+  /// rejects bare columns that are neither.
+  Result<exec::ExprPtr> BindGroupedExpr(const ParsedExpr& parsed, const Scope& scope,
+                                        const std::vector<std::string>& group_texts,
+                                        const std::vector<BoundColumn>& group_outputs,
+                                        std::vector<exec::AggregateSpec>* aggs,
+                                        std::vector<BoundColumn>* agg_outputs);
+
+  storage::Catalog* catalog_;
+  const ModelMetaRegistry* models_;
+  int64_t next_id_ = 0;
+};
+
+/// True if the expression tree contains an aggregate function call.
+bool ContainsAggregate(const ParsedExpr& e);
+
+}  // namespace indbml::sql
+
+#endif  // INDBML_SQL_BINDER_H_

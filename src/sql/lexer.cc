@@ -1,0 +1,137 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace indbml::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>({
+      "SELECT", "FROM",  "WHERE", "GROUP",  "BY",    "ORDER",   "ASC",
+      "DESC",   "LIMIT", "AS",    "AND",    "OR",    "NOT",     "CASE",
+      "WHEN",   "THEN",  "ELSE",  "END",    "JOIN",  "INNER",   "CROSS",
+      "ON",     "MODEL", "USING", "DEVICE", "PREDICT", "TRUE",  "FALSE",
+      "CAST",   "SUM",   "COUNT", "MIN",    "MAX",    "AVG",    "DISTINCT",
+  });
+  return *kKeywords;
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& upper) { return Keywords().count(upper) > 0; }
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = static_cast<int>(i);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = word;
+      }
+      tokens.push_back(tok);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string num = sql.substr(start, i - start);
+      if (is_float) {
+        tok.type = TokenType::kFloatLiteral;
+        tok.float_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kIntLiteral;
+        tok.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      tok.text = num;
+      tokens.push_back(tok);
+      continue;
+    }
+    if (c == '\'') {
+      size_t start = ++i;
+      while (i < n && sql[i] != '\'') ++i;
+      if (i >= n) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %d", tok.position));
+      }
+      tok.type = TokenType::kStringLiteral;
+      tok.text = sql.substr(start, i - start);
+      ++i;
+      tokens.push_back(tok);
+      continue;
+    }
+    // Multi-char operators.
+    if (c == '<' && i + 1 < n && (sql[i + 1] == '=' || sql[i + 1] == '>')) {
+      tok.type = TokenType::kOperator;
+      tok.text = sql.substr(i, 2);
+      i += 2;
+      tokens.push_back(tok);
+      continue;
+    }
+    if (c == '>' && i + 1 < n && sql[i + 1] == '=') {
+      tok.type = TokenType::kOperator;
+      tok.text = ">=";
+      i += 2;
+      tokens.push_back(tok);
+      continue;
+    }
+    if (std::strchr("+-*/%=<>(),.;", c) != nullptr) {
+      tok.type = TokenType::kOperator;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(tok);
+      continue;
+    }
+    return Status::ParseError(
+        StrFormat("unexpected character '%c' at offset %d", c, tok.position));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = static_cast<int>(n);
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace indbml::sql

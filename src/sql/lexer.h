@@ -1,0 +1,39 @@
+#ifndef INDBML_SQL_LEXER_H_
+#define INDBML_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace indbml::sql {
+
+enum class TokenType {
+  kIdentifier,
+  kKeyword,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  kOperator,  // + - * / % = <> < <= > >= ( ) , . ;
+  kEnd
+};
+
+struct Token {
+  TokenType type;
+  std::string text;  ///< keywords upper-cased, identifiers as written
+  int64_t int_value = 0;
+  double float_value = 0;
+  int position = 0;  ///< byte offset in the input (error messages)
+};
+
+/// Tokenises a SQL string. Keywords are recognised case-insensitively and
+/// normalised to upper case in `text`. Fails on unterminated strings or
+/// unexpected characters.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// True if `word` (upper-cased) is a reserved keyword.
+bool IsKeyword(const std::string& upper);
+
+}  // namespace indbml::sql
+
+#endif  // INDBML_SQL_LEXER_H_

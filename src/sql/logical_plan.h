@@ -1,0 +1,100 @@
+#ifndef INDBML_SQL_LOGICAL_PLAN_H_
+#define INDBML_SQL_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "exec/expression.h"
+#include "exec/scan.h"
+#include "nn/model_meta.h"
+#include "storage/table.h"
+
+namespace indbml::sql {
+
+/// A column produced by a logical operator: a binder-assigned unique id plus
+/// name and type. Expressions reference columns by this id until the
+/// physical planner rewrites them to chunk positions.
+struct BoundColumn {
+  int64_t id = -1;
+  std::string name;
+  exec::DataType type = exec::DataType::kInt64;
+};
+
+enum class LogicalKind {
+  kScan,
+  kFilter,
+  kProject,
+  kHashJoin,
+  kCrossJoin,
+  kAggregate,
+  kSort,
+  kLimit,
+  kModelJoin,
+};
+
+/// Bound ModelJoin description (parser `MODEL JOIN ... USING MODEL 'x'`).
+struct ModelJoinInfo {
+  storage::TablePtr model_table;
+  nn::ModelMeta meta;
+  std::string device = "cpu";
+  /// Binding ids (into the child's outputs) of the model input columns, in
+  /// model input order.
+  std::vector<int64_t> input_column_ids;
+};
+
+/// \brief One node of the bound logical plan.
+///
+/// A deliberately "fat" struct (DuckDB-style early IR): only the members
+/// relevant to `kind` are populated. Children: kScan has none; kFilter /
+/// kProject / kAggregate / kSort / kLimit / kModelJoin have one;
+/// joins have two (child 0 = probe/left — the side whose order and
+/// partitioning are preserved).
+struct LogicalOp {
+  LogicalKind kind;
+  std::vector<std::unique_ptr<LogicalOp>> children;
+  std::vector<BoundColumn> outputs;
+
+  // kScan
+  storage::TablePtr table;
+  std::vector<int> scan_columns;                ///< table column index per output
+  std::vector<exec::ScanPredicate> pushed;      ///< on table column indexes
+
+  // kFilter
+  exec::ExprPtr condition;
+
+  // kProject
+  std::vector<exec::ExprPtr> exprs;
+
+  // kHashJoin
+  std::vector<exec::ExprPtr> probe_keys;
+  std::vector<exec::ExprPtr> build_keys;
+
+  // kAggregate
+  std::vector<exec::ExprPtr> groups;
+  std::vector<exec::AggregateSpec> aggregates;
+  bool streaming = false;  ///< set by the order-based aggregation rule
+  /// Number of leading group keys that arrive as a sorted/grouped prefix
+  /// (valid when streaming is set).
+  int streaming_prefix = 0;
+
+  // kSort
+  std::vector<exec::ExprPtr> sort_keys;
+  std::vector<bool> ascending;
+
+  // kLimit
+  int64_t limit = -1;
+
+  // kModelJoin
+  ModelJoinInfo modeljoin;
+
+  /// Indented plan rendering for EXPLAIN-style debugging.
+  std::string ToString(int indent = 0) const;
+};
+
+using LogicalOpPtr = std::unique_ptr<LogicalOp>;
+
+}  // namespace indbml::sql
+
+#endif  // INDBML_SQL_LOGICAL_PLAN_H_

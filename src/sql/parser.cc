@@ -1,0 +1,468 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace indbml::sql {
+
+namespace {
+
+/// Recursive-descent parser with precedence climbing for expressions.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStatement>> ParseStatement() {
+    INDBML_ASSIGN_OR_RETURN(auto stmt, ParseSelectBody());
+    if (PeekOp(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(const char* kw, int ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kKeyword && t.text == kw;
+  }
+  bool PeekOp(const char* op, int ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kOperator && t.text == op;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (PeekKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptOp(const char* op) {
+    if (PeekOp(op)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Error(std::string("expected ") + kw);
+    }
+    return Status::OK();
+  }
+  Status ExpectOp(const char* op) {
+    if (!AcceptOp(op)) {
+      return Error(std::string("expected '") + op + "'");
+    }
+    return Status::OK();
+  }
+  Status Error(const std::string& msg) const {
+    const Token& t = Peek();
+    return Status::ParseError(StrFormat("%s at offset %d (near '%s')", msg.c_str(),
+                                        t.position, t.text.c_str()));
+  }
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelectBody() {
+    INDBML_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    auto stmt = std::make_unique<SelectStatement>();
+
+    // Select list.
+    do {
+      SelectItem item;
+      if (PeekOp("*")) {
+        Advance();
+        auto star = std::make_unique<ParsedExpr>();
+        star->kind = ParsedExpr::Kind::kStar;
+        item.expr = std::move(star);
+      } else {
+        INDBML_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("AS")) {
+          if (Peek().type != TokenType::kIdentifier) return Error("expected alias");
+          item.alias = Advance().text;
+        } else if (Peek().type == TokenType::kIdentifier) {
+          // Implicit alias: SELECT x y.
+          item.alias = Advance().text;
+        }
+      }
+      stmt->select_list.push_back(std::move(item));
+    } while (AcceptOp(","));
+
+    if (AcceptKeyword("FROM")) {
+      INDBML_ASSIGN_OR_RETURN(stmt->from, ParseTableRef());
+    }
+    if (AcceptKeyword("WHERE")) {
+      INDBML_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      INDBML_RETURN_NOT_OK(ExpectKeyword("BY"));
+      do {
+        INDBML_ASSIGN_OR_RETURN(auto e, ParseExpr());
+        stmt->group_by.push_back(std::move(e));
+      } while (AcceptOp(","));
+    }
+    if (AcceptKeyword("ORDER")) {
+      INDBML_RETURN_NOT_OK(ExpectKeyword("BY"));
+      do {
+        OrderItem item;
+        INDBML_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (AcceptOp(","));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kIntLiteral) return Error("expected LIMIT count");
+      stmt->limit = Advance().int_value;
+    }
+    return stmt;
+  }
+
+  /// table_ref with left-associative join chaining.
+  Result<std::unique_ptr<TableRef>> ParseTableRef() {
+    INDBML_ASSIGN_OR_RETURN(auto left, ParsePrimaryTableRef());
+    for (;;) {
+      if (AcceptOp(",")) {
+        INDBML_ASSIGN_OR_RETURN(auto right, ParsePrimaryTableRef());
+        auto join = std::make_unique<TableRef>();
+        join->kind = TableRef::Kind::kCrossJoin;
+        join->left = std::move(left);
+        join->right = std::move(right);
+        left = std::move(join);
+        continue;
+      }
+      if (PeekKeyword("CROSS")) {
+        Advance();
+        INDBML_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+        INDBML_ASSIGN_OR_RETURN(auto right, ParsePrimaryTableRef());
+        auto join = std::make_unique<TableRef>();
+        join->kind = TableRef::Kind::kCrossJoin;
+        join->left = std::move(left);
+        join->right = std::move(right);
+        left = std::move(join);
+        continue;
+      }
+      if (PeekKeyword("INNER") || PeekKeyword("JOIN")) {
+        AcceptKeyword("INNER");
+        INDBML_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+        INDBML_ASSIGN_OR_RETURN(auto right, ParsePrimaryTableRef());
+        INDBML_RETURN_NOT_OK(ExpectKeyword("ON"));
+        auto join = std::make_unique<TableRef>();
+        join->kind = TableRef::Kind::kJoin;
+        join->left = std::move(left);
+        join->right = std::move(right);
+        INDBML_ASSIGN_OR_RETURN(join->join_condition, ParseExpr());
+        left = std::move(join);
+        continue;
+      }
+      if (PeekKeyword("MODEL") && PeekKeyword("JOIN", 1)) {
+        Advance();
+        Advance();
+        auto mj = std::make_unique<TableRef>();
+        mj->kind = TableRef::Kind::kModelJoin;
+        mj->left = std::move(left);
+        if (Peek().type != TokenType::kIdentifier) {
+          return Error("expected model table name");
+        }
+        mj->model_table = Advance().text;
+        INDBML_RETURN_NOT_OK(ExpectKeyword("USING"));
+        INDBML_RETURN_NOT_OK(ExpectKeyword("MODEL"));
+        if (Peek().type != TokenType::kStringLiteral) {
+          return Error("expected model name string");
+        }
+        mj->model_name = Advance().text;
+        if (AcceptKeyword("DEVICE")) {
+          if (Peek().type != TokenType::kStringLiteral) {
+            return Error("expected device string");
+          }
+          mj->device = ToLower(Advance().text);
+        }
+        if (AcceptKeyword("PREDICT")) {
+          INDBML_RETURN_NOT_OK(ExpectOp("("));
+          do {
+            if (Peek().type != TokenType::kIdentifier) {
+              return Error("expected column name in PREDICT list");
+            }
+            mj->predict_columns.push_back(Advance().text);
+          } while (AcceptOp(","));
+          INDBML_RETURN_NOT_OK(ExpectOp(")"));
+        }
+        left = std::move(mj);
+        continue;
+      }
+      break;
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<TableRef>> ParsePrimaryTableRef() {
+    if (AcceptOp("(")) {
+      auto ref = std::make_unique<TableRef>();
+      ref->kind = TableRef::Kind::kSubquery;
+      INDBML_ASSIGN_OR_RETURN(ref->subquery, ParseSelectBody());
+      INDBML_RETURN_NOT_OK(ExpectOp(")"));
+      AcceptKeyword("AS");
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("derived table requires an alias");
+      }
+      ref->alias = Advance().text;
+      return ref;
+    }
+    if (Peek().type != TokenType::kIdentifier) return Error("expected table name");
+    auto ref = std::make_unique<TableRef>();
+    ref->kind = TableRef::Kind::kBase;
+    ref->table_name = Advance().text;
+    if (AcceptKeyword("AS")) {
+      if (Peek().type != TokenType::kIdentifier) return Error("expected alias");
+      ref->alias = Advance().text;
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref->alias = Advance().text;
+    }
+    return ref;
+  }
+
+  // ---- Expressions (precedence climbing) ----
+  // OR < AND < NOT < comparison < additive < multiplicative < unary < primary
+
+  Result<ParsedExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ParsedExprPtr> ParseOr() {
+    INDBML_ASSIGN_OR_RETURN(auto lhs, ParseAnd());
+    while (PeekKeyword("OR")) {
+      Advance();
+      INDBML_ASSIGN_OR_RETURN(auto rhs, ParseAnd());
+      lhs = MakeBinaryAst("OR", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ParsedExprPtr> ParseAnd() {
+    INDBML_ASSIGN_OR_RETURN(auto lhs, ParseNot());
+    while (PeekKeyword("AND")) {
+      Advance();
+      INDBML_ASSIGN_OR_RETURN(auto rhs, ParseNot());
+      lhs = MakeBinaryAst("AND", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ParsedExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      INDBML_ASSIGN_OR_RETURN(auto child, ParseNot());
+      auto e = std::make_unique<ParsedExpr>();
+      e->kind = ParsedExpr::Kind::kUnary;
+      e->name = "NOT";
+      e->children.push_back(std::move(child));
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<ParsedExprPtr> ParseComparison() {
+    INDBML_ASSIGN_OR_RETURN(auto lhs, ParseAdditive());
+    static const char* kOps[] = {"=", "<>", "<=", ">=", "<", ">"};
+    for (const char* op : kOps) {
+      if (PeekOp(op)) {
+        Advance();
+        INDBML_ASSIGN_OR_RETURN(auto rhs, ParseAdditive());
+        return MakeBinaryAst(op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ParsedExprPtr> ParseAdditive() {
+    INDBML_ASSIGN_OR_RETURN(auto lhs, ParseMultiplicative());
+    for (;;) {
+      if (PeekOp("+") || PeekOp("-")) {
+        std::string op = Advance().text;
+        INDBML_ASSIGN_OR_RETURN(auto rhs, ParseMultiplicative());
+        lhs = MakeBinaryAst(op, std::move(lhs), std::move(rhs));
+        continue;
+      }
+      return lhs;
+    }
+  }
+
+  Result<ParsedExprPtr> ParseMultiplicative() {
+    INDBML_ASSIGN_OR_RETURN(auto lhs, ParseUnary());
+    for (;;) {
+      if (PeekOp("*") || PeekOp("/") || PeekOp("%")) {
+        std::string op = Advance().text;
+        INDBML_ASSIGN_OR_RETURN(auto rhs, ParseUnary());
+        lhs = MakeBinaryAst(op, std::move(lhs), std::move(rhs));
+        continue;
+      }
+      return lhs;
+    }
+  }
+
+  Result<ParsedExprPtr> ParseUnary() {
+    if (AcceptOp("-")) {
+      INDBML_ASSIGN_OR_RETURN(auto child, ParseUnary());
+      auto e = std::make_unique<ParsedExpr>();
+      e->kind = ParsedExpr::Kind::kUnary;
+      e->name = "-";
+      e->children.push_back(std::move(child));
+      return e;
+    }
+    AcceptOp("+");
+    return ParsePrimary();
+  }
+
+  Result<ParsedExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.type == TokenType::kIntLiteral) {
+      Advance();
+      auto e = std::make_unique<ParsedExpr>();
+      e->kind = ParsedExpr::Kind::kIntLiteral;
+      e->int_value = t.int_value;
+      return e;
+    }
+    if (t.type == TokenType::kFloatLiteral) {
+      Advance();
+      auto e = std::make_unique<ParsedExpr>();
+      e->kind = ParsedExpr::Kind::kFloatLiteral;
+      e->float_value = t.float_value;
+      return e;
+    }
+    if (PeekKeyword("TRUE") || PeekKeyword("FALSE")) {
+      auto e = std::make_unique<ParsedExpr>();
+      e->kind = ParsedExpr::Kind::kBoolLiteral;
+      e->bool_value = Advance().text == "TRUE";
+      return e;
+    }
+    if (PeekKeyword("CASE")) {
+      Advance();
+      auto e = std::make_unique<ParsedExpr>();
+      e->kind = ParsedExpr::Kind::kCase;
+      while (AcceptKeyword("WHEN")) {
+        INDBML_ASSIGN_OR_RETURN(auto cond, ParseExpr());
+        INDBML_RETURN_NOT_OK(ExpectKeyword("THEN"));
+        INDBML_ASSIGN_OR_RETURN(auto then, ParseExpr());
+        e->children.push_back(std::move(cond));
+        e->children.push_back(std::move(then));
+      }
+      if (e->children.empty()) return Error("CASE requires at least one WHEN");
+      if (AcceptKeyword("ELSE")) {
+        INDBML_ASSIGN_OR_RETURN(auto els, ParseExpr());
+        e->children.push_back(std::move(els));
+        e->has_else = true;
+      }
+      INDBML_RETURN_NOT_OK(ExpectKeyword("END"));
+      return e;
+    }
+    // Aggregate keywords and identifiers both may start a function call.
+    bool is_agg_kw = PeekKeyword("SUM") || PeekKeyword("COUNT") ||
+                     PeekKeyword("MIN") || PeekKeyword("MAX") || PeekKeyword("AVG");
+    if (t.type == TokenType::kIdentifier || is_agg_kw) {
+      std::string name = Advance().text;
+      if (AcceptOp("(")) {
+        auto e = std::make_unique<ParsedExpr>();
+        e->kind = ParsedExpr::Kind::kFunction;
+        e->name = ToLower(name);
+        if (PeekOp("*")) {
+          Advance();
+          auto star = std::make_unique<ParsedExpr>();
+          star->kind = ParsedExpr::Kind::kStar;
+          e->children.push_back(std::move(star));
+        } else if (!PeekOp(")")) {
+          do {
+            INDBML_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+            e->children.push_back(std::move(arg));
+          } while (AcceptOp(","));
+        }
+        INDBML_RETURN_NOT_OK(ExpectOp(")"));
+        return e;
+      }
+      auto e = std::make_unique<ParsedExpr>();
+      e->kind = ParsedExpr::Kind::kColumn;
+      if (AcceptOp(".")) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return Error("expected column name after '.'");
+        }
+        e->qualifier = name;
+        e->name = Advance().text;
+      } else {
+        e->name = name;
+      }
+      return e;
+    }
+    if (AcceptOp("(")) {
+      INDBML_ASSIGN_OR_RETURN(auto e, ParseExpr());
+      INDBML_RETURN_NOT_OK(ExpectOp(")"));
+      return e;
+    }
+    return Error("expected expression");
+  }
+
+  static ParsedExprPtr MakeBinaryAst(std::string op, ParsedExprPtr lhs,
+                                     ParsedExprPtr rhs) {
+    auto e = std::make_unique<ParsedExpr>();
+    e->kind = ParsedExpr::Kind::kBinary;
+    e->name = std::move(op);
+    e->children.push_back(std::move(lhs));
+    e->children.push_back(std::move(rhs));
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string ParsedExpr::ToString() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return qualifier.empty() ? name : qualifier + "." + name;
+    case Kind::kStar:
+      return "*";
+    case Kind::kIntLiteral:
+      return std::to_string(int_value);
+    case Kind::kFloatLiteral:
+      return StrFormat("%g", float_value);
+    case Kind::kBoolLiteral:
+      return bool_value ? "TRUE" : "FALSE";
+    case Kind::kBinary:
+      return "(" + children[0]->ToString() + " " + name + " " +
+             children[1]->ToString() + ")";
+    case Kind::kUnary:
+      return name + " " + children[0]->ToString();
+    case Kind::kFunction: {
+      std::string out = name + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kCase: {
+      std::string out = "CASE";
+      size_t pairs_len = children.size() - (has_else ? 1 : 0);
+      for (size_t i = 0; i + 2 <= pairs_len; i += 2) {
+        out += " WHEN " + children[i]->ToString() + " THEN " +
+               children[i + 1]->ToString();
+      }
+      if (has_else) out += " ELSE " + children.back()->ToString();
+      return out + " END";
+    }
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql) {
+  INDBML_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace indbml::sql

@@ -1,0 +1,27 @@
+#ifndef INDBML_SQL_PARSER_H_
+#define INDBML_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace indbml::sql {
+
+/// Parses one SELECT statement (optionally ';'-terminated).
+///
+/// Supported grammar (the subset ML-To-SQL emits plus general conveniences):
+///   SELECT item[, ...] FROM table_ref [WHERE expr]
+///     [GROUP BY expr[, ...]] [ORDER BY expr [ASC|DESC][, ...]] [LIMIT n]
+///   table_ref := base [AS alias] | '(' select ')' [AS] alias
+///              | table_ref ',' table_ref                  (cross join)
+///              | table_ref [INNER] JOIN table_ref ON expr
+///              | table_ref CROSS JOIN table_ref
+///              | table_ref MODEL JOIN base USING MODEL 'name'
+///                  [DEVICE 'cpu'|'gpu'] [PREDICT '(' col[, ...] ')']
+Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql);
+
+}  // namespace indbml::sql
+
+#endif  // INDBML_SQL_PARSER_H_

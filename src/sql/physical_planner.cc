@@ -1,0 +1,214 @@
+#include "sql/physical_planner.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "exec/aggregate.h"
+#include "exec/basic_operators.h"
+#include "exec/join.h"
+#include "exec/scan.h"
+
+namespace indbml::sql {
+
+using exec::ExprPtr;
+using exec::OperatorPtr;
+
+namespace {
+
+/// Mapping from binder column ids to chunk positions of an operator output.
+std::unordered_map<int64_t, int64_t> PositionMap(const std::vector<BoundColumn>& cols,
+                                                 int64_t offset = 0) {
+  std::unordered_map<int64_t, int64_t> map;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    map[cols[i].id] = offset + static_cast<int64_t>(i);
+  }
+  return map;
+}
+
+Result<ExprPtr> Remap(const exec::Expr& expr,
+                      const std::unordered_map<int64_t, int64_t>& mapping) {
+  ExprPtr clone = exec::CloneExpr(expr);
+  if (!exec::RemapColumnIds(clone.get(), mapping)) {
+    return Status::Internal("expression references a column missing from the child: " +
+                            expr.ToString());
+  }
+  return clone;
+}
+
+}  // namespace
+
+PhysicalPlanner::PhysicalPlanner(const LogicalOp* plan, const PlanAnalysis& analysis,
+                                 int requested_partitions,
+                                 ModelJoinStateFactory state_factory,
+                                 ModelJoinOperatorFactory operator_factory)
+    : plan_(plan),
+      analysis_(analysis),
+      num_partitions_(analysis.parallel_safe ? std::max(1, requested_partitions) : 1),
+      state_factory_(std::move(state_factory)),
+      operator_factory_(std::move(operator_factory)) {}
+
+Status PhysicalPlanner::Prepare() {
+  // Create shared ModelJoin state once per ModelJoin node, serially.
+  struct Visitor {
+    PhysicalPlanner* planner;
+    Status Visit(const LogicalOp& node) {
+      for (const auto& child : node.children) {
+        INDBML_RETURN_NOT_OK(Visit(*child));
+      }
+      if (node.kind == LogicalKind::kModelJoin) {
+        if (planner->state_factory_ == nullptr) {
+          return Status::NotImplemented(
+              "no native ModelJoin implementation registered with this engine");
+        }
+        INDBML_ASSIGN_OR_RETURN(
+            auto state,
+            planner->state_factory_(node.modeljoin.meta, node.modeljoin.device,
+                                    planner->num_partitions_));
+        planner->modeljoin_states_[&node] = std::move(state);
+      }
+      return Status::OK();
+    }
+  };
+  Visitor visitor{this};
+  return visitor.Visit(*plan_);
+}
+
+Result<OperatorPtr> PhysicalPlanner::Instantiate(int partition) {
+  return Build(*plan_, partition);
+}
+
+Result<OperatorPtr> PhysicalPlanner::Build(const LogicalOp& node, int partition) {
+  switch (node.kind) {
+    case LogicalKind::kScan: {
+      storage::PartitionRange range{0, node.table->num_rows()};
+      if (node.table.get() == analysis_.partitioned_table && num_partitions_ > 1) {
+        range = node.table->MakePartitions(num_partitions_)[
+            static_cast<size_t>(partition)];
+      }
+      return OperatorPtr(std::make_unique<exec::TableScanOperator>(
+          node.table, range, node.scan_columns, node.pushed));
+    }
+    case LogicalKind::kFilter: {
+      INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], partition));
+      auto mapping = PositionMap(node.children[0]->outputs);
+      INDBML_ASSIGN_OR_RETURN(auto cond, Remap(*node.condition, mapping));
+      return OperatorPtr(
+          std::make_unique<exec::FilterOperator>(std::move(child), std::move(cond)));
+    }
+    case LogicalKind::kProject: {
+      INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], partition));
+      auto mapping = PositionMap(node.children[0]->outputs);
+      std::vector<ExprPtr> exprs;
+      std::vector<std::string> names;
+      for (size_t i = 0; i < node.exprs.size(); ++i) {
+        INDBML_ASSIGN_OR_RETURN(auto e, Remap(*node.exprs[i], mapping));
+        exprs.push_back(std::move(e));
+        names.push_back(node.outputs[i].name);
+      }
+      return OperatorPtr(std::make_unique<exec::ProjectOperator>(
+          std::move(child), std::move(exprs), std::move(names)));
+    }
+    case LogicalKind::kHashJoin: {
+      INDBML_ASSIGN_OR_RETURN(auto probe, Build(*node.children[0], partition));
+      INDBML_ASSIGN_OR_RETURN(auto build, Build(*node.children[1], partition));
+      auto probe_map = PositionMap(node.children[0]->outputs);
+      auto build_map = PositionMap(node.children[1]->outputs);
+      std::vector<ExprPtr> probe_keys;
+      std::vector<ExprPtr> build_keys;
+      for (const auto& k : node.probe_keys) {
+        INDBML_ASSIGN_OR_RETURN(auto e, Remap(*k, probe_map));
+        probe_keys.push_back(std::move(e));
+      }
+      for (const auto& k : node.build_keys) {
+        INDBML_ASSIGN_OR_RETURN(auto e, Remap(*k, build_map));
+        build_keys.push_back(std::move(e));
+      }
+      return OperatorPtr(std::make_unique<exec::HashJoinOperator>(
+          std::move(probe), std::move(build), std::move(probe_keys),
+          std::move(build_keys)));
+    }
+    case LogicalKind::kCrossJoin: {
+      INDBML_ASSIGN_OR_RETURN(auto left, Build(*node.children[0], partition));
+      INDBML_ASSIGN_OR_RETURN(auto right, Build(*node.children[1], partition));
+      return OperatorPtr(std::make_unique<exec::CrossJoinOperator>(std::move(left),
+                                                                   std::move(right)));
+    }
+    case LogicalKind::kAggregate: {
+      INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], partition));
+      auto mapping = PositionMap(node.children[0]->outputs);
+      std::vector<ExprPtr> groups;
+      std::vector<std::string> group_names;
+      for (size_t g = 0; g < node.groups.size(); ++g) {
+        INDBML_ASSIGN_OR_RETURN(auto e, Remap(*node.groups[g], mapping));
+        groups.push_back(std::move(e));
+        group_names.push_back(node.outputs[g].name);
+      }
+      std::vector<exec::AggregateSpec> aggs;
+      for (const auto& a : node.aggregates) {
+        exec::AggregateSpec spec;
+        spec.function = a.function;
+        spec.result_type = a.result_type;
+        spec.name = a.name;
+        if (a.argument) {
+          INDBML_ASSIGN_OR_RETURN(spec.argument, Remap(*a.argument, mapping));
+        }
+        aggs.push_back(std::move(spec));
+      }
+      if (node.streaming) {
+        return OperatorPtr(std::make_unique<exec::StreamingAggregateOperator>(
+            std::move(child), std::move(groups), std::move(group_names),
+            std::move(aggs), node.streaming_prefix));
+      }
+      return OperatorPtr(std::make_unique<exec::HashAggregateOperator>(
+          std::move(child), std::move(groups), std::move(group_names),
+          std::move(aggs)));
+    }
+    case LogicalKind::kSort: {
+      INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], partition));
+      auto mapping = PositionMap(node.children[0]->outputs);
+      std::vector<ExprPtr> keys;
+      for (const auto& k : node.sort_keys) {
+        INDBML_ASSIGN_OR_RETURN(auto e, Remap(*k, mapping));
+        keys.push_back(std::move(e));
+      }
+      return OperatorPtr(std::make_unique<exec::SortOperator>(
+          std::move(child), std::move(keys), node.ascending));
+    }
+    case LogicalKind::kLimit: {
+      INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], partition));
+      return OperatorPtr(
+          std::make_unique<exec::LimitOperator>(std::move(child), node.limit));
+    }
+    case LogicalKind::kModelJoin: {
+      if (operator_factory_ == nullptr) {
+        return Status::NotImplemented(
+            "no native ModelJoin implementation registered with this engine");
+      }
+      INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], partition));
+      auto mapping = PositionMap(node.children[0]->outputs);
+      ModelJoinPhysicalArgs args;
+      for (int64_t id : node.modeljoin.input_column_ids) {
+        auto it = mapping.find(id);
+        if (it == mapping.end()) {
+          return Status::Internal("ModelJoin input column pruned away");
+        }
+        args.input_column_indexes.push_back(static_cast<int>(it->second));
+      }
+      args.child = std::move(child);
+      args.model_table = node.modeljoin.model_table;
+      args.meta = node.modeljoin.meta;
+      args.device = node.modeljoin.device;
+      size_t child_width = node.children[0]->outputs.size();
+      for (size_t i = child_width; i < node.outputs.size(); ++i) {
+        args.prediction_names.push_back(node.outputs[i].name);
+      }
+      args.shared_state = modeljoin_states_.at(&node);
+      args.partition = partition;
+      args.num_partitions = num_partitions_;
+      return operator_factory_(std::move(args));
+    }
+  }
+  return Status::Internal("unhandled logical operator");
+}
+
+}  // namespace indbml::sql

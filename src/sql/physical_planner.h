@@ -1,0 +1,77 @@
+#ifndef INDBML_SQL_PHYSICAL_PLANNER_H_
+#define INDBML_SQL_PHYSICAL_PLANNER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "sql/logical_plan.h"
+#include "sql/optimizer.h"
+
+namespace indbml::sql {
+
+/// Everything the native ModelJoin operator implementation needs from the
+/// planner for one partition's instance.
+struct ModelJoinPhysicalArgs {
+  exec::OperatorPtr child;
+  storage::TablePtr model_table;
+  /// Positions of the model input columns in the child's output chunk.
+  std::vector<int> input_column_indexes;
+  nn::ModelMeta meta;
+  std::string device;
+  std::vector<std::string> prediction_names;
+  /// Query-wide state shared by all partition instances (the shared model
+  /// of the parallel build phase, paper §5.2). Created once per query by
+  /// the registered state factory.
+  std::shared_ptr<void> shared_state;
+  int partition = 0;
+  int num_partitions = 1;
+};
+
+/// Creates the per-query shared state of the native ModelJoin.
+using ModelJoinStateFactory = std::function<Result<std::shared_ptr<void>>(
+    const nn::ModelMeta& meta, const std::string& device, int num_partitions)>;
+
+/// Creates the per-partition native ModelJoin operator.
+using ModelJoinOperatorFactory =
+    std::function<Result<exec::OperatorPtr>(ModelJoinPhysicalArgs args)>;
+
+/// \brief Lowers an optimized logical plan to per-partition operator trees.
+///
+/// Column references (binder ids) are rewritten to chunk positions; the
+/// partitioned scan identified by the PlanAnalysis receives its partition's
+/// row range, every other scan reads its full table in each partition.
+class PhysicalPlanner {
+ public:
+  PhysicalPlanner(const LogicalOp* plan, const PlanAnalysis& analysis,
+                  int requested_partitions, ModelJoinStateFactory state_factory,
+                  ModelJoinOperatorFactory operator_factory);
+
+  /// Effective partition count (1 if the plan is not parallel-safe).
+  int num_partitions() const { return num_partitions_; }
+
+  /// Builds the operator tree for one partition. Thread-compatible: called
+  /// concurrently for distinct partitions after Prepare() succeeded.
+  Result<exec::OperatorPtr> Instantiate(int partition);
+
+  /// Creates shared state (ModelJoin) once; must be called before the first
+  /// Instantiate.
+  Status Prepare();
+
+ private:
+  Result<exec::OperatorPtr> Build(const LogicalOp& node, int partition);
+
+  const LogicalOp* plan_;
+  PlanAnalysis analysis_;
+  int num_partitions_;
+  ModelJoinStateFactory state_factory_;
+  ModelJoinOperatorFactory operator_factory_;
+  /// Shared states per ModelJoin node (keyed by node pointer).
+  std::unordered_map<const LogicalOp*, std::shared_ptr<void>> modeljoin_states_;
+};
+
+}  // namespace indbml::sql
+
+#endif  // INDBML_SQL_PHYSICAL_PLANNER_H_

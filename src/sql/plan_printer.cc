@@ -1,0 +1,116 @@
+#include "common/string_util.h"
+#include "sql/logical_plan.h"
+
+namespace indbml::sql {
+
+namespace {
+
+const char* KindName(LogicalKind kind) {
+  switch (kind) {
+    case LogicalKind::kScan:
+      return "Scan";
+    case LogicalKind::kFilter:
+      return "Filter";
+    case LogicalKind::kProject:
+      return "Project";
+    case LogicalKind::kHashJoin:
+      return "HashJoin";
+    case LogicalKind::kCrossJoin:
+      return "CrossJoin";
+    case LogicalKind::kAggregate:
+      return "Aggregate";
+    case LogicalKind::kSort:
+      return "Sort";
+    case LogicalKind::kLimit:
+      return "Limit";
+    case LogicalKind::kModelJoin:
+      return "ModelJoin";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string LogicalOp::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string line = pad + KindName(kind);
+  switch (kind) {
+    case LogicalKind::kScan: {
+      line += " " + table->name() + " [";
+      for (size_t i = 0; i < outputs.size(); ++i) {
+        if (i) line += ", ";
+        line += outputs[i].name;
+      }
+      line += "]";
+      for (const auto& p : pushed) {
+        line += StrFormat(" {col%d %s %s}", p.column, exec::BinaryOpName(p.op),
+                          p.value.ToString().c_str());
+      }
+      break;
+    }
+    case LogicalKind::kFilter:
+      line += " " + condition->ToString();
+      break;
+    case LogicalKind::kProject: {
+      line += " [";
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        if (i) line += ", ";
+        line += outputs[i].name + "=" + exprs[i]->ToString();
+      }
+      line += "]";
+      break;
+    }
+    case LogicalKind::kHashJoin: {
+      line += " on ";
+      for (size_t i = 0; i < probe_keys.size(); ++i) {
+        if (i) line += " AND ";
+        line += probe_keys[i]->ToString() + "=" + build_keys[i]->ToString();
+      }
+      break;
+    }
+    case LogicalKind::kAggregate: {
+      line += streaming ? StrFormat(" (streaming, prefix=%d)", streaming_prefix)
+                        : " (hash)";
+      line += " groups=[";
+      for (size_t i = 0; i < groups.size(); ++i) {
+        if (i) line += ", ";
+        line += groups[i]->ToString();
+      }
+      line += "] aggs=[";
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        if (i) line += ", ";
+        line += exec::AggFunctionName(aggregates[i].function);
+        line += "(";
+        line += aggregates[i].argument ? aggregates[i].argument->ToString() : "*";
+        line += ")";
+      }
+      line += "]";
+      break;
+    }
+    case LogicalKind::kSort: {
+      line += " by [";
+      for (size_t i = 0; i < sort_keys.size(); ++i) {
+        if (i) line += ", ";
+        line += sort_keys[i]->ToString();
+        line += ascending[i] ? " ASC" : " DESC";
+      }
+      line += "]";
+      break;
+    }
+    case LogicalKind::kLimit:
+      line += StrFormat(" %lld", static_cast<long long>(limit));
+      break;
+    case LogicalKind::kModelJoin:
+      line += " model=" + modeljoin.meta.name + " device=" + modeljoin.device;
+      break;
+    case LogicalKind::kCrossJoin:
+      break;
+  }
+  line += "\n";
+  for (const auto& child : children) {
+    line += child->ToString(indent + 1);
+  }
+  return line;
+}
+
+}  // namespace indbml::sql

@@ -1,0 +1,63 @@
+#include "sql/query_engine.h"
+
+#include "exec/parallel.h"
+#include "sql/parser.h"
+
+namespace indbml::sql {
+
+QueryEngine::QueryEngine() : QueryEngine(Options()) {}
+
+QueryEngine::QueryEngine(Options options) : options_(options) {}
+
+QueryEngine::~QueryEngine() = default;
+
+ThreadPool* QueryEngine::pool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(std::max(1, options_.partitions));
+  }
+  return pool_.get();
+}
+
+Result<LogicalOpPtr> QueryEngine::PlanQuery(const std::string& sql) {
+  INDBML_ASSIGN_OR_RETURN(auto stmt, ParseSelect(sql));
+  Binder binder(&catalog_, &models_);
+  INDBML_ASSIGN_OR_RETURN(auto plan, binder.Bind(*stmt));
+  Optimizer optimizer(options_.optimizer);
+  return optimizer.Optimize(std::move(plan));
+}
+
+Result<exec::QueryResult> QueryEngine::ExecuteQuery(const std::string& sql) {
+  INDBML_ASSIGN_OR_RETURN(auto plan, PlanQuery(sql));
+  return ExecutePlan(*plan);
+}
+
+Result<exec::QueryResult> QueryEngine::ExecutePlan(const LogicalOp& plan) {
+  Optimizer optimizer(options_.optimizer);
+  PlanAnalysis analysis = optimizer.Analyze(plan);
+  // Serial mode must plan one partition: multi-partition plans synchronise
+  // inside operators (ModelJoin build barrier) and require all partition
+  // trees to run concurrently.
+  int requested = options_.parallel ? options_.partitions : 1;
+  PhysicalPlanner planner(&plan, analysis, requested, modeljoin_state_factory_,
+                          modeljoin_operator_factory_);
+  INDBML_RETURN_NOT_OK(planner.Prepare());
+
+  exec::OperatorFactory factory = [&](int partition) {
+    return planner.Instantiate(partition);
+  };
+  ThreadPool* run_pool =
+      options_.parallel && planner.num_partitions() > 1 ? pool() : nullptr;
+  return exec::ExecuteParallel(factory, planner.num_partitions(), &catalog_,
+                               run_pool);
+}
+
+Result<std::string> QueryEngine::Explain(const std::string& sql) {
+  INDBML_ASSIGN_OR_RETURN(auto plan, PlanQuery(sql));
+  Optimizer optimizer(options_.optimizer);
+  PlanAnalysis analysis = optimizer.Analyze(*plan);
+  std::string out = plan->ToString();
+  out += analysis.parallel_safe ? "[parallel-safe]\n" : "[serial]\n";
+  return out;
+}
+
+}  // namespace indbml::sql

@@ -1,0 +1,77 @@
+#ifndef INDBML_SQL_QUERY_ENGINE_H_
+#define INDBML_SQL_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/config.h"
+#include "common/thread_pool.h"
+#include "exec/operator.h"
+#include "sql/binder.h"
+#include "sql/optimizer.h"
+#include "sql/physical_planner.h"
+
+namespace indbml::sql {
+
+/// \brief The database engine facade: catalog + model registry + SQL
+/// execution with partitioned parallelism (the stand-in for Actian Vector
+/// in the paper's evaluation, see DESIGN.md §2).
+class QueryEngine {
+ public:
+  struct Options {
+    /// Partition/thread count (paper §6.1 uses 12).
+    int partitions = kDefaultPartitions;
+    /// Run partitions on a thread pool; false = serial (debugging).
+    bool parallel = true;
+    OptimizerOptions optimizer;
+  };
+
+  QueryEngine();
+  explicit QueryEngine(Options options);
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  storage::Catalog* catalog() { return &catalog_; }
+  ModelMetaRegistry* models() { return &models_; }
+  const Options& options() const { return options_; }
+  void set_options(const Options& options) { options_ = options; }
+
+  /// Parses, binds, optimizes and runs one SELECT; returns the materialised
+  /// result.
+  Result<exec::QueryResult> ExecuteQuery(const std::string& sql);
+
+  /// Parses/binds/optimizes only (tests and EXPLAIN).
+  Result<LogicalOpPtr> PlanQuery(const std::string& sql);
+
+  /// Optimized plan rendering ("EXPLAIN").
+  Result<std::string> Explain(const std::string& sql);
+
+  /// Registers the native ModelJoin implementation (called by the modeljoin
+  /// module's RegisterModelJoin).
+  void SetModelJoinFactories(ModelJoinStateFactory state_factory,
+                             ModelJoinOperatorFactory operator_factory) {
+    modeljoin_state_factory_ = std::move(state_factory);
+    modeljoin_operator_factory_ = std::move(operator_factory);
+  }
+
+  /// Executes a pre-bound plan (used by approach drivers that build plans
+  /// programmatically).
+  Result<exec::QueryResult> ExecutePlan(const LogicalOp& plan);
+
+  /// The engine's worker pool (shared with the native ModelJoin build).
+  ThreadPool* pool();
+
+ private:
+  Options options_;
+  storage::Catalog catalog_;
+  ModelMetaRegistry models_;
+  std::unique_ptr<ThreadPool> pool_;
+  ModelJoinStateFactory modeljoin_state_factory_;
+  ModelJoinOperatorFactory modeljoin_operator_factory_;
+};
+
+}  // namespace indbml::sql
+
+#endif  // INDBML_SQL_QUERY_ENGINE_H_

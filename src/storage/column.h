@@ -1,0 +1,70 @@
+#ifndef INDBML_STORAGE_COLUMN_H_
+#define INDBML_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/memory_tracker.h"
+#include "storage/types.h"
+
+namespace indbml::storage {
+
+/// \brief A fully materialised table column (columnar storage layout).
+///
+/// Values are stored in type-specific contiguous arrays; the allocation is
+/// reported to the MemoryTracker in coarse steps so peak-memory experiments
+/// see table storage.
+class Column {
+ public:
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  int64_t size() const { return size_; }
+
+  void AppendBool(bool v) {
+    INDBML_DCHECK(type_ == DataType::kBool);
+    bools_.push_back(v);
+    ++size_;
+  }
+  void AppendInt64(int64_t v) {
+    INDBML_DCHECK(type_ == DataType::kInt64);
+    ints_.push_back(v);
+    ++size_;
+  }
+  void AppendFloat(float v) {
+    INDBML_DCHECK(type_ == DataType::kFloat);
+    floats_.push_back(v);
+    ++size_;
+  }
+  void AppendValue(const Value& v);
+
+  bool GetBool(int64_t row) const { return bools_[static_cast<size_t>(row)] != 0; }
+  int64_t GetInt64(int64_t row) const { return ints_[static_cast<size_t>(row)]; }
+  float GetFloat(int64_t row) const { return floats_[static_cast<size_t>(row)]; }
+  Value GetValue(int64_t row) const;
+
+  const int64_t* int_data() const { return ints_.data(); }
+  const float* float_data() const { return floats_.data(); }
+  const uint8_t* bool_data() const { return bools_.data(); }
+
+  /// Reserves capacity for n rows (avoids growth reallocation churn).
+  void Reserve(int64_t n);
+
+  /// Bytes of storage currently held.
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(ints_.capacity() * 8 + floats_.capacity() * 4 +
+                                bools_.capacity());
+  }
+
+ private:
+  DataType type_;
+  int64_t size_ = 0;
+  std::vector<uint8_t> bools_;
+  std::vector<int64_t> ints_;
+  std::vector<float> floats_;
+};
+
+}  // namespace indbml::storage
+
+#endif  // INDBML_STORAGE_COLUMN_H_

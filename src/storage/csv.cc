@@ -1,0 +1,163 @@
+#include "storage/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace indbml::storage {
+
+namespace {
+
+/// Splits one CSV line (no quoting support — the workloads are numeric).
+std::vector<std::string> SplitLine(const std::string& line, char sep) {
+  std::vector<std::string> out = Split(line, sep);
+  for (auto& field : out) field = std::string(Trim(field));
+  return out;
+}
+
+bool LooksLikeInteger(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = s[0] == '-' || s[0] == '+' ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+Result<Value> ParseCell(const std::string& cell, DataType type, int64_t line_no) {
+  char* end = nullptr;
+  switch (type) {
+    case DataType::kInt64: {
+      long long v = std::strtoll(cell.c_str(), &end, 10);
+      if (end == cell.c_str() || *end != '\0') {
+        return Status::ParseError(StrFormat("line %lld: '%s' is not an integer",
+                                            static_cast<long long>(line_no),
+                                            cell.c_str()));
+      }
+      return Value::Int64(v);
+    }
+    case DataType::kFloat: {
+      double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || *end != '\0') {
+        return Status::ParseError(StrFormat("line %lld: '%s' is not numeric",
+                                            static_cast<long long>(line_no),
+                                            cell.c_str()));
+      }
+      return Value::Float(static_cast<float>(v));
+    }
+    case DataType::kBool:
+      return Value::Bool(cell == "1" || EqualsIgnoreCase(cell, "true"));
+  }
+  return Status::Internal("bad type");
+}
+
+}  // namespace
+
+Result<TablePtr> LoadCsv(const std::string& path, const std::string& table_name) {
+  return LoadCsv(path, table_name, CsvOptions());
+}
+
+Result<TablePtr> LoadCsv(const std::string& path, const std::string& table_name,
+                         const CsvOptions& options) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+
+  std::vector<std::string> lines;
+  {
+    std::string current;
+    char buf[4096];
+    while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+      current += buf;
+      if (!current.empty() && current.back() == '\n') {
+        current.pop_back();
+        if (!current.empty() && current.back() == '\r') current.pop_back();
+        lines.push_back(current);
+        current.clear();
+      }
+    }
+    if (!current.empty()) lines.push_back(current);
+  }
+  std::fclose(f);
+  if (lines.empty()) return Status::ParseError(path + " is empty");
+
+  size_t first_data = 0;
+  std::vector<std::string> names;
+  if (options.has_header) {
+    names = SplitLine(lines[0], options.separator);
+    first_data = 1;
+    if (lines.size() < 2) return Status::ParseError(path + " has no data rows");
+  } else {
+    size_t width = SplitLine(lines[0], options.separator).size();
+    for (size_t i = 0; i < width; ++i) names.push_back(StrFormat("c%zu", i));
+  }
+
+  // Type inference from the first data row.
+  std::vector<DataType> types = options.types;
+  std::vector<std::string> probe = SplitLine(lines[first_data], options.separator);
+  if (probe.size() != names.size()) {
+    return Status::ParseError("header/data width mismatch");
+  }
+  if (types.empty()) {
+    for (const std::string& cell : probe) {
+      types.push_back(LooksLikeInteger(cell) ? DataType::kInt64 : DataType::kFloat);
+    }
+  }
+  if (types.size() != names.size()) {
+    return Status::InvalidArgument("explicit types do not match the column count");
+  }
+
+  std::vector<Field> fields;
+  for (size_t i = 0; i < names.size(); ++i) fields.push_back({names[i], types[i]});
+  auto table = std::make_shared<Table>(table_name, fields);
+  table->Reserve(static_cast<int64_t>(lines.size() - first_data));
+
+  for (size_t li = first_data; li < lines.size(); ++li) {
+    if (lines[li].empty()) continue;
+    std::vector<std::string> cells = SplitLine(lines[li], options.separator);
+    if (cells.size() != names.size()) {
+      return Status::ParseError(StrFormat("line %zu: expected %zu fields, got %zu",
+                                          li + 1, names.size(), cells.size()));
+    }
+    std::vector<Value> row;
+    row.reserve(cells.size());
+    for (size_t c = 0; c < cells.size(); ++c) {
+      INDBML_ASSIGN_OR_RETURN(Value v, ParseCell(cells[c], types[c],
+                                                 static_cast<int64_t>(li + 1)));
+      row.push_back(v);
+    }
+    INDBML_RETURN_NOT_OK(table->AppendRow(row));
+  }
+  table->Finalize();
+  return table;
+}
+
+Status WriteCsv(const Table& table, const std::string& path, char separator) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path + " for writing");
+  for (int c = 0; c < table.num_columns(); ++c) {
+    std::fprintf(f, "%s%s", c ? std::string(1, separator).c_str() : "",
+                 table.fields()[static_cast<size_t>(c)].name.c_str());
+  }
+  std::fprintf(f, "\n");
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c) std::fprintf(f, "%c", separator);
+      Value v = table.column(c).GetValue(r);
+      if (v.type == DataType::kInt64) {
+        std::fprintf(f, "%lld", static_cast<long long>(v.i));
+      } else if (v.type == DataType::kFloat) {
+        std::fprintf(f, "%.9g", static_cast<double>(v.f));
+      } else {
+        std::fprintf(f, "%d", v.b ? 1 : 0);
+      }
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace indbml::storage

@@ -1,0 +1,33 @@
+#ifndef INDBML_STORAGE_CSV_H_
+#define INDBML_STORAGE_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace indbml::storage {
+
+/// Options for CSV import.
+struct CsvOptions {
+  char separator = ',';
+  bool has_header = true;
+  /// Explicit column types; empty = infer from the first data row
+  /// (integers -> BIGINT, everything else numeric -> FLOAT).
+  std::vector<DataType> types;
+};
+
+/// Loads a CSV file into a finalized table. Column names come from the
+/// header (or c0, c1, ... without one). Fails on ragged rows or
+/// non-numeric cells (the engine is numeric-only).
+Result<TablePtr> LoadCsv(const std::string& path, const std::string& table_name,
+                         const CsvOptions& options);
+Result<TablePtr> LoadCsv(const std::string& path, const std::string& table_name);
+
+/// Writes a table as CSV (header + rows).
+Status WriteCsv(const Table& table, const std::string& path, char separator = ',');
+
+}  // namespace indbml::storage
+
+#endif  // INDBML_STORAGE_CSV_H_

@@ -1,0 +1,175 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace indbml::storage {
+
+std::string Value::ToString() const {
+  switch (type) {
+    case DataType::kBool:
+      return b ? "true" : "false";
+    case DataType::kInt64:
+      return std::to_string(i);
+    case DataType::kFloat:
+      return StrFormat("%g", static_cast<double>(f));
+  }
+  return "?";
+}
+
+void Column::AppendValue(const Value& v) {
+  switch (type_) {
+    case DataType::kBool:
+      AppendBool(v.b);
+      return;
+    case DataType::kInt64:
+      AppendInt64(v.type == DataType::kFloat ? static_cast<int64_t>(v.f) : v.i);
+      return;
+    case DataType::kFloat:
+      AppendFloat(v.type == DataType::kInt64 ? static_cast<float>(v.i) : v.f);
+      return;
+  }
+}
+
+Value Column::GetValue(int64_t row) const {
+  switch (type_) {
+    case DataType::kBool:
+      return Value::Bool(GetBool(row));
+    case DataType::kInt64:
+      return Value::Int64(GetInt64(row));
+    case DataType::kFloat:
+      return Value::Float(GetFloat(row));
+  }
+  return Value();
+}
+
+void Column::Reserve(int64_t n) {
+  switch (type_) {
+    case DataType::kBool:
+      bools_.reserve(static_cast<size_t>(n));
+      return;
+    case DataType::kInt64:
+      ints_.reserve(static_cast<size_t>(n));
+      return;
+    case DataType::kFloat:
+      floats_.reserve(static_cast<size_t>(n));
+      return;
+  }
+}
+
+Table::Table(std::string name, std::vector<Field> fields)
+    : name_(std::move(name)), fields_(std::move(fields)) {
+  columns_.reserve(fields_.size());
+  for (const Field& f : fields_) columns_.emplace_back(f.type);
+}
+
+Result<int> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return static_cast<int>(i);
+  }
+  return Status::NotFound("column '" + name + "' not in table '" + name_ + "'");
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != fields_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row width %zu does not match schema width %zu", values.size(),
+                  fields_.size()));
+  }
+  if (finalized_) return Status::Internal("appending to a finalized table");
+  for (size_t i = 0; i < values.size(); ++i) {
+    columns_[i].AppendValue(values[i]);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Table::Reserve(int64_t n) {
+  for (auto& c : columns_) c.Reserve(num_rows_ + n);
+}
+
+void Table::Finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  num_rows_ = columns_.empty() ? 0 : columns_[0].size();
+  stats_.assign(columns_.size(), {});
+  for (size_t ci = 0; ci < columns_.size(); ++ci) {
+    const Column& col = columns_[ci];
+    int64_t blocks = num_blocks();
+    stats_[ci].reserve(static_cast<size_t>(blocks));
+    for (int64_t b = 0; b < blocks; ++b) {
+      int64_t begin = b * rows_per_block_;
+      int64_t end = std::min(begin + rows_per_block_, num_rows_);
+      BlockStats bs;
+      bs.min = col.GetValue(begin);
+      bs.max = bs.min;
+      for (int64_t r = begin + 1; r < end; ++r) {
+        Value v = col.GetValue(r);
+        if (v.AsDouble() < bs.min.AsDouble()) bs.min = v;
+        if (v.AsDouble() > bs.max.AsDouble()) bs.max = v;
+      }
+      stats_[ci].push_back(bs);
+    }
+  }
+}
+
+std::vector<PartitionRange> Table::MakePartitions(int n) const {
+  std::vector<PartitionRange> out;
+  if (n <= 0) n = 1;
+  int64_t per = (num_rows_ + n - 1) / n;
+  for (int i = 0; i < n; ++i) {
+    PartitionRange r;
+    r.begin = std::min<int64_t>(static_cast<int64_t>(i) * per, num_rows_);
+    r.end = std::min<int64_t>(r.begin + per, num_rows_);
+    out.push_back(r);
+  }
+  return out;
+}
+
+int64_t Table::MemoryBytes() const {
+  int64_t total = 0;
+  for (const auto& c : columns_) total += c.MemoryBytes();
+  return total;
+}
+
+Status Catalog::CreateTable(TablePtr table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = ToLower(table->name());
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + table->name() + "' already exists");
+  }
+  tables_[key] = std::move(table);
+  return Status::OK();
+}
+
+void Catalog::CreateOrReplaceTable(TablePtr table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_[ToLower(table->name())] = std::move(table);
+}
+
+Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return Status::NotFound("table '" + name + "' not found");
+  return it->second;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.erase(ToLower(name)) == 0) {
+    return Status::NotFound("table '" + name + "' not found");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [k, v] : tables_) names.push_back(v->name());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace indbml::storage

@@ -1,0 +1,128 @@
+#ifndef INDBML_STORAGE_TABLE_H_
+#define INDBML_STORAGE_TABLE_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/types.h"
+
+namespace indbml::storage {
+
+/// MinMax statistics of one column within one storage block — the paper's
+/// Small Materialized Aggregates / zone maps (§4.4), used by scans for
+/// block pruning of model tables.
+struct BlockStats {
+  Value min;
+  Value max;
+};
+
+/// Contiguous range of rows forming one partition of a table. Partitions are
+/// contiguous in row order, which keeps partitioned execution
+/// order-preserving (paper §4.4: partitioning on the unique id, no
+/// repartitioning needed for (ID, Node) grouping).
+struct PartitionRange {
+  int64_t begin = 0;
+  int64_t end = 0;  // exclusive
+};
+
+/// \brief In-memory columnar table.
+///
+/// After loading, call `Finalize()` to compute per-block MinMax statistics
+/// and freeze the contents. `sorted_by` documents a physical sort order the
+/// loader guarantees (e.g. the model table sorted by node id); the optimizer
+/// uses it to replace hash aggregation with order-based aggregation.
+class Table {
+ public:
+  Table(std::string name, std::vector<Field> fields);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Field>& fields() const { return fields_; }
+  int64_t num_columns() const { return static_cast<int64_t>(fields_.size()); }
+  int64_t num_rows() const { return num_rows_; }
+
+  /// Index of the column named `name`, or error.
+  Result<int> ColumnIndex(const std::string& name) const;
+
+  Column& column(int i) { return columns_[static_cast<size_t>(i)]; }
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+
+  /// Appends one row given as a value list matching the schema.
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Bulk reserve for n additional rows.
+  void Reserve(int64_t n);
+
+  /// Marks loading finished: rows counted, block statistics computed.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  /// Per-block MinMax stats for column `col`; valid after Finalize().
+  const std::vector<BlockStats>& block_stats(int col) const {
+    return stats_[static_cast<size_t>(col)];
+  }
+  int64_t rows_per_block() const { return rows_per_block_; }
+  int64_t num_blocks() const {
+    return (num_rows_ + rows_per_block_ - 1) / rows_per_block_;
+  }
+
+  /// Declares that rows are physically sorted by these columns
+  /// (lexicographically, ascending). Must be set by the loader truthfully;
+  /// `Finalize` validates the claim in debug builds.
+  void SetSortedBy(std::vector<std::string> columns) { sorted_by_ = std::move(columns); }
+  const std::vector<std::string>& sorted_by() const { return sorted_by_; }
+
+  /// Declares the unique row-identifier column (paper §4.2). Partitioning is
+  /// aligned with it (contiguous row ranges = contiguous id ranges when the
+  /// loader appends rows in id order), which is what makes per-partition
+  /// aggregation on id-rooted grouping keys repartitioning-free (§4.4).
+  void SetUniqueIdColumn(std::string name) { unique_id_column_ = std::move(name); }
+  const std::string& unique_id_column() const { return unique_id_column_; }
+
+  /// Splits the table into `n` contiguous, balanced partitions.
+  std::vector<PartitionRange> MakePartitions(int n) const;
+
+  /// Total bytes held by all columns.
+  int64_t MemoryBytes() const;
+
+ private:
+  std::string name_;
+  std::vector<Field> fields_;
+  std::vector<Column> columns_;
+  int64_t num_rows_ = 0;
+  bool finalized_ = false;
+  int64_t rows_per_block_ = kRowsPerBlock;
+  std::vector<std::vector<BlockStats>> stats_;
+  std::vector<std::string> sorted_by_;
+  std::string unique_id_column_;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+/// \brief Thread-safe name → table registry (the database catalog).
+class Catalog {
+ public:
+  /// Registers a table; fails if the name exists.
+  Status CreateTable(TablePtr table);
+
+  /// Replaces or registers a table.
+  void CreateOrReplaceTable(TablePtr table);
+
+  Result<TablePtr> GetTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+  std::vector<std::string> ListTables() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, TablePtr> tables_;
+};
+
+}  // namespace indbml::storage
+
+#endif  // INDBML_STORAGE_TABLE_H_

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "benchlib/workloads.h"
+#include "mltosql/encoding.h"
+#include "sql/query_engine.h"
+#include "storage/csv.h"
+#include "test_util.h"
+
+namespace indbml {
+namespace {
+
+using storage::DataType;
+
+// ---------- CSV ----------
+
+TEST(CsvTest, RoundTrip) {
+  auto iris = benchlib::MakeIrisTable("iris", 150);
+  std::string path = ::testing::TempDir() + "/iris_roundtrip.csv";
+  ASSERT_OK(storage::WriteCsv(*iris, path));
+  ASSERT_OK_AND_ASSIGN(auto loaded, storage::LoadCsv(path, "iris2"));
+  ASSERT_EQ(loaded->num_rows(), 150);
+  ASSERT_EQ(loaded->num_columns(), 6);
+  EXPECT_EQ(loaded->fields()[0].name, "id");
+  EXPECT_EQ(loaded->fields()[0].type, DataType::kInt64);
+  EXPECT_EQ(loaded->fields()[1].type, DataType::kFloat);
+  for (int64_t r : {0L, 77L, 149L}) {
+    EXPECT_EQ(loaded->column(0).GetInt64(r), iris->column(0).GetInt64(r));
+    EXPECT_NEAR(loaded->column(2).GetFloat(r), iris->column(2).GetFloat(r), 1e-5);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, HeaderlessAndExplicitTypes) {
+  std::string path = ::testing::TempDir() + "/headerless.csv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "1,2.5\n2,3.5\n");
+  std::fclose(f);
+
+  storage::CsvOptions options;
+  options.has_header = false;
+  ASSERT_OK_AND_ASSIGN(auto table, storage::LoadCsv(path, "t", options));
+  EXPECT_EQ(table->num_rows(), 2);
+  EXPECT_EQ(table->fields()[0].name, "c0");
+  EXPECT_EQ(table->fields()[0].type, DataType::kInt64);
+
+  options.types = {DataType::kFloat, DataType::kFloat};
+  ASSERT_OK_AND_ASSIGN(auto all_float, storage::LoadCsv(path, "t2", options));
+  EXPECT_EQ(all_float->fields()[0].type, DataType::kFloat);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, Errors) {
+  EXPECT_FALSE(storage::LoadCsv("/no/such/file.csv", "t").ok());
+
+  std::string path = ::testing::TempDir() + "/bad.csv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "a,b\n1,2\n3\n");  // ragged row
+  std::fclose(f);
+  EXPECT_FALSE(storage::LoadCsv(path, "t").ok());
+
+  f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "a\nhello\n");  // non-numeric
+  std::fclose(f);
+  EXPECT_FALSE(storage::LoadCsv(path, "t").ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, LoadedTableIsQueryable) {
+  auto iris = benchlib::MakeIrisTable("iris", 60);
+  std::string path = ::testing::TempDir() + "/queryable.csv";
+  ASSERT_OK(storage::WriteCsv(*iris, path));
+  ASSERT_OK_AND_ASSIGN(auto loaded, storage::LoadCsv(path, "iris_csv"));
+  sql::QueryEngine engine;
+  ASSERT_OK(engine.catalog()->CreateTable(loaded));
+  ASSERT_OK_AND_ASSIGN(auto result,
+                       engine.ExecuteQuery("SELECT COUNT(*) c, AVG(sepal_length) a "
+                                           "FROM iris_csv GROUP BY 1 = 1"));
+  std::remove(path.c_str());
+  ASSERT_EQ(result.num_rows, 1);
+  EXPECT_EQ(result.GetValue(0, 0).i, 60);
+}
+
+// ---------- encoding SQL ----------
+
+TEST(EncodingTest, MinMaxNormalisesToUnitRange) {
+  sql::QueryEngine engine;
+  auto iris = benchlib::MakeIrisTable("iris", 150);
+  ASSERT_OK(engine.catalog()->CreateTable(iris));
+
+  ASSERT_OK_AND_ASSIGN(
+      std::string sqltext,
+      mltosql::GenerateMinMaxEncodingSql(*iris, "id",
+                                         {"sepal_length", "petal_width"}, {"class"}));
+  ASSERT_OK_AND_ASSIGN(auto result, engine.ExecuteQuery(sqltext));
+  ASSERT_EQ(result.num_rows, 150);
+  ASSERT_OK_AND_ASSIGN(int col, result.ColumnIndex("sepal_length"));
+  double lo = 1e9;
+  double hi = -1e9;
+  for (int64_t r = 0; r < result.num_rows; ++r) {
+    double v = result.GetValue(r, col).AsDouble();
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_NEAR(lo, 0.0, 1e-5);
+  EXPECT_NEAR(hi, 1.0, 1e-5);
+  EXPECT_TRUE(result.ColumnIndex("class").ok());
+}
+
+TEST(EncodingTest, ComputeRangesUsesZoneMaps) {
+  auto iris = benchlib::MakeIrisTable("iris", 150);
+  ASSERT_OK_AND_ASSIGN(auto ranges,
+                       mltosql::ComputeRanges(*iris, {"sepal_length"}));
+  ASSERT_EQ(ranges.size(), 1u);
+  // Verify against a direct scan.
+  float lo = 1e9f;
+  float hi = -1e9f;
+  for (int64_t r = 0; r < 150; ++r) {
+    lo = std::min(lo, iris->column(1).GetFloat(r));
+    hi = std::max(hi, iris->column(1).GetFloat(r));
+  }
+  EXPECT_NEAR(ranges[0].min, lo, 1e-6);
+  EXPECT_NEAR(ranges[0].max, hi, 1e-6);
+}
+
+TEST(EncodingTest, OneHot) {
+  sql::QueryEngine engine;
+  ASSERT_OK(engine.catalog()->CreateTable(benchlib::MakeIrisTable("iris", 150)));
+  std::string sqltext =
+      mltosql::GenerateOneHotEncodingSql("iris", "id", "class", {0, 1, 2});
+  ASSERT_OK_AND_ASSIGN(auto result, engine.ExecuteQuery(sqltext));
+  ASSERT_EQ(result.num_rows, 150);
+  ASSERT_EQ(result.names.size(), 4u);
+  // Each row has exactly one hot bit.
+  for (int64_t r = 0; r < result.num_rows; ++r) {
+    double sum = result.GetValue(r, 1).AsDouble() + result.GetValue(r, 2).AsDouble() +
+                 result.GetValue(r, 3).AsDouble();
+    ASSERT_DOUBLE_EQ(sum, 1.0);
+  }
+}
+
+TEST(EncodingTest, ConstantColumnMapsToZero) {
+  auto t = testutil::MakeTable("t",
+                               {{"id", DataType::kInt64}, {"x", DataType::kFloat}},
+                               {{testutil::I(0), testutil::F(5.0f)},
+                                {testutil::I(1), testutil::F(5.0f)}});
+  sql::QueryEngine engine;
+  ASSERT_OK(engine.catalog()->CreateTable(t));
+  ASSERT_OK_AND_ASSIGN(std::string sqltext,
+                       mltosql::GenerateMinMaxEncodingSql(*t, "id", {"x"}));
+  ASSERT_OK_AND_ASSIGN(auto result, engine.ExecuteQuery(sqltext));
+  EXPECT_DOUBLE_EQ(result.GetValue(0, 1).AsDouble(), 0.0);
+}
+
+}  // namespace
+}  // namespace indbml

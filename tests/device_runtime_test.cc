@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/random.h"
+#include "device/device.h"
+#include "mlruntime/runtime.h"
+#include "mlruntime/trt_c_api.h"
+#include "nn/model.h"
+#include "test_util.h"
+
+namespace indbml {
+namespace {
+
+// ---------- device abstraction ----------
+
+TEST(DeviceTest, CpuAndSimGpuComputeIdentically) {
+  auto cpu = device::MakeCpuDevice();
+  auto gpu = device::MakeSimGpuDevice();
+  std::vector<float> a = {1, 2, 3, 4};
+  std::vector<float> b = {5, 6, 7, 8};
+  for (device::Device* d : {cpu.get(), gpu.get()}) {
+    float* da = d->Allocate(4);
+    float* db = d->Allocate(4);
+    float* dc = d->Allocate(4);
+    d->CopyToDevice(da, a.data(), 4);
+    d->CopyToDevice(db, b.data(), 4);
+    d->Gemm(false, false, 2, 2, 2, 1.0f, da, 2, db, 2, 0.0f, dc, 2);
+    std::vector<float> out(4);
+    d->CopyToHost(out.data(), dc, 4);
+    EXPECT_FLOAT_EQ(out[0], 1 * 5 + 2 * 7);
+    EXPECT_FLOAT_EQ(out[3], 3 * 6 + 4 * 8);
+    d->Free(da, 4);
+    d->Free(db, 4);
+    d->Free(dc, 4);
+  }
+}
+
+TEST(DeviceTest, SimGpuAccountsKernelsAndTransfers) {
+  device::SimGpuOptions options;
+  options.compute_speedup = 4.0;
+  options.kernel_launch_seconds = 1e-5;
+  options.transfer_latency_seconds = 2e-5;
+  options.transfer_bandwidth = 1e9;
+  auto gpu = device::MakeSimGpuDevice(options);
+  float* buf = gpu->Allocate(1000);
+  std::vector<float> host(1000, 1.0f);
+  gpu->CopyToDevice(buf, host.data(), 1000);
+  gpu->Activate(nn::Activation::kRelu, 1000, buf);
+  gpu->CopyToHost(host.data(), buf, 1000);
+  device::DeviceStats stats = gpu->stats();
+  EXPECT_EQ(stats.transfers, 2);
+  EXPECT_EQ(stats.kernel_launches, 1);
+  EXPECT_EQ(stats.bytes_to_device, 4000);
+  EXPECT_EQ(stats.bytes_to_host, 4000);
+  // Two transfer latencies + bandwidth + one kernel launch minimum.
+  EXPECT_GE(stats.modeled_seconds, 2 * 2e-5 + 8000.0 / 1e9 + 1e-5);
+  gpu->ResetStats();
+  EXPECT_EQ(gpu->stats().kernel_launches, 0);
+  gpu->Free(buf, 1000);
+}
+
+TEST(DeviceTest, BiasRowAdd) {
+  auto cpu = device::MakeCpuDevice();
+  std::vector<float> matrix = {1, 2, 3, 4, 5, 6};  // 2 rows x 3 cols
+  std::vector<float> bias = {10, 20, 30};
+  cpu->BiasRowAdd(2, 3, bias.data(), matrix.data());
+  EXPECT_FLOAT_EQ(matrix[0], 11);
+  EXPECT_FLOAT_EQ(matrix[4], 25);
+}
+
+TEST(DeviceTest, SharedDevicesAreStable) {
+  EXPECT_EQ(device::SharedCpuDevice(), device::SharedCpuDevice());
+  EXPECT_EQ(device::SharedSimGpuDevice(), device::SharedSimGpuDevice());
+  EXPECT_NE(device::SharedCpuDevice(), device::SharedSimGpuDevice());
+  EXPECT_TRUE(device::SharedSimGpuDevice()->is_gpu());
+}
+
+// ---------- tensorrt_lite runtime ----------
+
+struct RuntimeCase {
+  bool lstm;
+  int64_t width;
+  const char* device;
+};
+
+class RuntimeSessionTest : public ::testing::TestWithParam<RuntimeCase> {};
+
+TEST_P(RuntimeSessionTest, MatchesNnReference) {
+  RuntimeCase p = GetParam();
+  Result<nn::Model> model_or = p.lstm ? nn::MakeLstmBenchmarkModel(p.width, 3, 17)
+                                      : nn::MakeDenseBenchmarkModel(p.width, 3, 17);
+  ASSERT_OK_AND_ASSIGN(nn::Model model, std::move(model_or));
+
+  const int64_t n = 777;
+  Random rng(5);
+  nn::Tensor x = nn::Tensor::Matrix(n, model.input_width());
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = rng.NextFloat(-1, 1);
+  ASSERT_OK_AND_ASSIGN(nn::Tensor expected, model.Predict(x));
+
+  ASSERT_OK_AND_ASSIGN(auto session, mlruntime::Session::Create(model, p.device));
+  EXPECT_EQ(session->input_width(), model.input_width());
+  EXPECT_EQ(session->output_dim(), 1);
+  std::vector<float> output(static_cast<size_t>(n));
+  ASSERT_OK(session->Run(x.data(), n, output.data()));
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(output[static_cast<size_t>(i)], expected[i], 1e-4) << "row " << i;
+  }
+  EXPECT_GT(session->MemoryBytes(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, RuntimeSessionTest,
+    ::testing::Values(RuntimeCase{false, 8, "cpu"}, RuntimeCase{false, 32, "gpu"},
+                      RuntimeCase{true, 8, "cpu"}, RuntimeCase{true, 16, "gpu"}));
+
+TEST(RuntimeSessionTest, ScratchGrowsAcrossBatchSizes) {
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeDenseBenchmarkModel(16, 2, 3));
+  ASSERT_OK_AND_ASSIGN(auto session, mlruntime::Session::Create(model, "cpu"));
+  Random rng(6);
+  for (int64_t n : {1, 100, 5000, 10, 6000}) {
+    nn::Tensor x = nn::Tensor::Matrix(n, 4);
+    for (int64_t i = 0; i < x.size(); ++i) x[i] = rng.NextFloat(-1, 1);
+    ASSERT_OK_AND_ASSIGN(nn::Tensor expected, model.Predict(x));
+    std::vector<float> output(static_cast<size_t>(n));
+    ASSERT_OK(session->Run(x.data(), n, output.data()));
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(output[static_cast<size_t>(i)], expected[i], 1e-4);
+    }
+  }
+}
+
+TEST(RuntimeSessionTest, ZeroRowsIsNoop) {
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeDenseBenchmarkModel(8, 1));
+  ASSERT_OK_AND_ASSIGN(auto session, mlruntime::Session::Create(model, "cpu"));
+  ASSERT_OK(session->Run(nullptr, 0, nullptr));
+}
+
+// ---------- C API ----------
+
+TEST(TrtCApiTest, FileBasedSession) {
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeDenseBenchmarkModel(8, 2, 23));
+  std::string path = ::testing::TempDir() + "/capi_model.bin";
+  ASSERT_OK(model.SaveToFile(path));
+
+  trt_session* session = nullptr;
+  ASSERT_EQ(trt_session_create(path.c_str(), "cpu", &session), TRT_OK);
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(trt_session_input_width(session), 4);
+  EXPECT_EQ(trt_session_output_dim(session), 1);
+  EXPECT_GT(trt_session_memory_bytes(session), 0);
+
+  std::vector<float> input = {1.0f, 2.0f, 3.0f, 4.0f};
+  float output = 0;
+  ASSERT_EQ(trt_session_run(session, input.data(), 1, &output), TRT_OK);
+
+  nn::Tensor x = nn::Tensor::Matrix(1, 4);
+  for (int i = 0; i < 4; ++i) x[i] = input[static_cast<size_t>(i)];
+  ASSERT_OK_AND_ASSIGN(nn::Tensor expected, model.Predict(x));
+  EXPECT_NEAR(output, expected[0], 1e-5);
+
+  trt_session_destroy(session);
+  std::remove(path.c_str());
+}
+
+TEST(TrtCApiTest, BufferBasedSession) {
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeLstmBenchmarkModel(4, 3));
+  ASSERT_OK_AND_ASSIGN(auto bytes, model.SaveToBytes());
+  trt_session* session = nullptr;
+  ASSERT_EQ(trt_session_create_from_buffer(bytes.data(), bytes.size(), "gpu",
+                                           &session),
+            TRT_OK);
+  EXPECT_EQ(trt_session_input_width(session), 3);
+  trt_session_destroy(session);
+}
+
+TEST(TrtCApiTest, ErrorHandling) {
+  trt_session* session = nullptr;
+  EXPECT_EQ(trt_session_create("/no/such/model", "cpu", &session), TRT_RUNTIME_ERROR);
+  EXPECT_NE(std::string(trt_last_error()).size(), 0u);
+  EXPECT_EQ(trt_session_create(nullptr, "cpu", &session), TRT_INVALID_ARGUMENT);
+  EXPECT_EQ(trt_session_run(nullptr, nullptr, 0, nullptr), TRT_INVALID_ARGUMENT);
+  EXPECT_EQ(trt_session_input_width(nullptr), -1);
+  trt_session_destroy(nullptr);  // must be safe
+}
+
+}  // namespace
+}  // namespace indbml

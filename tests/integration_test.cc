@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchlib/workloads.h"
+#include "common/random.h"
+#include "exec/scan.h"
+#include "integration/capi_operator.h"
+#include "integration/external_client.h"
+#include "integration/udf.h"
+#include "sql/query_engine.h"
+#include "test_util.h"
+
+namespace indbml {
+namespace {
+
+using exec::DataType;
+using exec::ExecContext;
+
+std::shared_ptr<const std::vector<uint8_t>> Serialize(const nn::Model& model) {
+  auto bytes = model.SaveToBytes();
+  INDBML_CHECK(bytes.ok());
+  return std::make_shared<const std::vector<uint8_t>>(std::move(bytes).ValueOrDie());
+}
+
+std::unique_ptr<exec::TableScanOperator> ScanAll(storage::TablePtr t) {
+  std::vector<int> cols;
+  for (int i = 0; i < t->num_columns(); ++i) cols.push_back(i);
+  return std::make_unique<exec::TableScanOperator>(
+      t, storage::PartitionRange{0, t->num_rows()}, cols,
+      std::vector<exec::ScanPredicate>{});
+}
+
+// ---------- Raven-like C-API operator ----------
+
+TEST(CApiOperatorTest, MatchesReference) {
+  auto fact = benchlib::MakeIrisTable("fact", 2500);
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeDenseBenchmarkModel(8, 2, 31));
+
+  integration::CApiInferenceOperator op(ScanAll(fact), Serialize(model), "cpu",
+                                        {1, 2, 3, 4}, {"prediction"});
+  ExecContext ctx;
+  ASSERT_OK_AND_ASSIGN(auto result, DrainOperator(&op, &ctx));
+  ASSERT_EQ(result.num_rows, 2500);
+  ASSERT_EQ(result.names.back(), "prediction");
+
+  nn::Tensor x = nn::Tensor::Matrix(2500, 4);
+  for (int64_t r = 0; r < 2500; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      x.At(r, c) = fact->column(c + 1).GetFloat(r);
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(nn::Tensor expected, model.Predict(x));
+  ASSERT_OK_AND_ASSIGN(int pred_col, result.ColumnIndex("prediction"));
+  for (int64_t r = 0; r < 2500; ++r) {
+    ASSERT_NEAR(result.GetValue(r, pred_col).f, expected[r], 1e-4);
+  }
+  EXPECT_GT(op.SessionMemoryBytes(), 0);
+}
+
+TEST(CApiOperatorTest, RejectsWrongArity) {
+  auto fact = benchlib::MakeIrisTable("fact", 10);
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeDenseBenchmarkModel(8, 2));
+  integration::CApiInferenceOperator op(ScanAll(fact), Serialize(model), "cpu",
+                                        {1, 2}, {"prediction"});
+  ExecContext ctx;
+  auto result = DrainOperator(&op, &ctx);
+  EXPECT_FALSE(result.ok());
+}
+
+// ---------- UDF framework + interpreted runtime ----------
+
+TEST(UdfTest, InterpretedUdfMatchesReferenceAndTracksStats) {
+  auto fact = benchlib::MakeIrisTable("fact", 1500);
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeDenseBenchmarkModel(8, 2, 41));
+  auto stats = std::make_shared<integration::InterpreterStats>();
+  ASSERT_OK_AND_ASSIGN(auto udf, integration::MakeInterpretedInferenceUdf(
+                                     Serialize(model), 4, 1, stats));
+
+  integration::UdfOperator op(ScanAll(fact), udf, {1, 2, 3, 4}, {"prediction"},
+                              {DataType::kFloat});
+  ExecContext ctx;
+  ASSERT_OK_AND_ASSIGN(auto result, DrainOperator(&op, &ctx));
+  ASSERT_EQ(result.num_rows, 1500);
+
+  // 1500 rows / 1024-vector chunks = 2 UDF calls.
+  EXPECT_EQ(stats->calls, 2);
+  EXPECT_EQ(stats->values_boxed, 1500 * 4 + 1500);
+  EXPECT_GT(stats->modeled_overhead_seconds, 0);
+
+  nn::Tensor x = nn::Tensor::Matrix(1500, 4);
+  for (int64_t r = 0; r < 1500; ++r) {
+    for (int c = 0; c < 4; ++c) x.At(r, c) = fact->column(c + 1).GetFloat(r);
+  }
+  ASSERT_OK_AND_ASSIGN(nn::Tensor expected, model.Predict(x));
+  ASSERT_OK_AND_ASSIGN(int pred_col, result.ColumnIndex("prediction"));
+  for (int64_t r = 0; r < 1500; ++r) {
+    ASSERT_NEAR(result.GetValue(r, pred_col).f, expected[r], 1e-4);
+  }
+}
+
+TEST(UdfTest, CustomUdfThroughFramework) {
+  // The UDF framework is generic, not inference-specific: a plain vectorized
+  // function computing a * 2 + b.
+  auto fact = testutil::MakeTable(
+      "t", {{"a", DataType::kFloat}, {"b", DataType::kFloat}},
+      {{testutil::F(1), testutil::F(10)}, {testutil::F(2), testutil::F(20)}});
+  integration::VectorizedUdf udf =
+      [](const exec::DataChunk& input, const std::vector<int>& args,
+         std::vector<exec::Vector>* outputs) -> Status {
+    exec::Vector out(DataType::kFloat);
+    out.Resize(input.size);
+    for (int64_t r = 0; r < input.size; ++r) {
+      out.floats()[r] = input.column(args[0]).floats()[r] * 2 +
+                        input.column(args[1]).floats()[r];
+    }
+    outputs->push_back(std::move(out));
+    return Status::OK();
+  };
+  integration::UdfOperator op(ScanAll(fact), udf, {0, 1}, {"c"},
+                              {DataType::kFloat});
+  ExecContext ctx;
+  ASSERT_OK_AND_ASSIGN(auto result, DrainOperator(&op, &ctx));
+  EXPECT_FLOAT_EQ(result.GetValue(0, 2).f, 12.0f);
+  EXPECT_FLOAT_EQ(result.GetValue(1, 2).f, 24.0f);
+}
+
+TEST(UdfTest, RejectsEmptyModel) {
+  auto empty = std::make_shared<const std::vector<uint8_t>>();
+  EXPECT_FALSE(integration::MakeInterpretedInferenceUdf(empty, 4, 1).ok());
+}
+
+// ---------- external client ----------
+
+TEST(ExternalClientTest, RoundTripMatchesReference) {
+  sql::QueryEngine engine;
+  auto fact = benchlib::MakeIrisTable("fact", 3000);
+  ASSERT_OK(engine.catalog()->CreateTable(fact));
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeDenseBenchmarkModel(8, 2, 51));
+
+  integration::TransferStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      auto result,
+      integration::RunExternalInference(
+          &engine, "fact", "id",
+          {"sepal_length", "sepal_width", "petal_length", "petal_width"}, model,
+          "cpu", &stats));
+  ASSERT_EQ(result.num_rows, 3000);
+  EXPECT_EQ(stats.rows, 3000);
+  // 3000 rows x (8-byte id + 4 floats) out, (id + 1 float) back.
+  EXPECT_EQ(stats.bytes_to_client, 3000 * (8 + 16));
+  EXPECT_EQ(stats.bytes_to_server, 3000 * (8 + 4));
+  EXPECT_GT(stats.client_peak_bytes, 3000 * 16);
+  EXPECT_GT(stats.modeled_overhead_seconds, 0);
+
+  nn::Tensor x = nn::Tensor::Matrix(3000, 4);
+  for (int64_t r = 0; r < 3000; ++r) {
+    for (int c = 0; c < 4; ++c) x.At(r, c) = fact->column(c + 1).GetFloat(r);
+  }
+  ASSERT_OK_AND_ASSIGN(nn::Tensor expected, model.Predict(x));
+  ASSERT_OK_AND_ASSIGN(int id_col, result.ColumnIndex("id"));
+  ASSERT_OK_AND_ASSIGN(int pred_col, result.ColumnIndex("prediction"));
+  for (int64_t r = 0; r < result.num_rows; ++r) {
+    int64_t id = result.GetValue(r, id_col).i;
+    ASSERT_NEAR(result.GetValue(r, pred_col).f, expected[id], 1e-4);
+  }
+}
+
+TEST(ExternalClientTest, MultiOutputModel) {
+  sql::QueryEngine engine;
+  ASSERT_OK(engine.catalog()->CreateTable(benchlib::MakeIrisTable("fact", 100)));
+  nn::ModelBuilder builder(4);
+  builder.AddDense(6, nn::Activation::kTanh).AddDense(3, nn::Activation::kSigmoid);
+  ASSERT_OK_AND_ASSIGN(nn::Model model, builder.Build(2));
+
+  ASSERT_OK_AND_ASSIGN(
+      auto result,
+      integration::RunExternalInference(
+          &engine, "fact", "id",
+          {"sepal_length", "sepal_width", "petal_length", "petal_width"}, model,
+          "cpu"));
+  EXPECT_EQ(result.num_rows, 100);
+  EXPECT_EQ(result.names.size(), 4u);  // id + 3 predictions
+  EXPECT_TRUE(result.ColumnIndex("prediction_2").ok());
+}
+
+TEST(ExternalClientTest, RejectsWrongColumns) {
+  sql::QueryEngine engine;
+  ASSERT_OK(engine.catalog()->CreateTable(benchlib::MakeIrisTable("fact", 10)));
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeDenseBenchmarkModel(8, 1));
+  auto result = integration::RunExternalInference(&engine, "fact", "id",
+                                                  {"sepal_length"}, model, "cpu");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ExternalClientTest, PropagatesQueryErrors) {
+  sql::QueryEngine engine;  // no fact table registered
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeDenseBenchmarkModel(8, 1));
+  auto result = integration::RunExternalInference(
+      &engine, "missing", "id", {"a", "b", "c", "d"}, model, "cpu");
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace indbml

@@ -1,0 +1,235 @@
+#include "mltosql/mltosql.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "benchlib/workloads.h"
+#include "nn/model.h"
+#include "sql/query_engine.h"
+#include "test_util.h"
+
+namespace indbml {
+namespace {
+
+using mltosql::FactTableInfo;
+using mltosql::MlToSql;
+using mltosql::MlToSqlOptions;
+using sql::QueryEngine;
+
+/// Reference predictions keyed by row id.
+std::map<int64_t, std::vector<float>> ReferencePredictions(
+    const nn::Model& model, const storage::Table& fact,
+    const std::vector<std::string>& input_columns) {
+  int64_t n = fact.num_rows();
+  nn::Tensor x = nn::Tensor::Matrix(n, model.input_width());
+  std::vector<int> col_idx;
+  for (const auto& name : input_columns) {
+    auto idx = fact.ColumnIndex(name);
+    INDBML_CHECK(idx.ok());
+    col_idx.push_back(*idx);
+  }
+  int id_col = *fact.ColumnIndex("id");
+  for (int64_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < col_idx.size(); ++c) {
+      x.At(r, static_cast<int64_t>(c)) = fact.column(col_idx[c]).GetFloat(r);
+    }
+  }
+  auto pred = model.Predict(x);
+  INDBML_CHECK(pred.ok());
+  std::map<int64_t, std::vector<float>> by_id;
+  for (int64_t r = 0; r < n; ++r) {
+    std::vector<float> row(static_cast<size_t>(model.output_dim()));
+    for (int64_t c = 0; c < model.output_dim(); ++c) row[static_cast<size_t>(c)] = pred->At(r, c);
+    by_id[fact.column(id_col).GetInt64(r)] = row;
+  }
+  return by_id;
+}
+
+struct OptionCase {
+  bool unique_ids;
+  bool range_filters;
+  bool sorted;
+};
+
+class MlToSqlOptionsTest : public ::testing::TestWithParam<OptionCase> {};
+
+TEST_P(MlToSqlOptionsTest, DensePredictionsMatchReference) {
+  OptionCase oc = GetParam();
+  QueryEngine engine;
+  auto fact = benchlib::MakeIrisTable("fact", 300);
+  ASSERT_OK(engine.catalog()->CreateTable(fact));
+
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeDenseBenchmarkModel(8, 2, 7));
+  MlToSqlOptions options;
+  options.unique_node_ids = oc.unique_ids;
+  options.range_filters = oc.range_filters;
+  options.sorted_model_table = oc.sorted;
+  MlToSql framework(&model, "iris_model", options);
+  ASSERT_OK(framework.Deploy(&engine));
+
+  FactTableInfo info;
+  info.table = "fact";
+  info.input_columns = {"sepal_length", "sepal_width", "petal_length", "petal_width"};
+  info.payload_columns = {"class"};
+  ASSERT_OK_AND_ASSIGN(std::string sqltext, framework.GenerateInferenceSql(info));
+
+  ASSERT_OK_AND_ASSIGN(auto result, engine.ExecuteQuery(sqltext));
+  ASSERT_EQ(result.num_rows, 300);
+
+  auto reference = ReferencePredictions(model, *fact, info.input_columns);
+  ASSERT_OK_AND_ASSIGN(int id_col, result.ColumnIndex("id"));
+  ASSERT_OK_AND_ASSIGN(int pred_col, result.ColumnIndex("prediction"));
+  for (int64_t r = 0; r < result.num_rows; ++r) {
+    int64_t id = result.GetValue(r, id_col).i;
+    float expected = reference.at(id)[0];
+    float actual = result.GetValue(r, pred_col).f;
+    ASSERT_NEAR(actual, expected, 1e-4)
+        << "row id " << id << " options(u=" << oc.unique_ids
+        << ",f=" << oc.range_filters << ",s=" << oc.sorted << ")";
+  }
+}
+
+TEST_P(MlToSqlOptionsTest, LstmPredictionsMatchReference) {
+  OptionCase oc = GetParam();
+  QueryEngine engine;
+  auto fact = benchlib::MakeSinusTable("series", 200, 3);
+  ASSERT_OK(engine.catalog()->CreateTable(fact));
+
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeLstmBenchmarkModel(6, 3, 11));
+  MlToSqlOptions options;
+  options.unique_node_ids = oc.unique_ids;
+  options.range_filters = oc.range_filters;
+  options.sorted_model_table = oc.sorted;
+  MlToSql framework(&model, "lstm_model", options);
+  ASSERT_OK(framework.Deploy(&engine));
+
+  FactTableInfo info;
+  info.table = "series";
+  info.input_columns = {"x0", "x1", "x2"};
+  ASSERT_OK_AND_ASSIGN(std::string sqltext, framework.GenerateInferenceSql(info));
+
+  ASSERT_OK_AND_ASSIGN(auto result, engine.ExecuteQuery(sqltext));
+  ASSERT_EQ(result.num_rows, 200);
+
+  auto reference = ReferencePredictions(model, *fact, info.input_columns);
+  ASSERT_OK_AND_ASSIGN(int id_col, result.ColumnIndex("id"));
+  ASSERT_OK_AND_ASSIGN(int pred_col, result.ColumnIndex("prediction"));
+  for (int64_t r = 0; r < result.num_rows; ++r) {
+    int64_t id = result.GetValue(r, id_col).i;
+    ASSERT_NEAR(result.GetValue(r, pred_col).f, reference.at(id)[0], 1e-4)
+        << "row id " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOptionCombinations, MlToSqlOptionsTest,
+    ::testing::Values(OptionCase{true, true, true}, OptionCase{true, true, false},
+                      OptionCase{true, false, true}, OptionCase{true, false, false},
+                      OptionCase{false, true, true}, OptionCase{false, true, false},
+                      OptionCase{false, false, true},
+                      OptionCase{false, false, false}),
+    [](const ::testing::TestParamInfo<OptionCase>& info) {
+      std::string name;
+      name += info.param.unique_ids ? "UniqueIds" : "PairIds";
+      name += info.param.range_filters ? "Filters" : "NoFilters";
+      name += info.param.sorted ? "Sorted" : "Unsorted";
+      return name;
+    });
+
+TEST(MlToSqlTest, MultiOutputPivot) {
+  QueryEngine engine;
+  auto fact = benchlib::MakeIrisTable("fact", 120);
+  ASSERT_OK(engine.catalog()->CreateTable(fact));
+
+  nn::ModelBuilder builder(4);
+  builder.AddDense(8, nn::Activation::kRelu).AddDense(3, nn::Activation::kSigmoid);
+  ASSERT_OK_AND_ASSIGN(nn::Model model, builder.Build(3));
+
+  MlToSql framework(&model, "multi_model");
+  ASSERT_OK(framework.Deploy(&engine));
+  FactTableInfo info;
+  info.table = "fact";
+  info.input_columns = {"sepal_length", "sepal_width", "petal_length", "petal_width"};
+  ASSERT_OK_AND_ASSIGN(std::string sqltext, framework.GenerateInferenceSql(info));
+  ASSERT_OK_AND_ASSIGN(auto result, engine.ExecuteQuery(sqltext));
+  ASSERT_EQ(result.num_rows, 120);
+
+  auto reference = ReferencePredictions(model, *fact, info.input_columns);
+  ASSERT_OK_AND_ASSIGN(int id_col, result.ColumnIndex("id"));
+  for (int64_t j = 0; j < 3; ++j) {
+    ASSERT_OK_AND_ASSIGN(
+        int pred_col,
+        result.ColumnIndex("prediction_" + std::to_string(j)));
+    for (int64_t r = 0; r < result.num_rows; ++r) {
+      int64_t id = result.GetValue(r, id_col).i;
+      ASSERT_NEAR(result.GetValue(r, pred_col).f,
+                  reference.at(id)[static_cast<size_t>(j)], 1e-4);
+    }
+  }
+}
+
+TEST(MlToSqlTest, ModelTableShape) {
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeDenseBenchmarkModel(4, 1, 5));
+  MlToSql framework(&model, "m");
+  ASSERT_OK_AND_ASSIGN(auto table, framework.BuildModelTable());
+  // 4 input edges + 4x4 hidden edges + 4x1 output edges.
+  EXPECT_EQ(table->num_rows(), 4 + 16 + 4);
+  EXPECT_EQ(table->num_columns(), 14);  // unique ids drop layer columns
+
+  MlToSqlOptions basic;
+  basic.unique_node_ids = false;
+  MlToSql framework16(&model, "m16", basic);
+  ASSERT_OK_AND_ASSIGN(auto table16, framework16.BuildModelTable());
+  EXPECT_EQ(table16->num_columns(), 16);  // §4.1: 16-column model table
+  EXPECT_EQ(table16->num_rows(), table->num_rows());
+}
+
+TEST(MlToSqlTest, LstmModelTableStoresRecurrentKernelOnce) {
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeLstmBenchmarkModel(5, 3, 5));
+  MlToSql framework(&model, "m");
+  ASSERT_OK_AND_ASSIGN(auto table, framework.BuildModelTable());
+  // 1x5 kernel edges + 5x5 recurrent edges + 5x1 dense output edges,
+  // independent of the number of time steps (§4.3.3).
+  EXPECT_EQ(table->num_rows(), 5 + 25 + 5);
+}
+
+TEST(MlToSqlTest, GenerateLoadStatements) {
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeDenseBenchmarkModel(4, 1, 5));
+  MlToSql framework(&model, "m");
+  ASSERT_OK_AND_ASSIGN(auto statements, framework.GenerateLoadStatements());
+  ASSERT_EQ(statements.size(), 1u + 24u);  // CREATE + one INSERT per edge
+  EXPECT_NE(statements[0].find("CREATE TABLE m"), std::string::npos);
+  EXPECT_NE(statements[1].find("INSERT INTO m VALUES"), std::string::npos);
+}
+
+TEST(MlToSqlTest, SelfJoinWideningMatchesDirectTable) {
+  QueryEngine engine;
+  ASSERT_OK(engine.catalog()->CreateTable(benchlib::MakeRawSinusSeries("raw", 50)));
+  std::string widen = benchlib::BuildSelfJoinSql("raw", 3);
+  ASSERT_OK_AND_ASSIGN(auto wide, engine.ExecuteQuery(widen + " ORDER BY id"));
+  // 48 anchors have two successors.
+  ASSERT_EQ(wide.num_rows, 48);
+  auto direct = benchlib::MakeSinusTable("direct", 48, 3);
+  for (int64_t r = 0; r < wide.num_rows; ++r) {
+    for (int64_t c = 0; c < 4; ++c) {
+      ASSERT_NEAR(wide.GetValue(r, c).AsDouble(),
+                  direct->column(static_cast<int>(c)).GetValue(r).AsDouble(), 1e-5);
+    }
+  }
+}
+
+TEST(MlToSqlTest, RejectsMismatchedInputColumns) {
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeDenseBenchmarkModel(4, 1, 5));
+  MlToSql framework(&model, "m");
+  FactTableInfo info;
+  info.table = "fact";
+  info.input_columns = {"a", "b"};  // model expects 4
+  auto result = framework.GenerateInferenceSql(info);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace indbml

@@ -1,0 +1,329 @@
+#include "nn/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "nn/blas.h"
+#include "nn/cost_model.h"
+#include "nn/model_meta.h"
+#include "common/random.h"
+#include "nn/tensor.h"
+#include "test_util.h"
+
+namespace indbml {
+namespace {
+
+using nn::Activation;
+using nn::Model;
+using nn::ModelBuilder;
+using nn::Tensor;
+
+// ---------- miniblas ----------
+
+/// Naive reference GEMM for validating the blocked kernel.
+void NaiveGemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, float alpha,
+               const float* a, int64_t lda, const float* b, int64_t ldb, float beta,
+               float* c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        float av = ta ? a[p * lda + i] : a[i * lda + p];
+        float bv = tb ? b[j * ldb + p] : b[p * ldb + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * ldc + j] = alpha * static_cast<float>(acc) + beta * c[i * ldc + j];
+    }
+  }
+}
+
+struct GemmCase {
+  bool ta;
+  bool tb;
+  int64_t m, n, k;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmTest, MatchesNaive) {
+  GemmCase p = GetParam();
+  indbml::Random rng(p.m * 1000 + p.n * 100 + p.k + (p.ta ? 7 : 0) + (p.tb ? 13 : 0));
+  int64_t a_elems = p.m * p.k;
+  int64_t b_elems = p.k * p.n;
+  std::vector<float> a(static_cast<size_t>(a_elems));
+  std::vector<float> b(static_cast<size_t>(b_elems));
+  std::vector<float> c(static_cast<size_t>(p.m * p.n));
+  std::vector<float> expected(static_cast<size_t>(p.m * p.n));
+  for (auto& v : a) v = rng.NextFloat(-1, 1);
+  for (auto& v : b) v = rng.NextFloat(-1, 1);
+  for (size_t i = 0; i < c.size(); ++i) {
+    c[i] = rng.NextFloat(-1, 1);
+    expected[i] = c[i];
+  }
+  int64_t lda = p.ta ? p.m : p.k;
+  int64_t ldb = p.tb ? p.k : p.n;
+  blas::Sgemm(p.ta, p.tb, p.m, p.n, p.k, 0.7f, a.data(), lda, b.data(), ldb, 0.3f,
+              c.data(), p.n);
+  NaiveGemm(p.ta, p.tb, p.m, p.n, p.k, 0.7f, a.data(), lda, b.data(), ldb, 0.3f,
+            expected.data(), p.n);
+  for (size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], expected[i], 1e-3) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmTest,
+    ::testing::Values(GemmCase{false, false, 1, 1, 1},
+                      GemmCase{false, false, 3, 5, 7},
+                      GemmCase{false, false, 64, 64, 64},
+                      GemmCase{false, false, 100, 3, 130},
+                      GemmCase{true, false, 17, 9, 23},
+                      GemmCase{false, true, 9, 17, 23},
+                      GemmCase{true, true, 31, 15, 8}));
+
+TEST(BlasTest, SaxpyAndElementwise) {
+  std::vector<float> x = {1, 2, 3, 4};
+  std::vector<float> y = {10, 20, 30, 40};
+  blas::Saxpy(4, 2.0f, x.data(), y.data());
+  EXPECT_FLOAT_EQ(y[0], 12);
+  EXPECT_FLOAT_EQ(y[3], 48);
+
+  std::vector<float> z(4);
+  blas::VsMul(4, x.data(), y.data(), z.data());
+  EXPECT_FLOAT_EQ(z[1], 2 * 24);
+  blas::VsAdd(4, x.data(), y.data(), z.data());
+  EXPECT_FLOAT_EQ(z[2], 3 + 36);
+}
+
+TEST(BlasTest, Sger) {
+  std::vector<float> x = {1, 2};
+  std::vector<float> y = {3, 4, 5};
+  std::vector<float> a(6, 1.0f);
+  blas::Sger(2, 3, 2.0f, x.data(), y.data(), a.data(), 3);
+  EXPECT_FLOAT_EQ(a[0], 1 + 2 * 1 * 3);
+  EXPECT_FLOAT_EQ(a[5], 1 + 2 * 2 * 5);
+}
+
+TEST(BlasTest, Activations) {
+  EXPECT_FLOAT_EQ(blas::ScalarRelu(-2.0f), 0.0f);
+  EXPECT_FLOAT_EQ(blas::ScalarRelu(2.0f), 2.0f);
+  EXPECT_NEAR(blas::ScalarSigmoid(0.0f), 0.5f, 1e-7);
+  EXPECT_NEAR(blas::ScalarSigmoid(100.0f), 1.0f, 1e-6);
+  EXPECT_NEAR(blas::ScalarTanh(0.5f), std::tanh(0.5f), 1e-7);
+
+  std::vector<float> v = {-1.0f, 0.0f, 1.0f};
+  blas::VsSigmoid(3, v.data());
+  EXPECT_NEAR(v[1], 0.5f, 1e-7);
+}
+
+// ---------- Tensor ----------
+
+TEST(TensorTest, ShapesAndAccess) {
+  Tensor t = Tensor::Matrix(3, 4);
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.size(), 12);
+  t.At(2, 3) = 7.5f;
+  EXPECT_FLOAT_EQ(t.At(2, 3), 7.5f);
+  // Zero-initialised.
+  EXPECT_FLOAT_EQ(t.At(0, 0), 0.0f);
+
+  Tensor v = Tensor::Vector(5);
+  v[4] = 1.0f;
+  EXPECT_FLOAT_EQ(v[4], 1.0f);
+}
+
+TEST(TensorTest, SharedStorage) {
+  Tensor a = Tensor::Matrix(2, 2);
+  Tensor b = a;  // shares the buffer
+  b.At(0, 0) = 3.0f;
+  EXPECT_FLOAT_EQ(a.At(0, 0), 3.0f);
+}
+
+// ---------- Model construction ----------
+
+TEST(ModelBuilderTest, DenseDimensions) {
+  ModelBuilder builder(4);
+  builder.AddDense(8, Activation::kRelu).AddDense(2, Activation::kLinear);
+  ASSERT_OK_AND_ASSIGN(Model model, builder.Build(1));
+  EXPECT_EQ(model.input_width(), 4);
+  EXPECT_EQ(model.output_dim(), 2);
+  EXPECT_EQ(model.layers().size(), 2u);
+  EXPECT_EQ(model.NumParameters(), 4 * 8 + 8 + 8 * 2 + 2);
+}
+
+TEST(ModelBuilderTest, LstmDimensions) {
+  ModelBuilder builder = ModelBuilder::TimeSeries(3, 1);
+  builder.AddLstm(6).AddDense(1, Activation::kLinear);
+  ASSERT_OK_AND_ASSIGN(Model model, builder.Build(1));
+  EXPECT_EQ(model.input_width(), 3);
+  EXPECT_EQ(model.output_dim(), 1);
+  // LSTM: 4 gates x (1x6 kernel + 6x6 recurrent + 6 bias) + dense 6x1+1.
+  EXPECT_EQ(model.NumParameters(), 4 * (6 + 36 + 6) + 7);
+}
+
+TEST(ModelBuilderTest, RejectsLstmAfterDense) {
+  ModelBuilder builder(4);
+  builder.AddDense(4, Activation::kRelu).AddLstm(4);
+  auto result = builder.Build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST(ModelBuilderTest, RejectsMultiTimestepWithoutLstm) {
+  ModelBuilder builder = ModelBuilder::TimeSeries(3, 1);
+  builder.AddDense(4, Activation::kRelu);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(ModelBuilderTest, RejectsEmptyAndInvalid) {
+  EXPECT_FALSE(ModelBuilder(0).AddDense(1, Activation::kLinear).Build().ok());
+  EXPECT_FALSE(ModelBuilder(4).Build().ok());
+  EXPECT_FALSE(ModelBuilder(4).AddDense(0, Activation::kLinear).Build().ok());
+}
+
+// ---------- Inference reference ----------
+
+TEST(ModelPredictTest, HandComputedDense) {
+  // 2 inputs -> 1 unit, weights [2, 3], bias 1, relu.
+  ModelBuilder builder(2);
+  builder.AddDense(1, Activation::kRelu);
+  ASSERT_OK_AND_ASSIGN(Model model, builder.Build(1));
+  auto& dense = model.mutable_layers()[0].dense;
+  dense.kernel.At(0, 0) = 2.0f;
+  dense.kernel.At(1, 0) = 3.0f;
+  dense.bias[0] = 1.0f;
+
+  Tensor x = Tensor::Matrix(2, 2);
+  x.At(0, 0) = 1.0f;
+  x.At(0, 1) = 1.0f;   // 2 + 3 + 1 = 6
+  x.At(1, 0) = -4.0f;
+  x.At(1, 1) = 1.0f;   // -8 + 3 + 1 = -4 -> relu 0
+  ASSERT_OK_AND_ASSIGN(Tensor y, model.Predict(x));
+  EXPECT_FLOAT_EQ(y.At(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(y.At(1, 0), 0.0f);
+}
+
+TEST(ModelPredictTest, HandComputedLstmSingleUnit) {
+  // One LSTM unit, one time step, all weights set manually; compare with
+  // the Keras equations computed by hand.
+  ModelBuilder builder = ModelBuilder::TimeSeries(1, 1);
+  builder.AddLstm(1);
+  ASSERT_OK_AND_ASSIGN(Model model, builder.Build(1));
+  auto& lstm = model.mutable_layers()[0].lstm;
+  float w[4] = {0.5f, -0.3f, 0.8f, 0.2f};
+  for (int g = 0; g < 4; ++g) {
+    lstm.kernel[g].At(0, 0) = w[g];
+    lstm.recurrent[g].At(0, 0) = 0.0f;  // irrelevant for a single step
+    lstm.bias[g][0] = 0.1f;
+  }
+  float xv = 0.7f;
+  Tensor x = Tensor::Matrix(1, 1);
+  x.At(0, 0) = xv;
+  ASSERT_OK_AND_ASSIGN(Tensor y, model.Predict(x));
+
+  auto sig = [](float v) { return 1.0f / (1.0f + std::exp(-v)); };
+  float i = sig(xv * w[0] + 0.1f);
+  float c_tilde = std::tanh(xv * w[2] + 0.1f);
+  float o = sig(xv * w[3] + 0.1f);
+  float c = i * c_tilde;  // first step: no forget contribution
+  float expected = o * std::tanh(c);
+  EXPECT_NEAR(y.At(0, 0), expected, 1e-6);
+}
+
+TEST(ModelPredictTest, RejectsWrongInputShape) {
+  ASSERT_OK_AND_ASSIGN(Model model, nn::MakeDenseBenchmarkModel(4, 1));
+  Tensor wrong = Tensor::Matrix(3, 7);
+  EXPECT_FALSE(model.Predict(wrong).ok());
+}
+
+TEST(ModelPredictTest, DeterministicAcrossSeeds) {
+  ASSERT_OK_AND_ASSIGN(Model a, nn::MakeDenseBenchmarkModel(8, 2, 5));
+  ASSERT_OK_AND_ASSIGN(Model b, nn::MakeDenseBenchmarkModel(8, 2, 5));
+  Tensor x = Tensor::Matrix(1, 4);
+  x.At(0, 2) = 1.5f;
+  ASSERT_OK_AND_ASSIGN(Tensor ya, a.Predict(x));
+  ASSERT_OK_AND_ASSIGN(Tensor yb, b.Predict(x));
+  EXPECT_FLOAT_EQ(ya.At(0, 0), yb.At(0, 0));
+  ASSERT_OK_AND_ASSIGN(Model c, nn::MakeDenseBenchmarkModel(8, 2, 6));
+  ASSERT_OK_AND_ASSIGN(Tensor yc, c.Predict(x));
+  EXPECT_NE(ya.At(0, 0), yc.At(0, 0));
+}
+
+// ---------- Serialisation ----------
+
+TEST(ModelSerializationTest, FileRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(Model model, nn::MakeLstmBenchmarkModel(5, 3, 9));
+  std::string path = ::testing::TempDir() + "/model_roundtrip.bin";
+  ASSERT_OK(model.SaveToFile(path));
+  ASSERT_OK_AND_ASSIGN(Model loaded, Model::LoadFromFile(path));
+  EXPECT_EQ(loaded.timesteps(), 3);
+  EXPECT_EQ(loaded.NumParameters(), model.NumParameters());
+
+  Tensor x = Tensor::Matrix(4, 3);
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = 0.1f * static_cast<float>(i);
+  ASSERT_OK_AND_ASSIGN(Tensor y1, model.Predict(x));
+  ASSERT_OK_AND_ASSIGN(Tensor y2, loaded.Predict(x));
+  for (int64_t i = 0; i < y1.size(); ++i) EXPECT_FLOAT_EQ(y1[i], y2[i]);
+  std::remove(path.c_str());
+}
+
+TEST(ModelSerializationTest, BytesRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(Model model, nn::MakeDenseBenchmarkModel(16, 3, 4));
+  ASSERT_OK_AND_ASSIGN(auto bytes, model.SaveToBytes());
+  ASSERT_OK_AND_ASSIGN(Model loaded, Model::LoadFromBytes(bytes.data(), bytes.size()));
+  EXPECT_EQ(loaded.NumParameters(), model.NumParameters());
+}
+
+TEST(ModelSerializationTest, RejectsCorruptData) {
+  std::vector<uint8_t> garbage = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_FALSE(Model::LoadFromBytes(garbage.data(), garbage.size()).ok());
+  EXPECT_FALSE(Model::LoadFromFile("/nonexistent/path").ok());
+}
+
+// ---------- Meta / cost model ----------
+
+TEST(ModelMetaTest, MetaOfDense) {
+  ASSERT_OK_AND_ASSIGN(Model model, nn::MakeDenseBenchmarkModel(32, 4));
+  nn::ModelMeta meta = nn::MetaOf(model, "m");
+  EXPECT_EQ(meta.layers.size(), 5u);
+  EXPECT_EQ(meta.input_width(), 4);
+  EXPECT_EQ(meta.output_dim(), 1);
+  EXPECT_EQ(meta.layers[0].activation, Activation::kRelu);
+  EXPECT_EQ(meta.layers[4].activation, Activation::kLinear);
+}
+
+TEST(CostModelTest, LinearInTuplesAndMonotoneInWidth) {
+  ASSERT_OK_AND_ASSIGN(Model small, nn::MakeDenseBenchmarkModel(32, 4));
+  ASSERT_OK_AND_ASSIGN(Model big, nn::MakeDenseBenchmarkModel(128, 4));
+  nn::CostEstimate cs = nn::EstimateCost(small);
+  nn::CostEstimate cb = nn::EstimateCost(big);
+  EXPECT_GT(cb.flops_per_tuple, cs.flops_per_tuple);
+  EXPECT_GT(cb.relational_rows_per_tuple, cs.relational_rows_per_tuple);
+
+  nn::CostCoefficients coeff;
+  double t1 = nn::PredictSeconds(cs, coeff, 1000) - coeff.fixed_seconds;
+  double t2 = nn::PredictSeconds(cs, coeff, 2000) - coeff.fixed_seconds;
+  EXPECT_NEAR(t2, 2 * t1, 1e-12);
+}
+
+TEST(CostModelTest, QuadraticParameterGrowth) {
+  // §6.2.1: "width 512 depth 8 having ~1.8e6 parameters, width 128 ~115k".
+  ASSERT_OK_AND_ASSIGN(Model w512, nn::MakeDenseBenchmarkModel(512, 8));
+  ASSERT_OK_AND_ASSIGN(Model w128, nn::MakeDenseBenchmarkModel(128, 8));
+  EXPECT_NEAR(static_cast<double>(w512.NumParameters()), 1.8e6, 0.2e6);
+  EXPECT_NEAR(static_cast<double>(w128.NumParameters()), 115000, 15000);
+}
+
+TEST(CostModelTest, Calibration) {
+  ASSERT_OK_AND_ASSIGN(Model model, nn::MakeDenseBenchmarkModel(32, 2));
+  nn::CostEstimate estimate = nn::EstimateCost(model);
+  nn::CostCoefficients coeff =
+      nn::CalibrateFromMeasurement(estimate, 1000, 0.5, /*relational=*/false);
+  EXPECT_NEAR(nn::PredictSeconds(estimate, coeff, 1000), 0.5, 1e-9);
+  EXPECT_NEAR(nn::PredictSeconds(estimate, coeff, 3000), 1.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace indbml

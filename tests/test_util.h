@@ -1,0 +1,57 @@
+#ifndef INDBML_TESTS_TEST_UTIL_H_
+#define INDBML_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/operator.h"
+#include "storage/table.h"
+
+#define ASSERT_OK(expr)                                        \
+  do {                                                         \
+    const ::indbml::Status _st = (expr);                       \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+#define EXPECT_OK(expr)                                        \
+  do {                                                         \
+    const ::indbml::Status _st = (expr);                       \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                       \
+  auto INDBML_CONCAT(_r_, __LINE__) = (rexpr);                 \
+  ASSERT_TRUE(INDBML_CONCAT(_r_, __LINE__).ok())               \
+      << INDBML_CONCAT(_r_, __LINE__).status().ToString();     \
+  lhs = std::move(INDBML_CONCAT(_r_, __LINE__)).ValueOrDie()
+
+namespace indbml::testutil {
+
+/// Builds a finalized table from a schema and a row-major value list.
+inline storage::TablePtr MakeTable(const std::string& name,
+                                   std::vector<storage::Field> fields,
+                                   std::vector<std::vector<storage::Value>> rows) {
+  auto table = std::make_shared<storage::Table>(name, std::move(fields));
+  for (const auto& row : rows) {
+    INDBML_CHECK(table->AppendRow(row).ok());
+  }
+  table->Finalize();
+  return table;
+}
+
+inline storage::Value I(int64_t v) { return storage::Value::Int64(v); }
+inline storage::Value F(float v) { return storage::Value::Float(v); }
+inline storage::Value B(bool v) { return storage::Value::Bool(v); }
+
+/// Fetches a result cell as double for approximate comparisons.
+inline double Cell(const exec::QueryResult& result, int64_t row, int64_t col) {
+  return result.GetValue(row, col).AsDouble();
+}
+
+}  // namespace indbml::testutil
+
+#endif  // INDBML_TESTS_TEST_UTIL_H_

@@ -1,0 +1,127 @@
+#include "nn/training.h"
+
+#include <gtest/gtest.h>
+
+#include "benchlib/workloads.h"
+#include "common/random.h"
+#include "test_util.h"
+
+namespace indbml {
+namespace {
+
+using nn::Activation;
+using nn::Model;
+using nn::ModelBuilder;
+using nn::Tensor;
+
+TEST(TrainingTest, LearnsXor) {
+  // The motivating example of the multi-layer perceptron (paper §2).
+  Tensor x = Tensor::Matrix(4, 2);
+  Tensor y = Tensor::Matrix(4, 1);
+  float inputs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  float targets[4] = {0, 1, 1, 0};
+  for (int r = 0; r < 4; ++r) {
+    x.At(r, 0) = inputs[r][0];
+    x.At(r, 1) = inputs[r][1];
+    y.At(r, 0) = targets[r];
+  }
+
+  ModelBuilder builder(2);
+  builder.AddDense(8, Activation::kTanh).AddDense(1, Activation::kSigmoid);
+  ASSERT_OK_AND_ASSIGN(Model model, builder.Build(3));
+
+  nn::TrainOptions options;
+  options.epochs = 2000;
+  options.learning_rate = 0.5f;
+  options.batch_size = 4;
+  ASSERT_OK_AND_ASSIGN(float loss, nn::TrainDenseMse(&model, x, y, options));
+  EXPECT_LT(loss, 0.05f);
+
+  ASSERT_OK_AND_ASSIGN(Tensor pred, model.Predict(x));
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_NEAR(pred.At(r, 0), targets[r], 0.3f) << "XOR row " << r;
+  }
+}
+
+TEST(TrainingTest, LossDecreases) {
+  Random rng(9);
+  const int64_t n = 200;
+  Tensor x = Tensor::Matrix(n, 3);
+  Tensor y = Tensor::Matrix(n, 1);
+  for (int64_t r = 0; r < n; ++r) {
+    float a = rng.NextFloat(-1, 1);
+    float b = rng.NextFloat(-1, 1);
+    float c = rng.NextFloat(-1, 1);
+    x.At(r, 0) = a;
+    x.At(r, 1) = b;
+    x.At(r, 2) = c;
+    y.At(r, 0) = 0.3f * a - 0.7f * b + 0.1f * c;
+  }
+  ModelBuilder builder(3);
+  builder.AddDense(4, Activation::kTanh).AddDense(1, Activation::kLinear);
+  ASSERT_OK_AND_ASSIGN(Model model, builder.Build(5));
+
+  ASSERT_OK_AND_ASSIGN(Tensor before, model.Predict(x));
+  float loss_before = nn::MeanSquaredError(before, y);
+
+  nn::TrainOptions options;
+  options.epochs = 100;
+  ASSERT_OK_AND_ASSIGN(float loss_after, nn::TrainDenseMse(&model, x, y, options));
+  EXPECT_LT(loss_after, loss_before * 0.2f);
+}
+
+TEST(TrainingTest, RejectsLstmModels) {
+  ASSERT_OK_AND_ASSIGN(Model model, nn::MakeLstmBenchmarkModel(4));
+  Tensor x = Tensor::Matrix(2, 3);
+  Tensor y = Tensor::Matrix(2, 1);
+  auto result = nn::TrainDenseMse(&model, x, y);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST(TrainingTest, RejectsShapeMismatch) {
+  ASSERT_OK_AND_ASSIGN(Model model, nn::MakeDenseBenchmarkModel(4, 1));
+  Tensor x = Tensor::Matrix(4, 4);
+  Tensor y = Tensor::Matrix(3, 1);  // row count mismatch
+  EXPECT_FALSE(nn::TrainDenseMse(&model, x, y).ok());
+  Tensor y2 = Tensor::Matrix(4, 2);  // output width mismatch
+  EXPECT_FALSE(nn::TrainDenseMse(&model, x, y2).ok());
+}
+
+TEST(TrainingTest, MeanSquaredError) {
+  Tensor a = Tensor::Matrix(2, 1);
+  Tensor b = Tensor::Matrix(2, 1);
+  a.At(0, 0) = 1.0f;
+  a.At(1, 0) = 3.0f;
+  b.At(0, 0) = 2.0f;
+  b.At(1, 0) = 1.0f;
+  EXPECT_FLOAT_EQ(nn::MeanSquaredError(a, b), (1.0f + 4.0f) / 2.0f);
+}
+
+// ---------- workload generators ----------
+
+TEST(WorkloadTest, IrisDeterministicAndTiled) {
+  auto a = benchlib::MakeIrisTable("a", 300);
+  auto b = benchlib::MakeIrisTable("b", 300);
+  EXPECT_EQ(a->num_rows(), 300);
+  for (int64_t r : {0L, 149L, 299L}) {
+    EXPECT_FLOAT_EQ(a->column(1).GetFloat(r), b->column(1).GetFloat(r));
+  }
+  // Tiling: row 150 repeats row 0 features.
+  EXPECT_FLOAT_EQ(a->column(1).GetFloat(150), a->column(1).GetFloat(0));
+  EXPECT_EQ(a->column(5).GetInt64(0), 0);    // class setosa block
+  EXPECT_EQ(a->column(5).GetInt64(149), 2);  // class virginica block
+  EXPECT_EQ(a->unique_id_column(), "id");
+}
+
+TEST(WorkloadTest, SinusSeries) {
+  auto t = benchlib::MakeSinusTable("s", 10, 3);
+  EXPECT_EQ(t->num_columns(), 4);
+  // x1 of row i equals x0 of row i+1.
+  for (int64_t r = 0; r + 1 < 10; ++r) {
+    EXPECT_NEAR(t->column(2).GetFloat(r), t->column(1).GetFloat(r + 1), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace indbml
