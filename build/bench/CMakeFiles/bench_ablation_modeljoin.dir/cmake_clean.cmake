@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_modeljoin.dir/bench_ablation_modeljoin.cc.o"
+  "CMakeFiles/bench_ablation_modeljoin.dir/bench_ablation_modeljoin.cc.o.d"
+  "bench_ablation_modeljoin"
+  "bench_ablation_modeljoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_modeljoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_simgpu.dir/bench_ablation_simgpu.cc.o"
+  "CMakeFiles/bench_ablation_simgpu.dir/bench_ablation_simgpu.cc.o.d"
+  "bench_ablation_simgpu"
+  "bench_ablation_simgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_simgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

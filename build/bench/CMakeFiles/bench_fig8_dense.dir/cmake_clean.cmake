@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_dense.dir/bench_fig8_dense.cc.o"
+  "CMakeFiles/bench_fig8_dense.dir/bench_fig8_dense.cc.o.d"
+  "bench_fig8_dense"
+  "bench_fig8_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_lstm.dir/bench_fig9_lstm.cc.o"
+  "CMakeFiles/bench_fig9_lstm.dir/bench_fig9_lstm.cc.o.d"
+  "bench_fig9_lstm"
+  "bench_fig9_lstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_lstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

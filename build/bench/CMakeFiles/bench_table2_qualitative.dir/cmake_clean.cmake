@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_qualitative.dir/bench_table2_qualitative.cc.o"
+  "CMakeFiles/bench_table2_qualitative.dir/bench_table2_qualitative.cc.o.d"
+  "bench_table2_qualitative"
+  "bench_table2_qualitative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_qualitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

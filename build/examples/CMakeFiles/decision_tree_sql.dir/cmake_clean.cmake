@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_tree_sql.dir/decision_tree_sql.cpp.o"
+  "CMakeFiles/decision_tree_sql.dir/decision_tree_sql.cpp.o.d"
+  "decision_tree_sql"
+  "decision_tree_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_tree_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

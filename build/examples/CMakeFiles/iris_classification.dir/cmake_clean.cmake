@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iris_classification.dir/iris_classification.cpp.o"
+  "CMakeFiles/iris_classification.dir/iris_classification.cpp.o.d"
+  "iris_classification"
+  "iris_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iris_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_generation_tour.dir/sql_generation_tour.cpp.o"
+  "CMakeFiles/sql_generation_tour.dir/sql_generation_tour.cpp.o.d"
+  "sql_generation_tour"
+  "sql_generation_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_generation_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

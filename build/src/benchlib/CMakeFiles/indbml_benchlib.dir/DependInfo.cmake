@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchlib/approaches.cc" "src/benchlib/CMakeFiles/indbml_benchlib.dir/approaches.cc.o" "gcc" "src/benchlib/CMakeFiles/indbml_benchlib.dir/approaches.cc.o.d"
+  "/root/repo/src/benchlib/report.cc" "src/benchlib/CMakeFiles/indbml_benchlib.dir/report.cc.o" "gcc" "src/benchlib/CMakeFiles/indbml_benchlib.dir/report.cc.o.d"
+  "/root/repo/src/benchlib/workloads.cc" "src/benchlib/CMakeFiles/indbml_benchlib.dir/workloads.cc.o" "gcc" "src/benchlib/CMakeFiles/indbml_benchlib.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/integration/CMakeFiles/indbml_integration.dir/DependInfo.cmake"
+  "/root/repo/build/src/modeljoin/CMakeFiles/indbml_modeljoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/mltosql/CMakeFiles/indbml_mltosql.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlruntime/CMakeFiles/indbml_mlruntime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/indbml_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/indbml_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/indbml_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/indbml_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/indbml_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/indbml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

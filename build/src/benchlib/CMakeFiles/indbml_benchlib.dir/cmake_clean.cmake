@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indbml_benchlib.dir/approaches.cc.o"
+  "CMakeFiles/indbml_benchlib.dir/approaches.cc.o.d"
+  "CMakeFiles/indbml_benchlib.dir/report.cc.o"
+  "CMakeFiles/indbml_benchlib.dir/report.cc.o.d"
+  "CMakeFiles/indbml_benchlib.dir/workloads.cc.o"
+  "CMakeFiles/indbml_benchlib.dir/workloads.cc.o.d"
+  "libindbml_benchlib.a"
+  "libindbml_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indbml_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indbml_common.dir/logging.cc.o"
+  "CMakeFiles/indbml_common.dir/logging.cc.o.d"
+  "CMakeFiles/indbml_common.dir/memory_tracker.cc.o"
+  "CMakeFiles/indbml_common.dir/memory_tracker.cc.o.d"
+  "CMakeFiles/indbml_common.dir/status.cc.o"
+  "CMakeFiles/indbml_common.dir/status.cc.o.d"
+  "CMakeFiles/indbml_common.dir/string_util.cc.o"
+  "CMakeFiles/indbml_common.dir/string_util.cc.o.d"
+  "CMakeFiles/indbml_common.dir/thread_pool.cc.o"
+  "CMakeFiles/indbml_common.dir/thread_pool.cc.o.d"
+  "libindbml_common.a"
+  "libindbml_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indbml_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indbml_device.dir/device.cc.o"
+  "CMakeFiles/indbml_device.dir/device.cc.o.d"
+  "libindbml_device.a"
+  "libindbml_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indbml_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

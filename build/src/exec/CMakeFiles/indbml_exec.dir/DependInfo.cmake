@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/aggregate.cc" "src/exec/CMakeFiles/indbml_exec.dir/aggregate.cc.o" "gcc" "src/exec/CMakeFiles/indbml_exec.dir/aggregate.cc.o.d"
+  "/root/repo/src/exec/basic_operators.cc" "src/exec/CMakeFiles/indbml_exec.dir/basic_operators.cc.o" "gcc" "src/exec/CMakeFiles/indbml_exec.dir/basic_operators.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "src/exec/CMakeFiles/indbml_exec.dir/expression.cc.o" "gcc" "src/exec/CMakeFiles/indbml_exec.dir/expression.cc.o.d"
+  "/root/repo/src/exec/join.cc" "src/exec/CMakeFiles/indbml_exec.dir/join.cc.o" "gcc" "src/exec/CMakeFiles/indbml_exec.dir/join.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/exec/CMakeFiles/indbml_exec.dir/operator.cc.o" "gcc" "src/exec/CMakeFiles/indbml_exec.dir/operator.cc.o.d"
+  "/root/repo/src/exec/parallel.cc" "src/exec/CMakeFiles/indbml_exec.dir/parallel.cc.o" "gcc" "src/exec/CMakeFiles/indbml_exec.dir/parallel.cc.o.d"
+  "/root/repo/src/exec/scan.cc" "src/exec/CMakeFiles/indbml_exec.dir/scan.cc.o" "gcc" "src/exec/CMakeFiles/indbml_exec.dir/scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/indbml_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/indbml_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/indbml_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indbml_exec.dir/aggregate.cc.o"
+  "CMakeFiles/indbml_exec.dir/aggregate.cc.o.d"
+  "CMakeFiles/indbml_exec.dir/basic_operators.cc.o"
+  "CMakeFiles/indbml_exec.dir/basic_operators.cc.o.d"
+  "CMakeFiles/indbml_exec.dir/expression.cc.o"
+  "CMakeFiles/indbml_exec.dir/expression.cc.o.d"
+  "CMakeFiles/indbml_exec.dir/join.cc.o"
+  "CMakeFiles/indbml_exec.dir/join.cc.o.d"
+  "CMakeFiles/indbml_exec.dir/operator.cc.o"
+  "CMakeFiles/indbml_exec.dir/operator.cc.o.d"
+  "CMakeFiles/indbml_exec.dir/parallel.cc.o"
+  "CMakeFiles/indbml_exec.dir/parallel.cc.o.d"
+  "CMakeFiles/indbml_exec.dir/scan.cc.o"
+  "CMakeFiles/indbml_exec.dir/scan.cc.o.d"
+  "libindbml_exec.a"
+  "libindbml_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indbml_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indbml_integration.dir/capi_operator.cc.o"
+  "CMakeFiles/indbml_integration.dir/capi_operator.cc.o.d"
+  "CMakeFiles/indbml_integration.dir/external_client.cc.o"
+  "CMakeFiles/indbml_integration.dir/external_client.cc.o.d"
+  "CMakeFiles/indbml_integration.dir/udf.cc.o"
+  "CMakeFiles/indbml_integration.dir/udf.cc.o.d"
+  "libindbml_integration.a"
+  "libindbml_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indbml_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mlruntime/runtime.cc" "src/mlruntime/CMakeFiles/indbml_mlruntime.dir/runtime.cc.o" "gcc" "src/mlruntime/CMakeFiles/indbml_mlruntime.dir/runtime.cc.o.d"
+  "/root/repo/src/mlruntime/trt_c_api.cc" "src/mlruntime/CMakeFiles/indbml_mlruntime.dir/trt_c_api.cc.o" "gcc" "src/mlruntime/CMakeFiles/indbml_mlruntime.dir/trt_c_api.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/indbml_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/indbml_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/indbml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

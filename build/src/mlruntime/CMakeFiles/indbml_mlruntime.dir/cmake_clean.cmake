@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indbml_mlruntime.dir/runtime.cc.o"
+  "CMakeFiles/indbml_mlruntime.dir/runtime.cc.o.d"
+  "CMakeFiles/indbml_mlruntime.dir/trt_c_api.cc.o"
+  "CMakeFiles/indbml_mlruntime.dir/trt_c_api.cc.o.d"
+  "libindbml_mlruntime.a"
+  "libindbml_mlruntime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indbml_mlruntime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

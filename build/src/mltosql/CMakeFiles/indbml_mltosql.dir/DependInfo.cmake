@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mltosql/encoding.cc" "src/mltosql/CMakeFiles/indbml_mltosql.dir/encoding.cc.o" "gcc" "src/mltosql/CMakeFiles/indbml_mltosql.dir/encoding.cc.o.d"
+  "/root/repo/src/mltosql/mltosql.cc" "src/mltosql/CMakeFiles/indbml_mltosql.dir/mltosql.cc.o" "gcc" "src/mltosql/CMakeFiles/indbml_mltosql.dir/mltosql.cc.o.d"
+  "/root/repo/src/mltosql/tree_to_sql.cc" "src/mltosql/CMakeFiles/indbml_mltosql.dir/tree_to_sql.cc.o" "gcc" "src/mltosql/CMakeFiles/indbml_mltosql.dir/tree_to_sql.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/indbml_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/indbml_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/indbml_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/indbml_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/indbml_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

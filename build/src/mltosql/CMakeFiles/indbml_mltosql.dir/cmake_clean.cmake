@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indbml_mltosql.dir/encoding.cc.o"
+  "CMakeFiles/indbml_mltosql.dir/encoding.cc.o.d"
+  "CMakeFiles/indbml_mltosql.dir/mltosql.cc.o"
+  "CMakeFiles/indbml_mltosql.dir/mltosql.cc.o.d"
+  "CMakeFiles/indbml_mltosql.dir/tree_to_sql.cc.o"
+  "CMakeFiles/indbml_mltosql.dir/tree_to_sql.cc.o.d"
+  "libindbml_mltosql.a"
+  "libindbml_mltosql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indbml_mltosql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

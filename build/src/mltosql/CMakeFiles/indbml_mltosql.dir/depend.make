@@ -1,0 +1,2 @@
+# Empty dependencies file for indbml_mltosql.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indbml_modeljoin.dir/modeljoin_operator.cc.o"
+  "CMakeFiles/indbml_modeljoin.dir/modeljoin_operator.cc.o.d"
+  "CMakeFiles/indbml_modeljoin.dir/register.cc.o"
+  "CMakeFiles/indbml_modeljoin.dir/register.cc.o.d"
+  "CMakeFiles/indbml_modeljoin.dir/shared_model.cc.o"
+  "CMakeFiles/indbml_modeljoin.dir/shared_model.cc.o.d"
+  "CMakeFiles/indbml_modeljoin.dir/validate.cc.o"
+  "CMakeFiles/indbml_modeljoin.dir/validate.cc.o.d"
+  "libindbml_modeljoin.a"
+  "libindbml_modeljoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indbml_modeljoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

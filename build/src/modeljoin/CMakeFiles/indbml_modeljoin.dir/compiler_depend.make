@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for indbml_modeljoin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/blas.cc" "src/nn/CMakeFiles/indbml_nn.dir/blas.cc.o" "gcc" "src/nn/CMakeFiles/indbml_nn.dir/blas.cc.o.d"
+  "/root/repo/src/nn/cost_model.cc" "src/nn/CMakeFiles/indbml_nn.dir/cost_model.cc.o" "gcc" "src/nn/CMakeFiles/indbml_nn.dir/cost_model.cc.o.d"
+  "/root/repo/src/nn/decision_tree.cc" "src/nn/CMakeFiles/indbml_nn.dir/decision_tree.cc.o" "gcc" "src/nn/CMakeFiles/indbml_nn.dir/decision_tree.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/nn/CMakeFiles/indbml_nn.dir/model.cc.o" "gcc" "src/nn/CMakeFiles/indbml_nn.dir/model.cc.o.d"
+  "/root/repo/src/nn/training.cc" "src/nn/CMakeFiles/indbml_nn.dir/training.cc.o" "gcc" "src/nn/CMakeFiles/indbml_nn.dir/training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/indbml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indbml_nn.dir/blas.cc.o"
+  "CMakeFiles/indbml_nn.dir/blas.cc.o.d"
+  "CMakeFiles/indbml_nn.dir/cost_model.cc.o"
+  "CMakeFiles/indbml_nn.dir/cost_model.cc.o.d"
+  "CMakeFiles/indbml_nn.dir/decision_tree.cc.o"
+  "CMakeFiles/indbml_nn.dir/decision_tree.cc.o.d"
+  "CMakeFiles/indbml_nn.dir/model.cc.o"
+  "CMakeFiles/indbml_nn.dir/model.cc.o.d"
+  "CMakeFiles/indbml_nn.dir/training.cc.o"
+  "CMakeFiles/indbml_nn.dir/training.cc.o.d"
+  "libindbml_nn.a"
+  "libindbml_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indbml_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/binder.cc" "src/sql/CMakeFiles/indbml_sql.dir/binder.cc.o" "gcc" "src/sql/CMakeFiles/indbml_sql.dir/binder.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/sql/CMakeFiles/indbml_sql.dir/lexer.cc.o" "gcc" "src/sql/CMakeFiles/indbml_sql.dir/lexer.cc.o.d"
+  "/root/repo/src/sql/optimizer.cc" "src/sql/CMakeFiles/indbml_sql.dir/optimizer.cc.o" "gcc" "src/sql/CMakeFiles/indbml_sql.dir/optimizer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/indbml_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/indbml_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/physical_planner.cc" "src/sql/CMakeFiles/indbml_sql.dir/physical_planner.cc.o" "gcc" "src/sql/CMakeFiles/indbml_sql.dir/physical_planner.cc.o.d"
+  "/root/repo/src/sql/plan_printer.cc" "src/sql/CMakeFiles/indbml_sql.dir/plan_printer.cc.o" "gcc" "src/sql/CMakeFiles/indbml_sql.dir/plan_printer.cc.o.d"
+  "/root/repo/src/sql/query_engine.cc" "src/sql/CMakeFiles/indbml_sql.dir/query_engine.cc.o" "gcc" "src/sql/CMakeFiles/indbml_sql.dir/query_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/indbml_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/indbml_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/indbml_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/indbml_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

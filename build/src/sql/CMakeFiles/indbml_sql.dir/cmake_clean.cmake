@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indbml_sql.dir/binder.cc.o"
+  "CMakeFiles/indbml_sql.dir/binder.cc.o.d"
+  "CMakeFiles/indbml_sql.dir/lexer.cc.o"
+  "CMakeFiles/indbml_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/indbml_sql.dir/optimizer.cc.o"
+  "CMakeFiles/indbml_sql.dir/optimizer.cc.o.d"
+  "CMakeFiles/indbml_sql.dir/parser.cc.o"
+  "CMakeFiles/indbml_sql.dir/parser.cc.o.d"
+  "CMakeFiles/indbml_sql.dir/physical_planner.cc.o"
+  "CMakeFiles/indbml_sql.dir/physical_planner.cc.o.d"
+  "CMakeFiles/indbml_sql.dir/plan_printer.cc.o"
+  "CMakeFiles/indbml_sql.dir/plan_printer.cc.o.d"
+  "CMakeFiles/indbml_sql.dir/query_engine.cc.o"
+  "CMakeFiles/indbml_sql.dir/query_engine.cc.o.d"
+  "libindbml_sql.a"
+  "libindbml_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indbml_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libindbml_sql.a"
+)

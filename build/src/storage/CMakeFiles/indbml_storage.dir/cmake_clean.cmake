@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indbml_storage.dir/csv.cc.o"
+  "CMakeFiles/indbml_storage.dir/csv.cc.o.d"
+  "CMakeFiles/indbml_storage.dir/table.cc.o"
+  "CMakeFiles/indbml_storage.dir/table.cc.o.d"
+  "libindbml_storage.a"
+  "libindbml_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indbml_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

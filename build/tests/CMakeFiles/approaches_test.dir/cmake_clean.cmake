@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approaches_test.dir/approaches_test.cc.o"
+  "CMakeFiles/approaches_test.dir/approaches_test.cc.o.d"
+  "approaches_test"
+  "approaches_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approaches_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

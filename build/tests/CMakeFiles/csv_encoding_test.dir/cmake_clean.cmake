@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_encoding_test.dir/csv_encoding_test.cc.o"
+  "CMakeFiles/csv_encoding_test.dir/csv_encoding_test.cc.o.d"
+  "csv_encoding_test"
+  "csv_encoding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mltosql_test.dir/mltosql_test.cc.o"
+  "CMakeFiles/mltosql_test.dir/mltosql_test.cc.o.d"
+  "mltosql_test"
+  "mltosql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mltosql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

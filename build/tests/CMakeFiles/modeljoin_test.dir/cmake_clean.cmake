@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modeljoin_test.dir/modeljoin_test.cc.o"
+  "CMakeFiles/modeljoin_test.dir/modeljoin_test.cc.o.d"
+  "modeljoin_test"
+  "modeljoin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modeljoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

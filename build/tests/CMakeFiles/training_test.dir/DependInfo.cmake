@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/training_test.cc" "tests/CMakeFiles/training_test.dir/training_test.cc.o" "gcc" "tests/CMakeFiles/training_test.dir/training_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/indbml_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/indbml_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/indbml_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/integration/CMakeFiles/indbml_integration.dir/DependInfo.cmake"
+  "/root/repo/build/src/modeljoin/CMakeFiles/indbml_modeljoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/mltosql/CMakeFiles/indbml_mltosql.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlruntime/CMakeFiles/indbml_mlruntime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/indbml_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/indbml_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/indbml_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/indbml_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
