@@ -7,18 +7,41 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace indbml::benchlib {
 
 ReportTable::ReportTable(std::string name, std::vector<std::string> columns)
-    : name_(std::move(name)), columns_(std::move(columns)) {}
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  const char* env = std::getenv("BENCH_METRICS");
+  metrics_enabled_ = env != nullptr && env[0] != '\0' && std::string(env) != "0";
+  if (metrics_enabled_) {
+    columns_.push_back("metrics");
+    metrics_base_ = metrics::Registry::Global().FlatValues();
+  }
+}
 
 ReportTable::~ReportTable() {
   if (!finished_) Finish();
 }
 
 void ReportTable::AddRow(std::vector<std::string> values) {
+  if (metrics_enabled_) {
+    // Append the metric deltas accumulated since the previous row
+    // (semicolon-separated to keep the CSV single-celled).
+    std::map<std::string, int64_t> now = metrics::Registry::Global().FlatValues();
+    std::string cell;
+    for (const auto& [name, value] : now) {
+      auto base = metrics_base_.find(name);
+      int64_t delta = value - (base != metrics_base_.end() ? base->second : 0);
+      if (delta == 0) continue;
+      if (!cell.empty()) cell += ";";
+      cell += StrFormat("%s=%lld", name.c_str(), static_cast<long long>(delta));
+    }
+    metrics_base_ = std::move(now);
+    values.push_back(std::move(cell));
+  }
   INDBML_CHECK(values.size() == columns_.size());
   rows_.push_back(std::move(values));
 }

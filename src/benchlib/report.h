@@ -2,6 +2,7 @@
 #define INDBML_BENCHLIB_REPORT_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -10,12 +11,19 @@ namespace indbml::benchlib {
 /// \brief Fixed-width console table + CSV writer for the figure/table
 /// benchmarks. Every bench prints the paper-style rows to stdout and
 /// mirrors them to `$RESULTS_DIR/<name>.csv` (default ./results).
+///
+/// With `BENCH_METRICS=1` in the environment every row gets an extra
+/// "metrics" column holding the deltas of all engine counters and histogram
+/// sums (common/metrics.h) accumulated since the previous row, formatted
+/// `name=value;...` — per-approach build/convert/inference breakdowns for
+/// every bench binary without touching the benches themselves.
 class ReportTable {
  public:
   ReportTable(std::string name, std::vector<std::string> columns);
   ~ReportTable();
 
-  /// Adds one row (values already formatted).
+  /// Adds one row (values already formatted; the metrics column, when
+  /// enabled, is appended automatically).
   void AddRow(std::vector<std::string> values);
 
   /// Prints the table to stdout and writes the CSV.
@@ -28,6 +36,9 @@ class ReportTable {
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
   bool finished_ = false;
+  bool metrics_enabled_ = false;
+  /// Counter/histogram snapshot at the previous AddRow (delta base).
+  std::map<std::string, int64_t> metrics_base_;
 };
 
 /// Formats seconds with 4 significant digits ("0.0123").

@@ -46,6 +46,14 @@ class LogMessage {
 #define INDBML_CHECK(cond)                                        \
   if (!(cond)) INDBML_LOG(Fatal) << "Check failed: " #cond " "
 
+/// Debug-only invariant check: full INDBML_CHECK in debug builds, a no-op
+/// in NDEBUG builds (the condition is parsed but never evaluated), so it is
+/// safe in per-value inner loops.
+#ifdef NDEBUG
+#define INDBML_DCHECK(cond) \
+  if (false && (cond)) INDBML_LOG(Fatal)
+#else
 #define INDBML_DCHECK(cond) INDBML_CHECK(cond)
+#endif
 
 #endif  // INDBML_COMMON_LOGGING_H_

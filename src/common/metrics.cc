@@ -1,0 +1,166 @@
+#include "common/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace indbml::metrics {
+
+namespace {
+
+int BucketIndex(int64_t v) {
+  if (v <= 0) return 0;
+  return std::bit_width(static_cast<uint64_t>(v));
+}
+
+/// Lower/upper sample bound of bucket `b` (bucket 0 is the point {<=0}).
+int64_t BucketLow(int b) { return b == 0 ? 0 : int64_t{1} << (b - 1); }
+int64_t BucketHigh(int b) {
+  return b == 0 ? 0 : (b >= 63 ? INT64_MAX : (int64_t{1} << b) - 1);
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v > 0 ? v : 0, std::memory_order_relaxed);
+}
+
+double Histogram::Mean() const {
+  int64_t n = count();
+  return n > 0 ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  int64_t n = count();
+  if (n == 0) return 0.0;
+  double rank = p / 100.0 * static_cast<double>(n);
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    int64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      // Linear interpolation across the bucket's value range.
+      double frac = (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      double lo = static_cast<double>(BucketLow(b));
+      double hi = static_cast<double>(BucketHigh(b));
+      return lo + frac * (hi - lo);
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(BucketHigh(kNumBuckets - 1));
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry* global = new Registry();
+  return *global;
+}
+
+Counter* Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  INDBML_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0)
+      << "metric '" << name << "' already registered with another kind";
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  INDBML_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0)
+      << "metric '" << name << "' already registered with another kind";
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  INDBML_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0)
+      << "metric '" << name << "' already registered with another kind";
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string Registry::TextSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += StrFormat("counter %s %lld\n", name.c_str(),
+                     static_cast<long long>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += StrFormat("gauge %s %lld max=%lld\n", name.c_str(),
+                     static_cast<long long>(g->value()),
+                     static_cast<long long>(g->max()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += StrFormat("histogram %s count=%lld sum=%lld p50=%.0f p95=%.0f p99=%.0f\n",
+                     name.c_str(), static_cast<long long>(h->count()),
+                     static_cast<long long>(h->sum()), h->Percentile(50),
+                     h->Percentile(95), h->Percentile(99));
+  }
+  return out;
+}
+
+std::string Registry::JsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += StrFormat("%s\"%s\":%lld", first ? "" : ",", name.c_str(),
+                     static_cast<long long>(c->value()));
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += StrFormat("%s\"%s\":{\"value\":%lld,\"max\":%lld}", first ? "" : ",",
+                     name.c_str(), static_cast<long long>(g->value()),
+                     static_cast<long long>(g->max()));
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += StrFormat(
+        "%s\"%s\":{\"count\":%lld,\"sum\":%lld,\"p50\":%.1f,\"p95\":%.1f,"
+        "\"p99\":%.1f}",
+        first ? "" : ",", name.c_str(), static_cast<long long>(h->count()),
+        static_cast<long long>(h->sum()), h->Percentile(50), h->Percentile(95),
+        h->Percentile(99));
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+std::map<std::string, int64_t> Registry::FlatValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  for (const auto& [name, h] : histograms_) {
+    out[name + ".count"] = h->count();
+    out[name + ".sum"] = h->sum();
+  }
+  return out;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace indbml::metrics

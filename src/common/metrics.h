@@ -1,0 +1,120 @@
+#ifndef INDBML_COMMON_METRICS_H_
+#define INDBML_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace indbml::metrics {
+
+/// \brief Process-wide named counters, gauges and log-scale histograms.
+///
+/// Naming scheme (see DESIGN.md "Observability"): dotted lower-case
+/// `<component>.<metric>[_<unit>]`, e.g. `modeljoin.rows`,
+/// `modeljoin.infer_micros`, `memory.query_peak_bytes`. Update paths use
+/// relaxed atomics only, so per-chunk increments from all partition threads
+/// are safe and cheap; registration (name lookup) takes a mutex and should
+/// be done once, outside hot loops.
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written level plus the maximum level ever written (peak tracking).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    int64_t peak = max_.load(std::memory_order_relaxed);
+    while (v > peak && !max_.compare_exchange_weak(peak, v)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Log-scale histogram over non-negative int64 samples (durations, sizes).
+///
+/// Bucket b holds samples with bit-width b, i.e. [2^(b-1), 2^b); negative
+/// or zero samples land in bucket 0. Percentile() interpolates linearly
+/// inside the winning bucket, which bounds the error by the bucket width
+/// (a factor of two) — plenty for p50/p95/p99 latency reporting.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Record(int64_t v);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Mean of all recorded samples (0 when empty).
+  double Mean() const;
+  /// Approximate p-th percentile, p in [0, 100].
+  double Percentile(double p) const;
+  void Reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// \brief Name → metric map. Metric objects are never deleted, so pointers
+/// returned here stay valid for the process lifetime and can be cached by
+/// hot-path code.
+class Registry {
+ public:
+  /// The process-wide registry used by the engine's instrumentation.
+  static Registry& Global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create by name; one name is one kind of metric (registering
+  /// the same name as two kinds is a programming error and fatal).
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// One metric per line, sorted by name ("counter modeljoin.rows 5000").
+  std::string TextSnapshot() const;
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string JsonSnapshot() const;
+  /// Flattened integer view used for before/after deltas: counters as
+  /// `name`, histograms as `name.count` / `name.sum`. Gauges are levels,
+  /// not event counts, so they are excluded.
+  std::map<std::string, int64_t> FlatValues() const;
+  /// Zeroes every registered metric (benchmark reruns, tests).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace indbml::metrics
+
+#endif  // INDBML_COMMON_METRICS_H_

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace indbml {
 
@@ -10,7 +11,7 @@ ThreadPool::ThreadPool(int num_threads) {
   INDBML_CHECK(num_threads > 0) << "thread pool needs at least one worker";
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -49,7 +50,10 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   WaitIdle();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
+  if (trace::Enabled()) {
+    trace::SetThreadName("worker-" + std::to_string(worker_index));
+  }
   for (;;) {
     std::function<void()> task;
     {

@@ -36,7 +36,7 @@ class ThreadPool {
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   std::mutex mu_;
   std::condition_variable cv_task_;

@@ -1,0 +1,193 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace indbml::trace {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct SpanEvent {
+  std::string name;
+  int64_t start_micros;
+  int64_t end_micros;
+};
+
+/// One per thread that ever recorded a span; owned by the global list so
+/// events survive thread exit (pool workers finish before export).
+struct ThreadBuffer {
+  uint32_t tid;
+  std::string thread_name;
+  std::mutex mu;  ///< guards events/name against a concurrent export
+  std::vector<SpanEvent> events;
+};
+
+struct GlobalState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> threads;
+  uint32_t next_tid = 1;
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+};
+
+GlobalState& Global() {
+  static GlobalState* state = new GlobalState();
+  return *state;
+}
+
+ThreadBuffer* LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> local = [] {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    GlobalState& g = Global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    buffer->tid = g.next_tid++;
+    g.threads.push_back(buffer);
+    return buffer;
+  }();
+  return local.get();
+}
+
+void JsonEscapeTo(const std::string& in, std::string* out) {
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      *out += StrFormat("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AtExitWriter();
+
+const char* EnvTracePath() {
+  static const char* path = std::getenv("INDBML_TRACE");
+  return path;
+}
+
+}  // namespace
+
+namespace internal {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - Global().epoch)
+      .count();
+}
+
+void RecordSpan(std::string name, int64_t start_micros, int64_t end_micros) {
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(SpanEvent{std::move(name), start_micros, end_micros});
+}
+
+bool InitFromEnv() {
+  const char* path = EnvTracePath();
+  if (path != nullptr && path[0] != '\0') {
+    g_enabled.store(true, std::memory_order_relaxed);
+    std::atexit(AtExitWriter);
+  }
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+void Start() { internal::g_enabled.store(true, std::memory_order_relaxed); }
+
+void Stop() { internal::g_enabled.store(false, std::memory_order_relaxed); }
+
+void SetThreadName(const std::string& name) {
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->thread_name = name;
+}
+
+void Clear() {
+  GlobalState& g = Global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  for (auto& t : g.threads) {
+    std::lock_guard<std::mutex> tlock(t->mu);
+    t->events.clear();
+  }
+}
+
+std::string ToJson() {
+  GlobalState& g = Global();
+  std::vector<std::shared_ptr<ThreadBuffer>> threads;
+  {
+    std::lock_guard<std::mutex> lock(g.mu);
+    threads = g.threads;
+  }
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& t : threads) {
+    std::lock_guard<std::mutex> tlock(t->mu);
+    if (!t->thread_name.empty()) {
+      out += first ? "" : ",";
+      first = false;
+      out += StrFormat(
+          "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+          "\"args\":{\"name\":\"",
+          t->tid);
+      JsonEscapeTo(t->thread_name, &out);
+      out += "\"}}";
+    }
+    for (const SpanEvent& e : t->events) {
+      out += first ? "" : ",";
+      first = false;
+      out += "{\"name\":\"";
+      JsonEscapeTo(e.name, &out);
+      out += StrFormat(
+          "\",\"cat\":\"indbml\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+          "\"ts\":%lld,\"dur\":%lld}",
+          t->tid, static_cast<long long>(e.start_micros),
+          static_cast<long long>(e.end_micros - e.start_micros));
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteTo(const std::string& path) {
+  std::string json = ToJson();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace output file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IOError("short write to trace output file: " + path);
+  }
+  Clear();
+  return Status::OK();
+}
+
+namespace {
+
+void AtExitWriter() {
+  const char* path = EnvTracePath();
+  if (path == nullptr || path[0] == '\0') return;
+  Status status = WriteTo(path);
+  if (!status.ok()) {
+    INDBML_LOG(Warning) << "trace export failed: " << status.ToString();
+  } else {
+    std::fprintf(stderr, "indbml trace written to %s\n", path);
+  }
+}
+
+}  // namespace
+
+}  // namespace indbml::trace

@@ -1,0 +1,93 @@
+#ifndef INDBML_COMMON_TRACE_H_
+#define INDBML_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace indbml::trace {
+
+/// \brief Lightweight scoped spans exported as Chrome trace JSON.
+///
+/// Spans nest naturally (query → phase → operator → kernel) and every
+/// thread gets its own track, so partition parallelism and thread-pool
+/// scheduling gaps are visible on a timeline. Collection is off by default;
+/// a `Span` then costs one relaxed atomic load. Enable it either with
+/// `Start()` or by setting the `INDBML_TRACE=<path>` environment variable,
+/// which also installs an atexit hook writing `<path>` — loadable in
+/// `chrome://tracing` or https://ui.perfetto.dev.
+bool Enabled();
+
+/// Starts span collection (idempotent; `INDBML_TRACE` calls this at init).
+void Start();
+/// Stops span collection; already-collected spans stay buffered for export.
+void Stop();
+
+/// Serialises all collected spans as a Chrome trace JSON document.
+std::string ToJson();
+
+/// Writes ToJson() to `path` and clears the span buffers.
+Status WriteTo(const std::string& path);
+
+/// Drops all buffered spans (between measurements).
+void Clear();
+
+/// Labels the calling thread's track ("worker-3"); shown by the trace UI.
+void SetThreadName(const std::string& name);
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+void RecordSpan(std::string name, int64_t start_micros, int64_t end_micros);
+int64_t NowMicros();
+/// Reads INDBML_TRACE once and installs the atexit writer; returns enabled.
+bool InitFromEnv();
+}  // namespace internal
+
+inline bool Enabled() {
+  static const bool env_init = internal::InitFromEnv();
+  (void)env_init;
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// RAII span covering its C++ scope. When tracing is disabled at
+/// construction the span is a no-op (no name copy, no clock read).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (Enabled()) {
+      name_ = name;
+      start_ = internal::NowMicros();
+      active_ = true;
+    }
+  }
+  explicit Span(std::string name) {
+    if (Enabled()) {
+      owned_name_ = std::move(name);
+      name_ = owned_name_.c_str();
+      start_ = internal::NowMicros();
+      active_ = true;
+    }
+  }
+  ~Span() {
+    if (active_) {
+      internal::RecordSpan(owned_name_.empty() ? std::string(name_)
+                                               : std::move(owned_name_),
+                           start_, internal::NowMicros());
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::string owned_name_;
+  int64_t start_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace indbml::trace
+
+#endif  // INDBML_COMMON_TRACE_H_

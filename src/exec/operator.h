@@ -12,12 +12,19 @@
 
 namespace indbml::exec {
 
+struct OperatorStats;
+
 /// Per-execution state passed down the operator tree.
 struct ExecContext {
   storage::Catalog* catalog = nullptr;
   /// Partition this operator-tree instance processes (paper §4.4: each
   /// execution thread gets a private query plan over one partition).
   int partition_id = 0;
+  /// Stats slot of the operator currently being profiled (set by
+  /// ProfiledOperator around each Open/Next/Close call, null when the query
+  /// runs without EXPLAIN ANALYZE). Operator bodies use it to report named
+  /// sub-phase timings, see exec/profile.h.
+  OperatorStats* active_stats = nullptr;
 };
 
 /// \brief Volcano-style vectorized operator (open/next/close, paper §5.1),

@@ -1,6 +1,9 @@
 #include "exec/parallel.h"
 
 #include <mutex>
+#include <string>
+
+#include "common/trace.h"
 
 namespace indbml::exec {
 
@@ -12,6 +15,7 @@ Result<QueryResult> ExecuteParallel(const OperatorFactory& factory, int num_part
       Result<QueryResult>(Status::Internal("partition not executed")));
 
   auto run_one = [&](int p) {
+    trace::Span span("partition " + std::to_string(p));
     ExecContext ctx;
     ctx.catalog = catalog;
     ctx.partition_id = p;

@@ -1,0 +1,113 @@
+#ifndef INDBML_EXEC_PROFILE_H_
+#define INDBML_EXEC_PROFILE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace indbml::exec {
+
+/// \brief EXPLAIN ANALYZE statistics of one operator instance (one plan
+/// node in one partition).
+///
+/// Durations are nanoseconds (partition-level slices of small queries are
+/// well below a microsecond) and cumulative: an operator's `next_nanos`
+/// includes the time its children spent producing input, exactly like the
+/// per-node times of PostgreSQL's EXPLAIN ANALYZE.
+struct OperatorStats {
+  int64_t rows = 0;
+  int64_t chunks = 0;
+  int64_t open_nanos = 0;
+  int64_t next_nanos = 0;
+  int64_t close_nanos = 0;
+  /// Named sub-phase timings recorded by the operator body itself, e.g.
+  /// the ModelJoin's "build"/"inference"/"convert" split (paper §5.2/§5.3)
+  /// or the C-API runtime's "convert"/"run" split (§6.1).
+  std::map<std::string, int64_t> phase_nanos;
+
+  void AddPhase(const std::string& name, int64_t nanos) {
+    phase_nanos[name] += nanos;
+  }
+  void MergeFrom(const OperatorStats& other);
+};
+
+/// \brief Per-query profile: one OperatorStats slot per (plan node,
+/// partition).
+///
+/// Life cycle: the physical planner registers every plan node pre-order
+/// (RegisterNode) and sizes the slot matrix (SetNumPartitions); during
+/// execution each partition's ProfiledOperator wrappers write their own
+/// slot, so the hot path is unsynchronised; afterwards ToString() renders
+/// the annotated plan tree with partition-aggregated stats.
+class QueryProfile {
+ public:
+  /// Registers a plan node (pre-order); returns its node id.
+  int RegisterNode(std::string label, int depth);
+  /// Allocates the per-partition slots; call after all RegisterNode calls.
+  void SetNumPartitions(int n);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_partitions() const { return num_partitions_; }
+  const std::string& node_label(int node) const { return nodes_[node].label; }
+
+  OperatorStats* slot(int node, int partition) {
+    return &slots_[static_cast<size_t>(node) * static_cast<size_t>(num_partitions_) +
+                   static_cast<size_t>(partition)];
+  }
+
+  /// Node stats summed over all partitions.
+  OperatorStats Aggregate(int node) const;
+
+  void set_wall_nanos(int64_t nanos) { wall_nanos_ = nanos; }
+  int64_t wall_nanos() const { return wall_nanos_; }
+  /// Peak tracked allocation during the query (memory_tracker.h).
+  void set_peak_memory_bytes(int64_t bytes) { peak_memory_bytes_ = bytes; }
+  int64_t peak_memory_bytes() const { return peak_memory_bytes_; }
+
+  /// The annotated plan tree ("EXPLAIN ANALYZE" rendering).
+  std::string ToString() const;
+
+ private:
+  struct Node {
+    std::string label;
+    int depth;
+  };
+  std::vector<Node> nodes_;
+  int num_partitions_ = 0;
+  std::vector<OperatorStats> slots_;  ///< [node * num_partitions + partition]
+  int64_t wall_nanos_ = 0;
+  int64_t peak_memory_bytes_ = -1;
+};
+
+/// \brief Profiling decorator around any Operator: times Open/Next/Close,
+/// counts rows and chunks, and exposes its stats slot through
+/// `ExecContext::active_stats` while a call is in flight so the wrapped
+/// operator can add named phase timings. Only instantiated when a profile
+/// was requested — unprofiled execution pays nothing.
+class ProfiledOperator final : public Operator {
+ public:
+  ProfiledOperator(OperatorPtr inner, QueryProfile* profile, int node_id)
+      : inner_(std::move(inner)), profile_(profile), node_id_(node_id) {}
+
+  const std::vector<DataType>& output_types() const override {
+    return inner_->output_types();
+  }
+  const std::vector<std::string>& output_names() const override {
+    return inner_->output_names();
+  }
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(ExecContext* ctx, DataChunk* out, bool* eof) override;
+  void Close(ExecContext* ctx) override;
+
+ private:
+  OperatorPtr inner_;
+  QueryProfile* profile_;
+  int node_id_;
+};
+
+}  // namespace indbml::exec
+
+#endif  // INDBML_EXEC_PROFILE_H_

@@ -1,6 +1,10 @@
 #include "integration/capi_operator.h"
 
 #include "common/config.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+#include "exec/profile.h"
 #include "mlruntime/trt_c_api.h"
 
 namespace indbml::integration {
@@ -52,7 +56,9 @@ Status CApiInferenceOperator::Next(exec::ExecContext* ctx, exec::DataChunk* out,
   const int64_t in_width = static_cast<int64_t>(input_columns_.size());
   const int64_t out_dim = trt_session_output_dim(session_);
 
-  // Columnar -> row-major conversion (strided writes; §6.1).
+  // Columnar -> row-major conversion (strided writes; §6.1) — the layout
+  // cost the paper attributes to the C-API approach, timed separately.
+  Stopwatch phase_watch;
   row_major_input_.resize(static_cast<size_t>(n * in_width));
   for (int64_t c = 0; c < in_width; ++c) {
     const exec::Vector& col = in.column(input_columns_[static_cast<size_t>(c)]);
@@ -69,11 +75,19 @@ Status CApiInferenceOperator::Next(exec::ExecContext* ctx, exec::DataChunk* out,
     }
   }
 
+  int64_t convert_nanos = phase_watch.ElapsedNanos();
+
   row_major_output_.resize(static_cast<size_t>(n * out_dim));
-  if (trt_session_run(session_, row_major_input_.data(), n,
-                      row_major_output_.data()) != TRT_OK) {
-    return Status::ExecutionError(std::string("runtime inference failed: ") +
-                                  trt_last_error());
+  int64_t run_nanos;
+  {
+    trace::Span span("capi.run");
+    phase_watch.Restart();
+    if (trt_session_run(session_, row_major_input_.data(), n,
+                        row_major_output_.data()) != TRT_OK) {
+      return Status::ExecutionError(std::string("runtime inference failed: ") +
+                                    trt_last_error());
+    }
+    run_nanos = phase_watch.ElapsedNanos();
   }
 
   // Pass-through columns, then row-major -> columnar results.
@@ -81,6 +95,7 @@ Status CApiInferenceOperator::Next(exec::ExecContext* ctx, exec::DataChunk* out,
   for (int64_t c = 0; c < child_width; ++c) {
     out->column(c) = std::move(in.column(c));
   }
+  phase_watch.Restart();
   for (int64_t p = 0; p < out_dim; ++p) {
     exec::Vector& col = out->column(child_width + p);
     col.Resize(n);
@@ -89,7 +104,23 @@ Status CApiInferenceOperator::Next(exec::ExecContext* ctx, exec::DataChunk* out,
       dst[r] = row_major_output_[static_cast<size_t>(r * out_dim + p)];
     }
   }
+  convert_nanos += phase_watch.ElapsedNanos();
   out->size = n;
+
+  // Resolved once: registry lookups take a lock, metric pointers are stable.
+  static metrics::Counter* rows_metric =
+      metrics::Registry::Global().counter("capi.rows");
+  static metrics::Histogram* convert_metric =
+      metrics::Registry::Global().histogram("capi.convert_micros");
+  static metrics::Histogram* run_metric =
+      metrics::Registry::Global().histogram("capi.run_micros");
+  rows_metric->Increment(n);
+  convert_metric->Record(convert_nanos / 1000);
+  run_metric->Record(run_nanos / 1000);
+  if (ctx->active_stats != nullptr) {
+    ctx->active_stats->AddPhase("convert", convert_nanos);
+    ctx->active_stats->AddPhase("run", run_nanos);
+  }
   return Status::OK();
 }
 

@@ -3,6 +3,10 @@
 #include <memory>
 #include <mutex>
 
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+#include "exec/profile.h"
 #include "mlruntime/trt_c_api.h"
 
 namespace indbml::integration {
@@ -30,7 +34,19 @@ Status UdfOperator::Next(exec::ExecContext* ctx, exec::DataChunk* out, bool* eof
   if (in.size == 0) return Status::OK();
 
   std::vector<exec::Vector> outputs;
-  INDBML_RETURN_NOT_OK(udf_(in, arg_columns_, &outputs));
+  {
+    trace::Span span("udf.call");
+    Stopwatch udf_watch;
+    INDBML_RETURN_NOT_OK(udf_(in, arg_columns_, &outputs));
+    int64_t nanos = udf_watch.ElapsedNanos();
+    static metrics::Counter* calls_metric =
+        metrics::Registry::Global().counter("udf.calls");
+    static metrics::Histogram* call_metric =
+        metrics::Registry::Global().histogram("udf.call_micros");
+    calls_metric->Increment();
+    call_metric->Record(nanos / 1000);
+    if (ctx->active_stats != nullptr) ctx->active_stats->AddPhase("udf", nanos);
+  }
   if (outputs.size() != num_outputs_) {
     return Status::ExecutionError("UDF produced the wrong number of columns");
   }
@@ -126,6 +142,14 @@ Result<VectorizedUdf> MakeInterpretedInferenceUdf(
       }
     }
 
+    static metrics::Counter* boxed_metric =
+        metrics::Registry::Global().counter("udf.values_boxed");
+    static metrics::Histogram* marshal_metric =
+        metrics::Registry::Global().histogram("udf.marshal_micros");
+    static metrics::Histogram* run_metric =
+        metrics::Registry::Global().histogram("udf.run_micros");
+    Stopwatch phase_watch;
+
     const int64_t n = input.size;
     // Box every input value: rows = [[v00, v01, ...], ...].
     auto rows = PyValue::List();
@@ -156,14 +180,20 @@ Result<VectorizedUdf> MakeInterpretedInferenceUdf(
       }
     }
 
+    marshal_metric->Record(phase_watch.ElapsedNanos() / 1000);
+    boxed_metric->Increment(n * input_width);
+
     // model.predict(...) — the runtime itself is native (like TF), CPU only
     // inside a UDF.
     std::vector<float> predictions(static_cast<size_t>(n * output_dim));
+    phase_watch.Restart();
     if (trt_session_run(state->session, dense.data(), n, predictions.data()) !=
         TRT_OK) {
       return Status::ExecutionError(std::string("UDF inference failed: ") +
                                     trt_last_error());
     }
+    run_metric->Record(phase_watch.ElapsedNanos() / 1000);
+    phase_watch.Restart();
 
     // Box the predictions (the UDF returns Python lists)...
     auto result_rows = PyValue::List();
@@ -194,6 +224,8 @@ Result<VectorizedUdf> MakeInterpretedInferenceUdf(
       }
       outputs->push_back(std::move(col));
     }
+    marshal_metric->Record(phase_watch.ElapsedNanos() / 1000);
+    boxed_metric->Increment(n * output_dim);
     return Status::OK();
   };
   return udf;

@@ -4,6 +4,9 @@
 #include <cstring>
 
 #include "common/config.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+#include "exec/profile.h"
 
 namespace indbml::modeljoin {
 
@@ -53,7 +56,14 @@ ModelJoinOperator::ModelJoinOperator(exec::OperatorPtr child,
       model_(std::move(model)),
       model_table_(std::move(model_table)),
       input_columns_(std::move(input_column_indexes)),
-      partition_(partition) {
+      partition_(partition),
+      rows_metric_(metrics::Registry::Global().counter("modeljoin.rows")),
+      build_micros_metric_(
+          metrics::Registry::Global().histogram("modeljoin.build_micros")),
+      convert_micros_metric_(
+          metrics::Registry::Global().histogram("modeljoin.convert_micros")),
+      infer_micros_metric_(
+          metrics::Registry::Global().histogram("modeljoin.infer_micros")) {
   types_ = child_->output_types();
   names_ = child_->output_names();
   for (const std::string& name : prediction_names) {
@@ -69,7 +79,14 @@ Status ModelJoinOperator::Open(exec::ExecContext* ctx) {
 
   // Build phase: parse this partition's share of the model table into the
   // shared model, synchronising with the other partitions.
-  INDBML_RETURN_NOT_OK(model_->BuildPartition(*model_table_, partition_));
+  {
+    trace::Span span("modeljoin.build");
+    Stopwatch build_watch;
+    INDBML_RETURN_NOT_OK(model_->BuildPartition(*model_table_, partition_));
+    int64_t nanos = build_watch.ElapsedNanos();
+    build_micros_metric_->Record(nanos / 1000);
+    if (ctx->active_stats != nullptr) ctx->active_stats->AddPhase("build", nanos);
+  }
 
   // Allocate inference scratch.
   const nn::ModelMeta& meta = model_->meta();
@@ -261,6 +278,7 @@ Status ModelJoinOperator::Next(exec::ExecContext* ctx, exec::DataChunk* out,
 
   // Input conversion (§5.3): one contiguous transfer per input column into
   // the transposed input matrix.
+  Stopwatch phase_watch;
   for (size_t ci = 0; ci < input_columns_.size(); ++ci) {
     const exec::Vector& col = in.column(input_columns_[ci]);
     const float* src;
@@ -277,21 +295,39 @@ Status ModelJoinOperator::Next(exec::ExecContext* ctx, exec::DataChunk* out,
     device->CopyToDevice(scratch_->x + static_cast<int64_t>(ci) * n, src, n);
   }
 
+  int64_t convert_nanos = phase_watch.ElapsedNanos();
+
   const float* predictions = nullptr;
-  INDBML_RETURN_NOT_OK(Infer(scratch_->x, n, &predictions));
+  int64_t infer_nanos;
+  {
+    trace::Span span("modeljoin.infer");
+    phase_watch.Restart();
+    INDBML_RETURN_NOT_OK(Infer(scratch_->x, n, &predictions));
+    infer_nanos = phase_watch.ElapsedNanos();
+  }
 
   // Pass-through columns.
   for (int64_t c = 0; c < child_width; ++c) {
     out->column(c) = std::move(in.column(c));
   }
   // Output conversion: one contiguous transfer per prediction column.
+  phase_watch.Restart();
   int64_t out_dim = meta.output_dim();
   for (int64_t p = 0; p < out_dim; ++p) {
     exec::Vector& col = out->column(child_width + p);
     col.Resize(n);
     device->CopyToHost(col.floats(), predictions + p * n, n);
   }
+  convert_nanos += phase_watch.ElapsedNanos();
   out->size = n;
+
+  rows_metric_->Increment(n);
+  convert_micros_metric_->Record(convert_nanos / 1000);
+  infer_micros_metric_->Record(infer_nanos / 1000);
+  if (ctx->active_stats != nullptr) {
+    ctx->active_stats->AddPhase("convert", convert_nanos);
+    ctx->active_stats->AddPhase("inference", infer_nanos);
+  }
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "exec/operator.h"
 #include "modeljoin/shared_model.h"
 
@@ -61,6 +62,13 @@ class ModelJoinOperator final : public exec::Operator {
   struct Scratch;
   std::unique_ptr<Scratch> scratch_;
   bool opened_ = false;
+
+  /// Process-wide metrics, resolved once in the constructor so per-chunk
+  /// updates are plain relaxed atomics (no registry lookup on the hot path).
+  metrics::Counter* rows_metric_;
+  metrics::Histogram* build_micros_metric_;
+  metrics::Histogram* convert_micros_metric_;
+  metrics::Histogram* infer_micros_metric_;
 };
 
 }  // namespace indbml::modeljoin

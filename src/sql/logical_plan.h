@@ -91,6 +91,10 @@ struct LogicalOp {
 
   /// Indented plan rendering for EXPLAIN-style debugging.
   std::string ToString(int indent = 0) const;
+
+  /// One node's line of ToString (no indentation, no newline, no children);
+  /// used as the operator label in EXPLAIN ANALYZE output.
+  std::string NodeString() const;
 };
 
 using LogicalOpPtr = std::unique_ptr<LogicalOp>;

@@ -40,14 +40,27 @@ Result<ExprPtr> Remap(const exec::Expr& expr,
 PhysicalPlanner::PhysicalPlanner(const LogicalOp* plan, const PlanAnalysis& analysis,
                                  int requested_partitions,
                                  ModelJoinStateFactory state_factory,
-                                 ModelJoinOperatorFactory operator_factory)
+                                 ModelJoinOperatorFactory operator_factory,
+                                 exec::QueryProfile* profile)
     : plan_(plan),
       analysis_(analysis),
       num_partitions_(analysis.parallel_safe ? std::max(1, requested_partitions) : 1),
       state_factory_(std::move(state_factory)),
-      operator_factory_(std::move(operator_factory)) {}
+      operator_factory_(std::move(operator_factory)),
+      profile_(profile) {}
+
+void PhysicalPlanner::RegisterProfileNodes(const LogicalOp& node, int depth) {
+  profile_node_ids_[&node] = profile_->RegisterNode(node.NodeString(), depth);
+  for (const auto& child : node.children) {
+    RegisterProfileNodes(*child, depth + 1);
+  }
+}
 
 Status PhysicalPlanner::Prepare() {
+  if (profile_ != nullptr) {
+    RegisterProfileNodes(*plan_, 0);
+    profile_->SetNumPartitions(num_partitions_);
+  }
   // Create shared ModelJoin state once per ModelJoin node, serially.
   struct Visitor {
     PhysicalPlanner* planner;
@@ -78,6 +91,15 @@ Result<OperatorPtr> PhysicalPlanner::Instantiate(int partition) {
 }
 
 Result<OperatorPtr> PhysicalPlanner::Build(const LogicalOp& node, int partition) {
+  INDBML_ASSIGN_OR_RETURN(auto op, BuildNode(node, partition));
+  if (profile_ != nullptr) {
+    op = std::make_unique<exec::ProfiledOperator>(std::move(op), profile_,
+                                                  profile_node_ids_.at(&node));
+  }
+  return op;
+}
+
+Result<OperatorPtr> PhysicalPlanner::BuildNode(const LogicalOp& node, int partition) {
   switch (node.kind) {
     case LogicalKind::kScan: {
       storage::PartitionRange range{0, node.table->num_rows()};

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "exec/operator.h"
+#include "exec/profile.h"
 #include "sql/logical_plan.h"
 #include "sql/optimizer.h"
 
@@ -45,9 +46,14 @@ using ModelJoinOperatorFactory =
 /// row range, every other scan reads its full table in each partition.
 class PhysicalPlanner {
  public:
+  /// With a non-null `profile`, Prepare() registers every plan node in it
+  /// and Instantiate() wraps each operator in an exec::ProfiledOperator
+  /// writing that profile (EXPLAIN ANALYZE); with null, plans execute with
+  /// zero profiling overhead.
   PhysicalPlanner(const LogicalOp* plan, const PlanAnalysis& analysis,
                   int requested_partitions, ModelJoinStateFactory state_factory,
-                  ModelJoinOperatorFactory operator_factory);
+                  ModelJoinOperatorFactory operator_factory,
+                  exec::QueryProfile* profile = nullptr);
 
   /// Effective partition count (1 if the plan is not parallel-safe).
   int num_partitions() const { return num_partitions_; }
@@ -62,12 +68,17 @@ class PhysicalPlanner {
 
  private:
   Result<exec::OperatorPtr> Build(const LogicalOp& node, int partition);
+  Result<exec::OperatorPtr> BuildNode(const LogicalOp& node, int partition);
+  void RegisterProfileNodes(const LogicalOp& node, int depth);
 
   const LogicalOp* plan_;
   PlanAnalysis analysis_;
   int num_partitions_;
   ModelJoinStateFactory state_factory_;
   ModelJoinOperatorFactory operator_factory_;
+  exec::QueryProfile* profile_;
+  /// Profile node ids per plan node (filled by Prepare when profiling).
+  std::unordered_map<const LogicalOp*, int> profile_node_ids_;
   /// Shared states per ModelJoin node (keyed by node pointer).
   std::unordered_map<const LogicalOp*, std::shared_ptr<void>> modeljoin_states_;
 };

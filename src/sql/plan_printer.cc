@@ -33,7 +33,15 @@ const char* KindName(LogicalKind kind) {
 
 std::string LogicalOp::ToString(int indent) const {
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
-  std::string line = pad + KindName(kind);
+  std::string line = pad + NodeString() + "\n";
+  for (const auto& child : children) {
+    line += child->ToString(indent + 1);
+  }
+  return line;
+}
+
+std::string LogicalOp::NodeString() const {
+  std::string line = KindName(kind);
   switch (kind) {
     case LogicalKind::kScan: {
       line += " " + table->name() + " [";
@@ -105,10 +113,6 @@ std::string LogicalOp::ToString(int indent) const {
       break;
     case LogicalKind::kCrossJoin:
       break;
-  }
-  line += "\n";
-  for (const auto& child : children) {
-    line += child->ToString(indent + 1);
   }
   return line;
 }

@@ -1,5 +1,9 @@
 #include "sql/query_engine.h"
 
+#include "common/memory_tracker.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
 #include "exec/parallel.h"
 #include "sql/parser.h"
 
@@ -26,12 +30,15 @@ Result<LogicalOpPtr> QueryEngine::PlanQuery(const std::string& sql) {
   return optimizer.Optimize(std::move(plan));
 }
 
-Result<exec::QueryResult> QueryEngine::ExecuteQuery(const std::string& sql) {
+Result<exec::QueryResult> QueryEngine::ExecuteQuery(const std::string& sql,
+                                                    exec::QueryProfile* profile) {
   INDBML_ASSIGN_OR_RETURN(auto plan, PlanQuery(sql));
-  return ExecutePlan(*plan);
+  return ExecutePlan(*plan, profile);
 }
 
-Result<exec::QueryResult> QueryEngine::ExecutePlan(const LogicalOp& plan) {
+Result<exec::QueryResult> QueryEngine::ExecutePlan(const LogicalOp& plan,
+                                                   exec::QueryProfile* profile) {
+  trace::Span query_span("query");
   Optimizer optimizer(options_.optimizer);
   PlanAnalysis analysis = optimizer.Analyze(plan);
   // Serial mode must plan one partition: multi-partition plans synchronise
@@ -39,16 +46,41 @@ Result<exec::QueryResult> QueryEngine::ExecutePlan(const LogicalOp& plan) {
   // trees to run concurrently.
   int requested = options_.parallel ? options_.partitions : 1;
   PhysicalPlanner planner(&plan, analysis, requested, modeljoin_state_factory_,
-                          modeljoin_operator_factory_);
+                          modeljoin_operator_factory_, profile);
   INDBML_RETURN_NOT_OK(planner.Prepare());
+
+  // Peak tracked memory is process-wide; the reset makes the recorded peak
+  // per-query as long as queries don't overlap (Table 3 methodology).
+  if (profile != nullptr) MemoryTracker::Global().ResetPeak();
+  Stopwatch stopwatch;
 
   exec::OperatorFactory factory = [&](int partition) {
     return planner.Instantiate(partition);
   };
   ThreadPool* run_pool =
       options_.parallel && planner.num_partitions() > 1 ? pool() : nullptr;
-  return exec::ExecuteParallel(factory, planner.num_partitions(), &catalog_,
-                               run_pool);
+  auto result = exec::ExecuteParallel(factory, planner.num_partitions(), &catalog_,
+                                      run_pool);
+
+  int64_t wall_micros = stopwatch.ElapsedMicros();
+  metrics::Registry& registry = metrics::Registry::Global();
+  registry.counter("engine.queries")->Increment();
+  registry.histogram("engine.query_micros")->Record(wall_micros);
+  if (profile != nullptr) {
+    int64_t peak = MemoryTracker::Global().peak_bytes();
+    profile->set_wall_nanos(wall_micros * 1000);
+    profile->set_peak_memory_bytes(peak);
+    registry.gauge("memory.query_peak_bytes")->Set(peak);
+  }
+  return result;
+}
+
+Result<std::string> QueryEngine::ExplainAnalyze(const std::string& sql) {
+  INDBML_ASSIGN_OR_RETURN(auto plan, PlanQuery(sql));
+  exec::QueryProfile profile;
+  INDBML_ASSIGN_OR_RETURN(auto result, ExecutePlan(*plan, &profile));
+  (void)result;
+  return profile.ToString();
 }
 
 Result<std::string> QueryEngine::Explain(const std::string& sql) {

@@ -39,14 +39,24 @@ class QueryEngine {
   void set_options(const Options& options) { options_ = options; }
 
   /// Parses, binds, optimizes and runs one SELECT; returns the materialised
-  /// result.
-  Result<exec::QueryResult> ExecuteQuery(const std::string& sql);
+  /// result. With a non-null `profile`, per-operator statistics (rows,
+  /// chunks, Open/Next/Close time, operator phase timings) and the query's
+  /// peak tracked memory are collected into it.
+  Result<exec::QueryResult> ExecuteQuery(const std::string& sql,
+                                         exec::QueryProfile* profile = nullptr);
 
   /// Parses/binds/optimizes only (tests and EXPLAIN).
   Result<LogicalOpPtr> PlanQuery(const std::string& sql);
 
   /// Optimized plan rendering ("EXPLAIN").
   Result<std::string> Explain(const std::string& sql);
+
+  /// Runs the query with profiling and renders the annotated plan tree:
+  /// per-operator row/chunk counts, cumulative Open/Next/Close time and
+  /// operator-specific phase timings (ModelJoin build vs. inference,
+  /// C-API layout conversion, UDF marshalling), plus the query's wall time
+  /// and peak tracked memory.
+  Result<std::string> ExplainAnalyze(const std::string& sql);
 
   /// Registers the native ModelJoin implementation (called by the modeljoin
   /// module's RegisterModelJoin).
@@ -57,8 +67,9 @@ class QueryEngine {
   }
 
   /// Executes a pre-bound plan (used by approach drivers that build plans
-  /// programmatically).
-  Result<exec::QueryResult> ExecutePlan(const LogicalOp& plan);
+  /// programmatically); `profile` as in ExecuteQuery.
+  Result<exec::QueryResult> ExecutePlan(const LogicalOp& plan,
+                                        exec::QueryProfile* profile = nullptr);
 
   /// The engine's worker pool (shared with the native ModelJoin build).
   ThreadPool* pool();

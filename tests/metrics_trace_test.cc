@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "exec/profile.h"
+
+namespace indbml {
+namespace {
+
+/// Minimal structural JSON check: non-empty, starts '{' ends '}', and all
+/// braces/brackets balance outside of string literals.
+bool JsonWellFormed(const std::string& json) {
+  if (json.empty() || json.front() != '{' || json.back() != '}') return false;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(MetricsTest, CounterAndGauge) {
+  metrics::Registry registry;
+  metrics::Counter* c = registry.counter("test.count");
+  EXPECT_EQ(c->value(), 0);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42);
+  // Get-or-create returns the same object.
+  EXPECT_EQ(registry.counter("test.count"), c);
+
+  metrics::Gauge* g = registry.gauge("test.level");
+  g->Set(10);
+  g->Set(100);
+  g->Set(30);
+  EXPECT_EQ(g->value(), 30);
+  EXPECT_EQ(g->max(), 100);
+
+  registry.ResetAll();
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_EQ(g->max(), 0);
+}
+
+TEST(MetricsTest, HistogramPercentiles) {
+  metrics::Histogram h;
+  for (int64_t v = 1; v <= 1000; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_EQ(h.sum(), 1000 * 1001 / 2);
+  EXPECT_DOUBLE_EQ(h.Mean(), 500.5);
+  // Log-scale buckets bound the error by one octave.
+  double p50 = h.Percentile(50);
+  double p95 = h.Percentile(95);
+  double p99 = h.Percentile(99);
+  EXPECT_GE(p50, 250.0);
+  EXPECT_LE(p50, 1000.0);
+  EXPECT_GE(p95, p50);
+  EXPECT_GE(p99, p95);
+  EXPECT_LE(p99, 1100.0);
+
+  metrics::Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(50), 0.0);
+  // Zero/negative samples land in the bottom bucket, not UB.
+  empty.Record(0);
+  empty.Record(-5);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_EQ(empty.sum(), 0);
+}
+
+TEST(MetricsTest, RegistryConcurrency) {
+  metrics::Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Registration races get-or-create; updates race relaxed atomics.
+      metrics::Counter* c = registry.counter("conc.count");
+      metrics::Histogram* h = registry.histogram("conc.histo_micros");
+      for (int i = 0; i < kIters; ++i) {
+        c->Increment();
+        h->Record(i % 128);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.counter("conc.count")->value(), kThreads * kIters);
+  EXPECT_EQ(registry.histogram("conc.histo_micros")->count(), kThreads * kIters);
+}
+
+TEST(MetricsTest, Snapshots) {
+  metrics::Registry registry;
+  registry.counter("snap.rows")->Increment(7);
+  registry.gauge("snap.bytes")->Set(1024);
+  registry.histogram("snap.micros")->Record(33);
+
+  std::string text = registry.TextSnapshot();
+  EXPECT_NE(text.find("counter snap.rows 7"), std::string::npos);
+  EXPECT_NE(text.find("gauge snap.bytes 1024"), std::string::npos);
+  EXPECT_NE(text.find("histogram snap.micros count=1"), std::string::npos);
+
+  std::string json = registry.JsonSnapshot();
+  EXPECT_TRUE(JsonWellFormed(json)) << json;
+  EXPECT_NE(json.find("\"snap.rows\":7"), std::string::npos);
+
+  auto flat = registry.FlatValues();
+  EXPECT_EQ(flat.at("snap.rows"), 7);
+  EXPECT_EQ(flat.at("snap.micros.count"), 1);
+  EXPECT_EQ(flat.at("snap.micros.sum"), 33);
+}
+
+TEST(TraceTest, SpansFromMultipleThreadsExportAsValidChromeTrace) {
+  trace::Clear();
+  trace::Start();
+  trace::SetThreadName("main-test-thread");
+  {
+    trace::Span outer("outer");
+    trace::Span inner("inner \"quoted\"");
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([t] {
+      trace::SetThreadName("trace-worker-" + std::to_string(t));
+      trace::Span span("thread-span-" + std::to_string(t));
+    });
+  }
+  for (auto& t : threads) t.join();
+  trace::Stop();
+
+  std::string json = trace::ToJson();
+  EXPECT_TRUE(JsonWellFormed(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("inner \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("thread-span-2"), std::string::npos);
+  EXPECT_NE(json.find("trace-worker-1"), std::string::npos);
+  // Complete events carry the fields Perfetto requires.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+
+  // WriteTo produces the same document on disk and clears the buffers.
+  std::string path = ::testing::TempDir() + "/indbml_trace_test.json";
+  ASSERT_TRUE(trace::WriteTo(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(JsonWellFormed(buffer.str()));
+  EXPECT_NE(buffer.str().find("\"outer\""), std::string::npos);
+  std::remove(path.c_str());
+
+  // After Clear/WriteTo no spans remain.
+  std::string drained = trace::ToJson();
+  EXPECT_EQ(drained.find("\"outer\""), std::string::npos);
+}
+
+TEST(TraceTest, DisabledSpansCostNothingAndRecordNothing) {
+  trace::Stop();
+  trace::Clear();
+  {
+    trace::Span span("should-not-appear");
+  }
+  EXPECT_EQ(trace::ToJson().find("should-not-appear"), std::string::npos);
+}
+
+TEST(QueryProfileTest, AggregatesAcrossPartitionsAndRenders) {
+  exec::QueryProfile profile;
+  int root = profile.RegisterNode("Project [p]", 0);
+  int leaf = profile.RegisterNode("Scan fact [x]", 1);
+  profile.SetNumPartitions(2);
+
+  profile.slot(root, 0)->rows = 10;
+  profile.slot(root, 1)->rows = 20;
+  profile.slot(root, 0)->next_nanos = 1500000;
+  profile.slot(root, 0)->AddPhase("inference", 1000000);
+  profile.slot(root, 1)->AddPhase("inference", 500000);
+  profile.slot(leaf, 0)->rows = 10;
+  profile.slot(leaf, 1)->rows = 20;
+  profile.set_wall_nanos(2000000);
+  profile.set_peak_memory_bytes(4096);
+
+  exec::OperatorStats agg = profile.Aggregate(root);
+  EXPECT_EQ(agg.rows, 30);
+  EXPECT_EQ(agg.phase_nanos.at("inference"), 1500000);
+
+  std::string text = profile.ToString();
+  EXPECT_NE(text.find("partitions=2"), std::string::npos);
+  EXPECT_NE(text.find("Project [p]"), std::string::npos);
+  EXPECT_NE(text.find("  Scan fact [x]"), std::string::npos);
+  EXPECT_NE(text.find("rows=30"), std::string::npos);
+  EXPECT_NE(text.find("inference=1.500ms"), std::string::npos);
+  EXPECT_NE(text.find("peak_memory="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace indbml
