@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Project lint gate: repo-specific rules the compiler cannot enforce.
+
+Registered as the `lint_gate` ctest target (label `static_analysis`); exits
+non-zero with one `path:line: [rule] message` per violation.
+
+Rules
+-----
+naked-new        No naked `new` / `delete` outside allocator code. Allocator
+                 files (device arena, C-API boundary, tensor buffer) are
+                 allowlisted; `static` leaky singletons and allocations
+                 immediately wrapped in a smart pointer on the same line are
+                 allowed anywhere.
+endl             No `std::endl` outside the logging sink: it flushes the
+                 stream, which is poison on hot paths; use '\\n'.
+header-guard     Header guards must be INDBML_<PATH>_H_ derived from the
+                 repo-relative path (src/exec/vector.h ->
+                 INDBML_EXEC_VECTOR_H_).
+raw-thread       No direct std::thread construction outside
+                 common/thread_pool.{h,cc}: all engine concurrency goes
+                 through ThreadPool so WaitIdle/shutdown semantics hold.
+test-status      Test code must not discard a Status/Result returned by
+                 engine/op/table calls (`engine.Execute(...)` as a bare
+                 statement); assert on it or consume it explicitly.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# --- naked-new rule configuration -----------------------------------------
+
+# Files whose job is allocation / ownership across an ABI boundary.
+NAKED_NEW_ALLOWED_FILES = {
+    "src/device/device.cc",      # device memory arena
+    "src/mlruntime/trt_c_api.cc",  # C API: caller-owned opaque handles
+    "src/nn/tensor.h",           # owning tensor buffer
+}
+
+NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new T`, `new T[...]` (not placement)
+DELETE_RE = re.compile(r"\bdelete(\[\])?\s")
+SMART_WRAP_RE = re.compile(r"(unique_ptr|shared_ptr)\s*<[^;]*>?\s*\(\s*new\b|make_")
+
+# --- test-status rule configuration ----------------------------------------
+
+# Status/Result-returning methods on the objects the rule names. A bare-
+# statement call to one of these in a test silently swallows the error.
+STATUS_METHODS = {
+    "ExecuteQuery", "ExecutePlan", "PlanQuery", "Explain", "ExplainAnalyze",
+    "AppendRow", "CreateTable", "DropTable", "Open", "Next",
+}
+TEST_CALL_RE = re.compile(r"^\s*(engine|op|table)(\.|->)(\w+)\(.*\);\s*$")
+
+GUARD_RE = re.compile(r"^#ifndef\s+(\w+)\s*$")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Best-effort removal of // comments and string/char literals."""
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"'(\\.|[^'\\])*'", "''", line)
+    return line.split("//", 1)[0]
+
+
+def iter_code_lines(path: Path):
+    in_block_comment = False
+    for lineno, raw in enumerate(path.read_text(errors="replace").splitlines(), 1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        # Drop /* ... */ sections (single pass is enough for this codebase).
+        while "/*" in line:
+            start = line.find("/*")
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + line[end + 2:]
+        yield lineno, strip_comments_and_strings(line)
+
+
+def check_naked_new(rel: str, path: Path, errors):
+    if rel in NAKED_NEW_ALLOWED_FILES:
+        return
+    for lineno, line in iter_code_lines(path):
+        if "static" in line or SMART_WRAP_RE.search(line):
+            continue
+        if NEW_RE.search(line):
+            errors.append(f"{rel}:{lineno}: [naked-new] naked `new` outside "
+                          "allocator code; use std::vector / make_unique")
+        if DELETE_RE.search(line):
+            errors.append(f"{rel}:{lineno}: [naked-new] naked `delete` outside "
+                          "allocator code; let an owner manage the lifetime")
+
+
+def check_endl(rel: str, path: Path, errors):
+    if rel == "src/common/logging.cc":  # the sink flushes deliberately
+        return
+    for lineno, line in iter_code_lines(path):
+        if "std::endl" in line:
+            errors.append(f"{rel}:{lineno}: [endl] std::endl flushes the "
+                          "stream; write '\\n' instead")
+
+
+def check_header_guard(rel: str, path: Path, errors):
+    expected = "INDBML_" + re.sub(r"[/.]", "_",
+                                  rel[len("src/"):]).upper().rstrip("_") + "_"
+    for _, line in ((n, l) for n, l in iter_code_lines(path)):
+        m = GUARD_RE.match(line)
+        if not m:
+            continue
+        if m.group(1) != expected:
+            errors.append(f"{rel}:1: [header-guard] guard {m.group(1)} should "
+                          f"be {expected}")
+        return
+    errors.append(f"{rel}:1: [header-guard] missing #ifndef include guard "
+                  f"({expected})")
+
+
+def check_raw_thread(rel: str, path: Path, errors):
+    if rel in ("src/common/thread_pool.h", "src/common/thread_pool.cc"):
+        return
+    for lineno, line in iter_code_lines(path):
+        if re.search(r"\bstd::thread\b", line):
+            errors.append(f"{rel}:{lineno}: [raw-thread] direct std::thread "
+                          "use outside thread_pool; submit to a ThreadPool")
+
+
+def check_test_status(rel: str, path: Path, errors):
+    for lineno, line in iter_code_lines(path):
+        m = TEST_CALL_RE.match(line)
+        if m and m.group(3) in STATUS_METHODS:
+            errors.append(f"{rel}:{lineno}: [test-status] discarded Status "
+                          f"from {m.group(1)}{m.group(2)}{m.group(3)}(); "
+                          "ASSERT on it or consume the result")
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent.parent
+    errors = []
+
+    src_files = sorted((root / "src").rglob("*.cc")) + \
+        sorted((root / "src").rglob("*.h"))
+    for path in src_files:
+        rel = path.relative_to(root).as_posix()
+        check_naked_new(rel, path, errors)
+        check_endl(rel, path, errors)
+        check_raw_thread(rel, path, errors)
+        if path.suffix == ".h":
+            check_header_guard(rel, path, errors)
+
+    for sub in ("tests", "bench", "examples"):
+        d = root / sub
+        if not d.is_dir():
+            continue
+        for path in sorted(d.rglob("*.cc")) + sorted(d.rglob("*.h")):
+            rel = path.relative_to(root).as_posix()
+            check_endl(rel, path, errors)
+            check_test_status(rel, path, errors)
+
+    if errors:
+        print("\n".join(errors))
+        print(f"\nlint: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"lint: OK ({len(src_files)} src files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,8 +32,10 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// `Status` is cheap to copy in the OK case (empty message) and is the
 /// only error-reporting channel of the library: no exceptions are thrown
-/// from query-processing or inference code.
-class Status {
+/// from query-processing or inference code. Marked [[nodiscard]] so a
+/// dropped error is a compile error under -Werror; consume deliberately
+/// ignored statuses with `.IgnoreError()`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -78,6 +80,10 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
 
+  /// Explicitly discards this status. The only sanctioned way to drop an
+  /// error (e.g. best-effort cleanup paths); greppable, unlike a cast.
+  void IgnoreError() const {}
+
   /// Formats as "InvalidArgument: <message>" (or "OK").
   std::string ToString() const;
 
@@ -96,7 +102,7 @@ class Status {
 /// \endcode
 /// or via the `INDBML_ASSIGN_OR_RETURN` macro.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or a (non-OK) status keeps call
   /// sites terse, matching the Arrow convention.
@@ -127,11 +133,14 @@ class Result {
 }  // namespace indbml
 
 /// Propagates a non-OK Status from the current function.
-#define INDBML_RETURN_NOT_OK(expr)                 \
+#define INDBML_RETURN_IF_ERROR(expr)               \
   do {                                             \
     ::indbml::Status _st = (expr);                 \
     if (!_st.ok()) return _st;                     \
   } while (0)
+
+/// Historical spelling of INDBML_RETURN_IF_ERROR (Arrow idiom).
+#define INDBML_RETURN_NOT_OK(expr) INDBML_RETURN_IF_ERROR(expr)
 
 #define INDBML_CONCAT_IMPL(x, y) x##y
 #define INDBML_CONCAT(x, y) INDBML_CONCAT_IMPL(x, y)

@@ -1,0 +1,33 @@
+#include "common/validation.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace indbml::validation {
+
+namespace {
+
+bool EnvEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("INDBML_VALIDATE");
+    return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+  }();
+  return enabled;
+}
+
+std::atomic<int> g_override{-1};
+
+}  // namespace
+
+bool Enabled() {
+  int mode = g_override.load(std::memory_order_relaxed);
+  if (mode >= 0) return mode != 0;
+  return EnvEnabled();
+}
+
+void SetEnabledForTesting(int mode) {
+  g_override.store(mode, std::memory_order_relaxed);
+}
+
+}  // namespace indbml::validation

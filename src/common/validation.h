@@ -1,0 +1,21 @@
+#ifndef INDBML_COMMON_VALIDATION_H_
+#define INDBML_COMMON_VALIDATION_H_
+
+namespace indbml::validation {
+
+/// \brief Process-wide switch for the runtime invariant validators.
+///
+/// When enabled (environment variable `INDBML_VALIDATE=1`, or
+/// `SetEnabledForTesting`), the engine checks data-chunk invariants between
+/// operators, re-validates the logical plan after every optimizer pass, and
+/// asserts the shared-model shape invariants at ModelJoin build-phase exit.
+/// When disabled (the default) every validation hook is a single branch on a
+/// cached flag — no per-row or per-chunk work is done.
+bool Enabled();
+
+/// Test hook: 1 = force on, 0 = force off, -1 = follow the environment.
+void SetEnabledForTesting(int mode);
+
+}  // namespace indbml::validation
+
+#endif  // INDBML_COMMON_VALIDATION_H_

@@ -4,9 +4,9 @@
 #include <unistd.h>
 
 #include <cstring>
-#include <thread>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "mlruntime/runtime.h"
 
 namespace indbml::integration {
@@ -95,7 +95,10 @@ Result<exec::QueryResult> RunExternalInference(
   };
   ClientResult client_result;
   const nn::Model* model_ptr = &model;
-  std::thread client([&client_result, client_fd, in_width, model_ptr, device]() {
+  // The "external process": one dedicated worker simulating the Python
+  // client on the other end of the socket. WaitIdle() is the join.
+  ThreadPool client(1);
+  client.Submit([&client_result, client_fd, in_width, model_ptr, device]() {
     auto fail = [&](const std::string& msg) {
       client_result.status = Status::IOError(msg);
       ::close(client_fd);
@@ -163,7 +166,7 @@ Result<exec::QueryResult> RunExternalInference(
   // ---- Server side: run the query and ship the rows. ----
   auto cleanup_fail = [&](Status status) -> Status {
     ::close(server_fd);
-    client.join();
+    client.WaitIdle();
     return status;
   };
 
@@ -239,7 +242,7 @@ Result<exec::QueryResult> RunExternalInference(
     result.chunks.push_back(std::move(chunk));
   }
   ::close(server_fd);
-  client.join();
+  client.WaitIdle();
   if (!client_result.status.ok()) return client_result.status;
 
   if (stats != nullptr) {

@@ -99,7 +99,7 @@ struct Session::Impl {
 
 };
 
-Session::Session() : impl_(new Impl()) {}
+Session::Session() : impl_(std::make_unique<Impl>()) {}
 Session::~Session() = default;
 
 Result<std::unique_ptr<Session>> Session::Create(const nn::Model& model,

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "common/validation.h"
+#include "modeljoin/validate.h"
 
 namespace indbml::modeljoin {
 
@@ -70,29 +72,26 @@ SharedModel::SharedModel(nn::ModelMeta meta, device::Device* device,
   const bool gpu = device_->is_gpu();
   for (size_t li = 0; li < meta_.layers.size(); ++li) {
     const LayerMeta& layer = meta_.layers[li];
-    LayerBuffers& h = host_[li];
+    HostBuffers& h = host_[li];
     LayerBuffers& d = layers_[li];
     int gates = layer.kind == LayerKind::kDense  ? 1
                 : layer.kind == LayerKind::kLstm ? nn::kNumGates
                                                  : nn::kNumGruGates;
-    h.w_size = layer.units * layer.input_dim;
-    h.u_size = layer.kind == LayerKind::kDense ? 0 : layer.units * layer.units;
-    h.bias_size = layer.units;
-    d.w_size = h.w_size;
-    d.u_size = h.u_size;
-    d.bias_size = h.bias_size;
+    d.w_size = layer.units * layer.input_dim;
+    d.u_size = layer.kind == LayerKind::kDense ? 0 : layer.units * layer.units;
+    d.bias_size = layer.units;
     for (int g = 0; g < gates; ++g) {
-      h.w[g] = new float[static_cast<size_t>(h.w_size)]();
-      h.bias[g] = new float[static_cast<size_t>(h.bias_size)]();
-      if (h.u_size > 0) h.u[g] = new float[static_cast<size_t>(h.u_size)]();
+      h.w[g].assign(static_cast<size_t>(d.w_size), 0.0f);
+      h.bias[g].assign(static_cast<size_t>(d.bias_size), 0.0f);
+      if (d.u_size > 0) h.u[g].assign(static_cast<size_t>(d.u_size), 0.0f);
       if (gpu) {
         d.w[g] = device_->Allocate(d.w_size);
         d.bias_mat[g] = device_->Allocate(layer.units * vector_size_);
         if (d.u_size > 0) d.u[g] = device_->Allocate(d.u_size);
       } else {
-        d.w[g] = h.w[g];
+        d.w[g] = h.w[g].data();
         d.bias_mat[g] = device_->Allocate(layer.units * vector_size_);
-        d.u[g] = h.u[g];
+        d.u[g] = d.u_size > 0 ? h.u[g].data() : nullptr;
       }
       device_bytes_ += (d.w_size + layer.units * vector_size_ + d.u_size) * 4;
     }
@@ -114,9 +113,6 @@ SharedModel::~SharedModel() {
         }
       }
       device_->Free(layers_[li].bias_mat[g], layer.units * vector_size_);
-      delete[] host_[li].w[g];
-      delete[] host_[li].bias[g];
-      delete[] host_[li].u[g];
     }
   }
 }
@@ -149,9 +145,9 @@ Status SharedModel::ParsePartition(const storage::Table& model_table,
       continue;
     }
     size_t li;
-    INDBML_RETURN_NOT_OK(LocateLayer(node, &li));
+    INDBML_RETURN_IF_ERROR(LocateLayer(node, &li));
     const LayerMeta& layer = meta_.layers[li];
-    LayerBuffers& h = host_[li];
+    HostBuffers& h = host_[li];
     int64_t out = node - first_node_[li];
 
     if (layer.kind == LayerKind::kDense) {
@@ -206,9 +202,11 @@ void SharedModel::UploadToDevice() {
                                                  : nn::kNumGruGates;
     for (int g = 0; g < gates; ++g) {
       if (gpu) {
-        device_->CopyToDevice(layers_[li].w[g], host_[li].w[g], host_[li].w_size);
-        if (host_[li].u_size > 0) {
-          device_->CopyToDevice(layers_[li].u[g], host_[li].u[g], host_[li].u_size);
+        device_->CopyToDevice(layers_[li].w[g], host_[li].w[g].data(),
+                              layers_[li].w_size);
+        if (layers_[li].u_size > 0) {
+          device_->CopyToDevice(layers_[li].u[g], host_[li].u[g].data(),
+                                layers_[li].u_size);
         }
       }
       // Replicate the bias vector into the [units x vectorsize] matrix
@@ -246,8 +244,79 @@ Status SharedModel::BuildPartition(const storage::Table& model_table, int partit
   // build on host memory, upload once at the end).
   if (partition == 0) {
     UploadToDevice();
+    if (validation::Enabled()) {
+      Status shape = ValidateSharedModelShape(*this);
+      if (!shape.ok()) {
+        failed_.store(true);
+        std::lock_guard<std::mutex> lock(failure_mu_);
+        failure_message_ = shape.ToString();
+      }
+    }
   }
   upload_barrier_.Wait();
+  if (failed_.load()) {
+    std::lock_guard<std::mutex> lock(failure_mu_);
+    return Status::ExecutionError("ModelJoin build failed: " + failure_message_);
+  }
+  return Status::OK();
+}
+
+Status ValidateSharedModelShape(const SharedModel& model) {
+  const nn::ModelMeta& meta = model.meta_;
+  for (size_t li = 0; li < meta.layers.size(); ++li) {
+    const LayerMeta& layer = meta.layers[li];
+    auto fail = [&](const char* what) {
+      return Status::Internal(
+          StrFormat("shared-model shape validation failed at layer %lld: %s",
+                    static_cast<long long>(li), what));
+    };
+    if (layer.units <= 0 || layer.input_dim <= 0) {
+      return fail("non-positive layer dimensions");
+    }
+    // Layer dimension chain: each layer consumes exactly what the previous
+    // one produces (the first dense layer consumes the model input width).
+    if (li > 0 && layer.kind == LayerKind::kDense &&
+        layer.input_dim != meta.layers[li - 1].units) {
+      return fail("input_dim does not chain to the previous layer's units");
+    }
+    const SharedModel::LayerBuffers& d = model.layers_[li];
+    // Transposed-weight extents: kernel is [units x input_dim], recurrent
+    // [units x units], bias staging [units].
+    if (d.w_size != layer.units * layer.input_dim) {
+      return fail("transposed kernel extent != units x input_dim");
+    }
+    int64_t expected_u =
+        layer.kind == LayerKind::kDense ? 0 : layer.units * layer.units;
+    if (d.u_size != expected_u) {
+      return fail("recurrent weight extent != units x units");
+    }
+    if (d.bias_size != layer.units) return fail("bias extent != units");
+    int gates = layer.kind == LayerKind::kDense  ? 1
+                : layer.kind == LayerKind::kLstm ? nn::kNumGates
+                                                 : nn::kNumGruGates;
+    for (int g = 0; g < gates; ++g) {
+      if (d.w[g] == nullptr || d.bias_mat[g] == nullptr) {
+        return fail("missing device buffer");
+      }
+      if (expected_u > 0 && d.u[g] == nullptr) {
+        return fail("missing recurrent device buffer");
+      }
+      // Replicated bias rows: every row of the [units x vectorsize] bias
+      // matrix must hold one constant (§5.4 replication). The simulated
+      // device keeps buffers host-readable, so this is directly checkable.
+      const float* bias_mat = d.bias_mat[g];
+      const std::vector<float>& bias = model.host_[li].bias[g];
+      for (int64_t u = 0; u < layer.units; ++u) {
+        const float expected = bias[static_cast<size_t>(u)];
+        for (int v = 0; v < model.vector_size_; ++v) {
+          float got = bias_mat[u * model.vector_size_ + v];
+          if (got != expected) {
+            return fail("bias matrix row not a replication of the bias vector");
+          }
+        }
+      }
+    }
+  }
   return Status::OK();
 }
 

@@ -65,15 +65,25 @@ class SharedModel {
 
  private:
   struct LayerBuffers {
-    // Host staging (build target); identical to device pointers on CPU.
+    // Device buffers; on CPU w/u point into the host staging vectors.
     float* w[nn::kNumGates] = {nullptr, nullptr, nullptr, nullptr};
     float* u[nn::kNumGates] = {nullptr, nullptr, nullptr, nullptr};
-    float* bias[nn::kNumGates] = {nullptr, nullptr, nullptr, nullptr};
     float* bias_mat[nn::kNumGates] = {nullptr, nullptr, nullptr, nullptr};
     int64_t w_size = 0;
     int64_t u_size = 0;
     int64_t bias_size = 0;
   };
+
+  /// Host staging buffers the build phase writes into (owned storage;
+  /// uploaded to the device buffers after the build barrier).
+  struct HostBuffers {
+    std::vector<float> w[nn::kNumGates];
+    std::vector<float> u[nn::kNumGates];
+    std::vector<float> bias[nn::kNumGates];
+  };
+
+  /// Shape-invariant check run at build-phase exit under INDBML_VALIDATE=1.
+  friend Status ValidateSharedModelShape(const SharedModel& model);
 
   /// Locates the layer owning node id `node`; kept in `first_node_` order.
   Status LocateLayer(int64_t node, size_t* layer_index) const;
@@ -90,7 +100,7 @@ class SharedModel {
   std::vector<int64_t> first_node_;  ///< unique-id layout per layer
   int64_t input_nodes_ = 0;          ///< ids reserved for input nodes
 
-  std::vector<LayerBuffers> host_;    ///< staging (owned host arrays)
+  std::vector<HostBuffers> host_;     ///< staging (owned host storage)
   std::vector<LayerBuffers> layers_;  ///< device buffers (== host on CPU)
   int64_t device_bytes_ = 0;
 

@@ -31,6 +31,18 @@ struct ModelTableReport {
 Result<ModelTableReport> ValidateModelTable(const storage::Table& table,
                                             const nn::ModelMeta& meta);
 
+class SharedModel;
+
+/// \brief Shape invariants of a built SharedModel, asserted at build-phase
+/// exit under `INDBML_VALIDATE=1` (see common/validation.h).
+///
+/// Verifies the layer dimension chain (each layer's input_dim equals the
+/// previous layer's units), the transposed-weight extents ([units x
+/// input_dim] kernels, [units x units] recurrent weights), and that every
+/// row of the replicated [units x vectorsize] bias matrices holds the
+/// layer's bias constant (§5.4).
+Status ValidateSharedModelShape(const SharedModel& model);
+
 }  // namespace indbml::modeljoin
 
 #endif  // INDBML_MODELJOIN_VALIDATE_H_

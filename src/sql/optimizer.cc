@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "common/validation.h"
+#include "sql/plan_validate.h"
 
 namespace indbml::sql {
 
@@ -216,6 +218,21 @@ void RecomputeJoinOutputs(LogicalOp* join) {
 }  // namespace
 
 Result<LogicalOpPtr> Optimizer::Optimize(LogicalOpPtr plan) {
+  // With INDBML_VALIDATE=1 the plan is re-validated after every rewrite
+  // pass, so a broken rule fails here with the pass named instead of
+  // corrupting execution downstream.
+  const bool validate = validation::Enabled();
+  auto check = [&](const char* pass) -> Status {
+    if (!validate) return Status::OK();
+    Status status = ValidateLogicalPlan(*plan);
+    if (!status.ok()) {
+      return Status::Internal(std::string("optimizer pass '") + pass +
+                              "' produced an invalid plan: " + status.message());
+    }
+    return Status::OK();
+  };
+  INDBML_RETURN_IF_ERROR(check("input"));
+
   // --- Pass 1: filter pushdown + join conversion (combined, bottom-up) ---
   struct Rewriter {
     const OptimizerOptions& options;
@@ -284,6 +301,7 @@ Result<LogicalOpPtr> Optimizer::Optimize(LogicalOpPtr plan) {
   };
   Rewriter rewriter{options_};
   plan = rewriter.Rewrite(std::move(plan));
+  INDBML_RETURN_IF_ERROR(check("pushdown+join-conversion"));
 
   // --- Pass 2: projection pruning ---
   if (options_.projection_pruning) {
@@ -410,6 +428,7 @@ Result<LogicalOpPtr> Optimizer::Optimize(LogicalOpPtr plan) {
     std::unordered_set<int64_t> all;
     for (const auto& c : plan->outputs) all.insert(c.id);
     pruner.Prune(plan.get(), all);
+    INDBML_RETURN_IF_ERROR(check("projection-pruning"));
   }
 
   // --- Pass 3: ordered aggregation ---
@@ -527,6 +546,7 @@ Result<LogicalOpPtr> Optimizer::Optimize(LogicalOpPtr plan) {
     };
     OrderRule rule;
     rule.Apply(plan.get());
+    INDBML_RETURN_IF_ERROR(check("ordered-aggregation"));
   }
 
   return plan;

@@ -3,10 +3,12 @@
 #include <unordered_map>
 
 #include "common/string_util.h"
+#include "common/validation.h"
 #include "exec/aggregate.h"
 #include "exec/basic_operators.h"
 #include "exec/join.h"
 #include "exec/scan.h"
+#include "exec/validate.h"
 
 namespace indbml::sql {
 
@@ -92,6 +94,13 @@ Result<OperatorPtr> PhysicalPlanner::Instantiate(int partition) {
 
 Result<OperatorPtr> PhysicalPlanner::Build(const LogicalOp& node, int partition) {
   INDBML_ASSIGN_OR_RETURN(auto op, BuildNode(node, partition));
+  if (validation::Enabled()) {
+    // Model predictions may legitimately be non-finite; every other
+    // operator emitting a NaN is propagating a corrupted intermediate.
+    bool allow_non_finite = node.kind == LogicalKind::kModelJoin;
+    op = std::make_unique<exec::ValidatingOperator>(
+        std::move(op), node.NodeString(), allow_non_finite);
+  }
   if (profile_ != nullptr) {
     op = std::make_unique<exec::ProfiledOperator>(std::move(op), profile_,
                                                   profile_node_ids_.at(&node));

@@ -1,0 +1,23 @@
+#ifndef INDBML_SQL_PLAN_VALIDATE_H_
+#define INDBML_SQL_PLAN_VALIDATE_H_
+
+#include "common/status.h"
+#include "sql/logical_plan.h"
+
+namespace indbml::sql {
+
+/// \brief Structural validation of a bound logical plan.
+///
+/// Re-checked after every optimizer pass when `INDBML_VALIDATE=1`, so a
+/// broken rewrite (dangling column reference, join losing a key side,
+/// outputs out of sync with children) fails the query with a descriptive
+/// error instead of corrupting execution. Verifies per node: child counts
+/// for the node kind, non-empty outputs, expression column references
+/// resolving against child outputs, probe/build key symmetry on hash
+/// joins, scan column indexes within the table, and output-column
+/// consistency of pass-through nodes (filter/sort/limit).
+Status ValidateLogicalPlan(const LogicalOp& plan);
+
+}  // namespace indbml::sql
+
+#endif  // INDBML_SQL_PLAN_VALIDATE_H_
