@@ -7,6 +7,11 @@
 
 namespace indbml {
 
+int HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
 ThreadPool::ThreadPool(int num_threads) {
   INDBML_CHECK(num_threads > 0) << "thread pool needs at least one worker";
   workers_.reserve(num_threads);

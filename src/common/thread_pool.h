@@ -10,6 +10,10 @@
 
 namespace indbml {
 
+/// Number of hardware threads, clamped to >= 1 (the standard allows
+/// hardware_concurrency() to report 0 when unknown).
+int HardwareConcurrency();
+
 /// Fixed-size worker pool.
 ///
 /// The query engine creates one pool per query with `parallelism` workers

@@ -156,20 +156,31 @@ HashAggregateOperator::HashAggregateOperator(OperatorPtr child,
       names_(BuildNames(group_names, aggregates_)) {}
 
 Status HashAggregateOperator::Open(ExecContext* ctx) {
-  INDBML_RETURN_NOT_OK(child_->Open(ctx));
   table_.clear();
   emit_order_.clear();
   emit_cursor_ = 0;
+  consumed_ = false;
+  return child_->Open(ctx);
+}
 
+Status HashAggregateOperator::Rewind(ExecContext* ctx) {
+  table_.clear();
+  emit_order_.clear();
+  emit_cursor_ = 0;
+  consumed_ = false;
+  return child_->Rewind(ctx);
+}
+
+Status HashAggregateOperator::Consume(ExecContext* ctx) {
   bool eof = false;
   std::vector<Vector> group_vecs;
   std::vector<Vector> arg_vecs;
   std::vector<uint64_t> parts(groups_.size());
   while (!eof) {
-    DataChunk in;
-    in.Reset(child_->output_types());
-    INDBML_RETURN_NOT_OK(child_->Next(ctx, &in, &eof));
-    if (in.size == 0) continue;
+    in_.Reset(child_->output_types());
+    INDBML_RETURN_NOT_OK(child_->Next(ctx, &in_, &eof));
+    if (in_.size == 0) continue;
+    const DataChunk& in = in_;
     INDBML_RETURN_NOT_OK(EvalChunk(groups_, aggregates_, in, &group_vecs, &arg_vecs));
     for (int64_t r = 0; r < in.size; ++r) {
       for (size_t k = 0; k < group_vecs.size(); ++k) {
@@ -214,6 +225,7 @@ Status HashAggregateOperator::Open(ExecContext* ctx) {
   int64_t bytes = HashTableBytes();
   MemoryTracker::Global().Allocate(bytes - tracked_bytes_);
   tracked_bytes_ = bytes;
+  consumed_ = true;
   return Status::OK();
 }
 
@@ -221,7 +233,8 @@ HashAggregateOperator::~HashAggregateOperator() {
   MemoryTracker::Global().Free(tracked_bytes_);
 }
 
-Status HashAggregateOperator::Next(ExecContext*, DataChunk* out, bool* eof) {
+Status HashAggregateOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
+  if (!consumed_) INDBML_RETURN_NOT_OK(Consume(ctx));
   while (emit_cursor_ < emit_order_.size() && out->size < kDefaultVectorSize) {
     const GroupEntry& entry = *emit_order_[emit_cursor_++];
     int64_t col = 0;
@@ -274,6 +287,17 @@ Status StreamingAggregateOperator::Open(ExecContext* ctx) {
   return child_->Open(ctx);
 }
 
+Status StreamingAggregateOperator::Rewind(ExecContext* ctx) {
+  group_active_ = false;
+  input_eof_ = false;
+  current_prefix_.clear();
+  rest_groups_.clear();
+  rest_insertion_order_.clear();
+  // peak_group_count_ deliberately survives: it reports the peak across the
+  // whole execution, morsels included.
+  return child_->Rewind(ctx);
+}
+
 void StreamingAggregateOperator::FlushPrefixGroup(DataChunk* out) {
   int64_t group_count = 0;
   for (uint64_t h : rest_insertion_order_) {
@@ -302,10 +326,10 @@ Status StreamingAggregateOperator::Next(ExecContext* ctx, DataChunk* out, bool* 
   const size_t rest = groups_.size() - prefix;
   std::vector<uint64_t> rest_parts(rest);
   while (!input_eof_ && out->size < kDefaultVectorSize) {
-    DataChunk in;
-    in.Reset(child_->output_types());
-    INDBML_RETURN_NOT_OK(child_->Next(ctx, &in, &input_eof_));
-    if (in.size == 0) continue;
+    in_.Reset(child_->output_types());
+    INDBML_RETURN_NOT_OK(child_->Next(ctx, &in_, &input_eof_));
+    if (in_.size == 0) continue;
+    const DataChunk& in = in_;
     INDBML_RETURN_NOT_OK(EvalChunk(groups_, aggregates_, in, &group_vecs, &arg_vecs));
     for (int64_t r = 0; r < in.size; ++r) {
       bool same_prefix = group_active_;

@@ -57,6 +57,8 @@ class HashAggregateOperator final : public Operator {
   Status Open(ExecContext* ctx) override;
   Status Next(ExecContext* ctx, DataChunk* out, bool* eof) override;
   void Close(ExecContext* ctx) override { child_->Close(ctx); }
+  Status Rewind(ExecContext* ctx) override;
+  bool MorselDriven() const override { return child_->MorselDriven(); }
 
   /// Approximate bytes held by the hash table (memory experiments).
   int64_t HashTableBytes() const;
@@ -66,6 +68,11 @@ class HashAggregateOperator final : public Operator {
     std::vector<Value> key_values;
     std::vector<AggState> states;
   };
+
+  /// Drains the (already open) child into the group table. Runs lazily on
+  /// the first Next after Open/Rewind so each morsel aggregates only its
+  /// own rows.
+  Status Consume(ExecContext* ctx);
 
   OperatorPtr child_;
   std::vector<ExprPtr> groups_;
@@ -77,6 +84,8 @@ class HashAggregateOperator final : public Operator {
   std::vector<const GroupEntry*> emit_order_;
   size_t emit_cursor_ = 0;
   int64_t tracked_bytes_ = 0;
+  bool consumed_ = false;
+  DataChunk in_;  ///< reused input buffer (no per-batch reallocation)
 };
 
 /// \brief Order-based (streaming) aggregation (paper §4.4).
@@ -105,6 +114,8 @@ class StreamingAggregateOperator final : public Operator {
   Status Open(ExecContext* ctx) override;
   Status Next(ExecContext* ctx, DataChunk* out, bool* eof) override;
   void Close(ExecContext* ctx) override { child_->Close(ctx); }
+  Status Rewind(ExecContext* ctx) override;
+  bool MorselDriven() const override { return child_->MorselDriven(); }
 
   /// Peak number of concurrently-held groups (memory observability).
   int64_t peak_group_count() const { return peak_group_count_; }
@@ -130,6 +141,7 @@ class StreamingAggregateOperator final : public Operator {
   std::unordered_map<uint64_t, std::vector<GroupEntry>> rest_groups_;
   std::vector<uint64_t> rest_insertion_order_;
   int64_t peak_group_count_ = 0;
+  DataChunk in_;  ///< reused input buffer (no per-batch reallocation)
 };
 
 }  // namespace indbml::exec

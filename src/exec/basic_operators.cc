@@ -12,16 +12,15 @@ FilterOperator::FilterOperator(OperatorPtr child, ExprPtr condition)
 Status FilterOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
   *eof = false;
   while (out->size == 0) {
-    DataChunk in;
-    in.Reset(child_->output_types());
+    in_.Reset(child_->output_types());
     bool child_eof = false;
-    INDBML_RETURN_NOT_OK(child_->Next(ctx, &in, &child_eof));
-    if (in.size > 0) {
+    INDBML_RETURN_NOT_OK(child_->Next(ctx, &in_, &child_eof));
+    if (in_.size > 0) {
       Vector mask(DataType::kBool);
-      INDBML_RETURN_NOT_OK(EvaluateExpr(*condition_, in, &mask));
+      INDBML_RETURN_NOT_OK(EvaluateExpr(*condition_, in_, &mask));
       const uint8_t* m = mask.bools();
-      for (int64_t r = 0; r < in.size; ++r) {
-        if (m[r]) AppendRowTo(in, r, out);
+      for (int64_t r = 0; r < in_.size; ++r) {
+        if (m[r]) AppendRowTo(in_, r, out);
       }
     }
     if (child_eof) {
@@ -39,15 +38,14 @@ ProjectOperator::ProjectOperator(OperatorPtr child, std::vector<ExprPtr> exprs,
 }
 
 Status ProjectOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
-  DataChunk in;
-  in.Reset(child_->output_types());
-  INDBML_RETURN_NOT_OK(child_->Next(ctx, &in, eof));
-  if (in.size == 0) return Status::OK();
+  in_.Reset(child_->output_types());
+  INDBML_RETURN_NOT_OK(child_->Next(ctx, &in_, eof));
+  if (in_.size == 0) return Status::OK();
   for (size_t i = 0; i < exprs_.size(); ++i) {
     INDBML_RETURN_NOT_OK(
-        EvaluateExpr(*exprs_[i], in, &out->column(static_cast<int64_t>(i))));
+        EvaluateExpr(*exprs_[i], in_, &out->column(static_cast<int64_t>(i))));
   }
-  out->size = in.size;
+  out->size = in_.size;
   return Status::OK();
 }
 
@@ -70,7 +68,23 @@ SortOperator::SortOperator(OperatorPtr child, std::vector<ExprPtr> keys,
     : child_(std::move(child)), keys_(std::move(keys)), ascending_(std::move(ascending)) {}
 
 Status SortOperator::Open(ExecContext* ctx) {
-  INDBML_ASSIGN_OR_RETURN(materialized_, DrainOperator(child_.get(), ctx));
+  sorted_ = false;
+  return child_->Open(ctx);
+}
+
+Status SortOperator::Rewind(ExecContext* ctx) {
+  materialized_ = QueryResult();
+  order_.clear();
+  cursor_ = 0;
+  sorted_ = false;
+  return child_->Rewind(ctx);
+}
+
+Status SortOperator::Materialize(ExecContext* ctx) {
+  materialized_ = QueryResult();
+  materialized_.names = child_->output_names();
+  materialized_.types = child_->output_types();
+  INDBML_RETURN_NOT_OK(DrainAppend(child_.get(), ctx, &materialized_));
   // Evaluate the sort keys per chunk, then sort a (chunk,row) index vector.
   std::vector<std::vector<Vector>> key_cols;  // [chunk][key]
   key_cols.reserve(materialized_.chunks.size());
@@ -111,8 +125,8 @@ Status SortOperator::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Status SortOperator::Next(ExecContext*, DataChunk* out, bool* eof) {
-  INDBML_CHECK(sorted_);
+Status SortOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
+  if (!sorted_) INDBML_RETURN_NOT_OK(Materialize(ctx));
   while (cursor_ < order_.size() && out->size < kDefaultVectorSize) {
     auto [c, r] = order_[cursor_++];
     AppendRowTo(materialized_.chunks[static_cast<size_t>(c)], r, out);

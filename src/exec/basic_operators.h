@@ -24,10 +24,13 @@ class FilterOperator final : public Operator {
   Status Open(ExecContext* ctx) override { return child_->Open(ctx); }
   Status Next(ExecContext* ctx, DataChunk* out, bool* eof) override;
   void Close(ExecContext* ctx) override { child_->Close(ctx); }
+  Status Rewind(ExecContext* ctx) override { return child_->Rewind(ctx); }
+  bool MorselDriven() const override { return child_->MorselDriven(); }
 
  private:
   OperatorPtr child_;
   ExprPtr condition_;
+  DataChunk in_;  ///< reused input buffer (no per-batch reallocation)
 };
 
 /// \brief Projection: computes one expression per output column.
@@ -42,12 +45,15 @@ class ProjectOperator final : public Operator {
   Status Open(ExecContext* ctx) override { return child_->Open(ctx); }
   Status Next(ExecContext* ctx, DataChunk* out, bool* eof) override;
   void Close(ExecContext* ctx) override { child_->Close(ctx); }
+  Status Rewind(ExecContext* ctx) override { return child_->Rewind(ctx); }
+  bool MorselDriven() const override { return child_->MorselDriven(); }
 
  private:
   OperatorPtr child_;
   std::vector<ExprPtr> exprs_;
   std::vector<DataType> types_;
   std::vector<std::string> names_;
+  DataChunk in_;  ///< reused input buffer (no per-batch reallocation)
 };
 
 /// \brief LIMIT n.
@@ -68,6 +74,11 @@ class LimitOperator final : public Operator {
   }
   Status Next(ExecContext* ctx, DataChunk* out, bool* eof) override;
   void Close(ExecContext* ctx) override { child_->Close(ctx); }
+  Status Rewind(ExecContext* ctx) override {
+    remaining_ = limit_;
+    return child_->Rewind(ctx);
+  }
+  bool MorselDriven() const override { return child_->MorselDriven(); }
 
  private:
   OperatorPtr child_;
@@ -100,6 +111,10 @@ class ChunkSourceOperator final : public Operator {
     *eof = false;
     return Status::OK();
   }
+  Status Rewind(ExecContext*) override {
+    index_ = 0;
+    return Status::OK();
+  }
 
  private:
   std::shared_ptr<QueryResult> result_;
@@ -122,8 +137,15 @@ class SortOperator final : public Operator {
   Status Open(ExecContext* ctx) override;
   Status Next(ExecContext* ctx, DataChunk* out, bool* eof) override;
   void Close(ExecContext* ctx) override { child_->Close(ctx); }
+  Status Rewind(ExecContext* ctx) override;
+  bool MorselDriven() const override { return child_->MorselDriven(); }
 
  private:
+  /// Drains the (already open) child and computes the output order. Runs
+  /// lazily on the first Next after Open/Rewind, so a Rewind between
+  /// morsels only re-sorts the new morsel's rows.
+  Status Materialize(ExecContext* ctx);
+
   OperatorPtr child_;
   std::vector<ExprPtr> keys_;
   std::vector<bool> ascending_;

@@ -48,8 +48,11 @@ uint64_t HashJoinOperator::NormalizeKey(const Vector& v, int64_t row) {
   return 0;
 }
 
-Status HashJoinOperator::BuildHashTable(ExecContext* ctx) {
-  INDBML_ASSIGN_OR_RETURN(build_data_, DrainOperator(build_.get(), ctx));
+Status HashJoinOperator::EnsureBuilt(ExecContext* ctx) {
+  build_data_ = QueryResult();
+  build_data_.names = build_->output_names();
+  build_data_.types = build_->output_types();
+  INDBML_RETURN_NOT_OK(DrainAppend(build_.get(), ctx, &build_data_));
   int64_t row_index = 0;
   build_locator_.reserve(static_cast<size_t>(build_data_.num_rows));
   build_key_rows_.reserve(static_cast<size_t>(build_data_.num_rows));
@@ -74,16 +77,6 @@ Status HashJoinOperator::BuildHashTable(ExecContext* ctx) {
       ++row_index;
     }
   }
-  return Status::OK();
-}
-
-HashJoinOperator::~HashJoinOperator() {
-  MemoryTracker::Global().Free(tracked_bytes_);
-}
-
-Status HashJoinOperator::Open(ExecContext* ctx) {
-  // DrainOperator (inside BuildHashTable) opens and closes the build child.
-  INDBML_RETURN_NOT_OK(BuildHashTable(ctx));
   // Report hash-table overhead (the chunks themselves are tracked by their
   // Vectors).
   int64_t overhead = static_cast<int64_t>(
@@ -92,15 +85,52 @@ Status HashJoinOperator::Open(ExecContext* ctx) {
       build_locator_.size() * 8);
   MemoryTracker::Global().Allocate(overhead - tracked_bytes_);
   tracked_bytes_ = overhead;
+  built_ = true;
+  return Status::OK();
+}
+
+void HashJoinOperator::ClearBuild() {
+  build_data_ = QueryResult();
+  build_key_rows_.clear();
+  hash_table_.clear();
+  build_locator_.clear();
+  MemoryTracker::Global().Free(tracked_bytes_);
+  tracked_bytes_ = 0;
+  built_ = false;
+}
+
+HashJoinOperator::~HashJoinOperator() {
+  MemoryTracker::Global().Free(tracked_bytes_);
+}
+
+Status HashJoinOperator::Open(ExecContext* ctx) {
+  // Both children stay open until Close; the build side is drained lazily
+  // by the first Next (EnsureBuilt), so morsel Rewinds can re-target a
+  // morsel-driven build child before any materialisation happens.
+  INDBML_RETURN_NOT_OK(build_->Open(ctx));
   INDBML_RETURN_NOT_OK(probe_->Open(ctx));
+  built_ = false;
   probe_row_ = 0;
   probe_eof_ = false;
   probe_chunk_valid_ = false;
   return Status::OK();
 }
 
+Status HashJoinOperator::Rewind(ExecContext* ctx) {
+  INDBML_RETURN_NOT_OK(probe_->Rewind(ctx));
+  probe_row_ = 0;
+  probe_eof_ = false;
+  probe_chunk_valid_ = false;
+  if (build_->MorselDriven()) {
+    ClearBuild();
+    INDBML_RETURN_NOT_OK(build_->Rewind(ctx));
+  }
+  return Status::OK();
+}
+
 Status HashJoinOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
   *eof = false;
+  if (!built_) INDBML_RETURN_NOT_OK(EnsureBuilt(ctx));
   const int64_t probe_width = static_cast<int64_t>(probe_->output_types().size());
   for (;;) {
     if (!probe_chunk_valid_) {
@@ -162,7 +192,10 @@ Status HashJoinOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
   }
 }
 
-void HashJoinOperator::Close(ExecContext* ctx) { probe_->Close(ctx); }
+void HashJoinOperator::Close(ExecContext* ctx) {
+  probe_->Close(ctx);
+  build_->Close(ctx);
+}
 
 int64_t HashJoinOperator::BuildBytes() const {
   int64_t bytes = build_data_.MemoryBytes();
@@ -181,15 +214,9 @@ CrossJoinOperator::CrossJoinOperator(OperatorPtr left, OperatorPtr right)
 }
 
 Status CrossJoinOperator::Open(ExecContext* ctx) {
-  INDBML_ASSIGN_OR_RETURN(right_data_, DrainOperator(right_.get(), ctx));
-  right_locator_.clear();
-  right_locator_.reserve(static_cast<size_t>(right_data_.num_rows));
-  for (size_t c = 0; c < right_data_.chunks.size(); ++c) {
-    for (int64_t r = 0; r < right_data_.chunks[c].size; ++r) {
-      right_locator_.emplace_back(static_cast<int32_t>(c), static_cast<int32_t>(r));
-    }
-  }
+  INDBML_RETURN_NOT_OK(right_->Open(ctx));
   INDBML_RETURN_NOT_OK(left_->Open(ctx));
+  right_materialized_ = false;
   left_row_ = 0;
   right_row_ = 0;
   left_eof_ = false;
@@ -197,8 +224,40 @@ Status CrossJoinOperator::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
+Status CrossJoinOperator::EnsureMaterialized(ExecContext* ctx) {
+  right_data_ = QueryResult();
+  right_data_.names = right_->output_names();
+  right_data_.types = right_->output_types();
+  INDBML_RETURN_NOT_OK(DrainAppend(right_.get(), ctx, &right_data_));
+  right_locator_.clear();
+  right_locator_.reserve(static_cast<size_t>(right_data_.num_rows));
+  for (size_t c = 0; c < right_data_.chunks.size(); ++c) {
+    for (int64_t r = 0; r < right_data_.chunks[c].size; ++r) {
+      right_locator_.emplace_back(static_cast<int32_t>(c), static_cast<int32_t>(r));
+    }
+  }
+  right_materialized_ = true;
+  return Status::OK();
+}
+
+Status CrossJoinOperator::Rewind(ExecContext* ctx) {
+  INDBML_RETURN_NOT_OK(left_->Rewind(ctx));
+  left_row_ = 0;
+  right_row_ = 0;
+  left_eof_ = false;
+  left_chunk_valid_ = false;
+  if (right_->MorselDriven()) {
+    right_data_ = QueryResult();
+    right_locator_.clear();
+    right_materialized_ = false;
+    INDBML_RETURN_NOT_OK(right_->Rewind(ctx));
+  }
+  return Status::OK();
+}
+
 Status CrossJoinOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
   *eof = false;
+  if (!right_materialized_) INDBML_RETURN_NOT_OK(EnsureMaterialized(ctx));
   const int64_t left_width = static_cast<int64_t>(left_->output_types().size());
   if (right_data_.num_rows == 0) {
     *eof = true;
@@ -248,6 +307,9 @@ Status CrossJoinOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
   }
 }
 
-void CrossJoinOperator::Close(ExecContext* ctx) { left_->Close(ctx); }
+void CrossJoinOperator::Close(ExecContext* ctx) {
+  left_->Close(ctx);
+  right_->Close(ctx);
+}
 
 }  // namespace indbml::exec

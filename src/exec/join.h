@@ -32,6 +32,10 @@ class HashJoinOperator final : public Operator {
   Status Open(ExecContext* ctx) override;
   Status Next(ExecContext* ctx, DataChunk* out, bool* eof) override;
   void Close(ExecContext* ctx) override;
+  Status Rewind(ExecContext* ctx) override;
+  bool MorselDriven() const override {
+    return probe_->MorselDriven() || build_->MorselDriven();
+  }
 
   /// Bytes held by the build-side hash table (memory experiments).
   int64_t BuildBytes() const;
@@ -40,7 +44,12 @@ class HashJoinOperator final : public Operator {
   /// Normalises one key vector row into a hashable 64-bit representation.
   static uint64_t NormalizeKey(const Vector& v, int64_t row);
 
-  Status BuildHashTable(ExecContext* ctx);
+  /// Materialises the (already open) build child into the hash table on the
+  /// first Next after Open — lazily, so a morsel-driven probe side can be
+  /// Rewound before any build work happens. Build state survives Rewinds
+  /// unless the build side itself is morsel-driven.
+  Status EnsureBuilt(ExecContext* ctx);
+  void ClearBuild();
 
   OperatorPtr probe_;
   OperatorPtr build_;
@@ -59,6 +68,7 @@ class HashJoinOperator final : public Operator {
   std::vector<std::pair<int32_t, int32_t>> build_locator_;
   /// Hash-table bytes reported to the MemoryTracker (freed on destruction).
   int64_t tracked_bytes_ = 0;
+  bool built_ = false;
 
   // Probe streaming state.
   DataChunk probe_chunk_;
@@ -80,8 +90,16 @@ class CrossJoinOperator final : public Operator {
   Status Open(ExecContext* ctx) override;
   Status Next(ExecContext* ctx, DataChunk* out, bool* eof) override;
   void Close(ExecContext* ctx) override;
+  Status Rewind(ExecContext* ctx) override;
+  bool MorselDriven() const override {
+    return left_->MorselDriven() || right_->MorselDriven();
+  }
 
  private:
+  /// Materialises the (already open) right child on the first Next after
+  /// Open; kept across Rewinds unless the right side is morsel-driven.
+  Status EnsureMaterialized(ExecContext* ctx);
+
   OperatorPtr left_;
   OperatorPtr right_;
   std::vector<DataType> types_;
@@ -89,6 +107,7 @@ class CrossJoinOperator final : public Operator {
 
   QueryResult right_data_;
   std::vector<std::pair<int32_t, int32_t>> right_locator_;
+  bool right_materialized_ = false;
 
   DataChunk left_chunk_;
   int64_t left_row_ = 0;

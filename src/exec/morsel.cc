@@ -1,0 +1,116 @@
+#include "exec/morsel.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/config.h"
+#include "common/logging.h"
+#include "common/trace.h"
+
+namespace indbml::exec {
+
+std::vector<storage::PartitionRange> MakeMorsels(const storage::Table& table,
+                                                 int64_t morsel_rows) {
+  if (morsel_rows <= 0) morsel_rows = kDefaultMorselRows;
+  const int64_t n = table.num_rows();
+  std::vector<storage::PartitionRange> morsels;
+  if (n == 0) return morsels;
+  morsels.reserve(static_cast<size_t>((n + morsel_rows - 1) / morsel_rows));
+
+  // Group alignment: never split a run of equal ids across morsels (§4.4's
+  // repartitioning-free guarantee depends on id groups staying within one
+  // worker's row range).
+  const storage::Column* id = nullptr;
+  if (!table.unique_id_column().empty()) {
+    Result<int> idx = table.ColumnIndex(table.unique_id_column());
+    if (idx.ok() &&
+        table.column(idx.ValueOrDie()).type() == storage::DataType::kInt64) {
+      id = &table.column(idx.ValueOrDie());
+    }
+  }
+
+  int64_t begin = 0;
+  while (begin < n) {
+    int64_t end = std::min<int64_t>(begin + morsel_rows, n);
+    if (id != nullptr) {
+      while (end < n && id->GetInt64(end) == id->GetInt64(end - 1)) ++end;
+    }
+    morsels.push_back({begin, end});
+    begin = end;
+  }
+  return morsels;
+}
+
+Result<QueryResult> ExecutePipeline(const WorkerPlanFactory& factory,
+                                    MorselSource* source, int num_workers,
+                                    storage::Catalog* catalog, ThreadPool* pool) {
+  if (num_workers <= 0) num_workers = 1;
+  ResultCollector collector(source->num_morsels());
+  std::mutex error_mu;
+  Status first_error = Status::OK();
+
+  auto record_error = [&](const Status& s) {
+    source->Abort();
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (first_error.ok()) first_error = s;
+  };
+
+  auto run_worker = [&](int w) {
+    trace::Span span("worker " + std::to_string(w));
+    ExecContext ctx;
+    ctx.catalog = catalog;
+    ctx.worker_id = w;
+    Result<OperatorPtr> op = factory(w);
+    if (!op.ok()) {
+      record_error(op.status());
+      return;
+    }
+    Operator* root = op.ValueOrDie().get();
+    // Open unconditionally — even when the source is already dry or aborted
+    // — so every worker participates in Open-time barriers (ModelJoin
+    // build, paper §5.2).
+    Status status = root->Open(&ctx);
+    if (status.ok()) {
+      collector.SetSchema(root->output_names(), root->output_types());
+      Morsel m;
+      while (source->Next(&m)) {
+        ctx.morsel_begin = m.begin;
+        ctx.morsel_end = m.end;
+        ctx.morsel_index = m.index;
+        status = root->Rewind(&ctx);
+        if (status.ok()) {
+          QueryResult batch;
+          batch.types = root->output_types();
+          status = DrainAppend(root, &ctx, &batch);
+          if (status.ok()) {
+            collector.Add(m.index, std::move(batch.chunks), batch.num_rows);
+          }
+        }
+        if (!status.ok()) {
+          record_error(status);
+          break;
+        }
+      }
+    } else {
+      record_error(status);
+    }
+    root->Close(&ctx);
+  };
+
+  if (pool != nullptr && num_workers > 1) {
+    INDBML_CHECK(num_workers <= pool->num_threads())
+        << "pipeline workers exceed pool capacity (Open barriers would "
+           "deadlock)";
+    pool->ParallelFor(num_workers, run_worker);
+  } else {
+    for (int w = 0; w < num_workers; ++w) run_worker(w);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (!first_error.ok()) return first_error;
+  }
+  return collector.Assemble();
+}
+
+}  // namespace indbml::exec

@@ -52,21 +52,31 @@ int64_t QueryResult::MemoryBytes() const {
   return total;
 }
 
+Status Operator::Rewind(ExecContext*) {
+  return Status::NotImplemented(
+      "operator does not support morsel-driven re-execution (Rewind)");
+}
+
+Status DrainAppend(Operator* root, ExecContext* ctx, QueryResult* result) {
+  bool eof = false;
+  while (!eof) {
+    DataChunk chunk;
+    chunk.Reset(result->types);
+    INDBML_RETURN_NOT_OK(root->Next(ctx, &chunk, &eof));
+    if (chunk.size > 0) {
+      result->num_rows += chunk.size;
+      result->chunks.push_back(std::move(chunk));
+    }
+  }
+  return Status::OK();
+}
+
 Result<QueryResult> DrainOperator(Operator* root, ExecContext* ctx) {
   INDBML_RETURN_NOT_OK(root->Open(ctx));
   QueryResult result;
   result.names = root->output_names();
   result.types = root->output_types();
-  bool eof = false;
-  while (!eof) {
-    DataChunk chunk;
-    chunk.Reset(result.types);
-    INDBML_RETURN_NOT_OK(root->Next(ctx, &chunk, &eof));
-    if (chunk.size > 0) {
-      result.num_rows += chunk.size;
-      result.chunks.push_back(std::move(chunk));
-    }
-  }
+  INDBML_RETURN_NOT_OK(DrainAppend(root, ctx, &result));
   root->Close(ctx);
   return result;
 }

@@ -17,9 +17,17 @@ struct OperatorStats;
 /// Per-execution state passed down the operator tree.
 struct ExecContext {
   storage::Catalog* catalog = nullptr;
-  /// Partition this operator-tree instance processes (paper §4.4: each
-  /// execution thread gets a private query plan over one partition).
-  int partition_id = 0;
+  /// Worker running this operator-tree instance. Under the morsel-driven
+  /// pipeline executor this is the worker slot in [0, num_workers); under
+  /// the static-partition baseline it is the partition index (paper §4.4:
+  /// each execution thread gets a private query plan).
+  int worker_id = 0;
+  /// Row range of the morsel the executor is about to run (set before every
+  /// Rewind call); morsel_index is the morsel's position in global row
+  /// order, -1 outside morsel-driven execution.
+  int64_t morsel_begin = 0;
+  int64_t morsel_end = 0;
+  int64_t morsel_index = -1;
   /// Stats slot of the operator currently being profiled (set by
   /// ProfiledOperator around each Open/Next/Close call, null when the query
   /// runs without EXPLAIN ANALYZE). Operator bodies use it to report named
@@ -46,6 +54,20 @@ class Operator {
   virtual Status Next(ExecContext* ctx, DataChunk* out, bool* eof) = 0;
 
   virtual void Close(ExecContext* /*ctx*/) {}
+
+  /// Re-arms an *open* operator tree for the next morsel (exec/morsel.h):
+  /// streaming state is reset so Next() produces the rows of the morsel
+  /// range in `ctx`, while expensive once-per-query state (a ModelJoin's
+  /// built model, a hash join's build table over a non-morsel side) is
+  /// kept. Called by the pipeline executor between Open and Close, before
+  /// every morsel including the first. The default refuses, so an operator
+  /// that never audited its state cannot silently return stale rows.
+  virtual Status Rewind(ExecContext* ctx);
+
+  /// True if this subtree contains a morsel-bound scan, i.e. Rewind changes
+  /// which base rows the subtree produces. Joins use it to decide whether a
+  /// materialised side must be rebuilt per morsel.
+  virtual bool MorselDriven() const { return false; }
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -72,6 +94,12 @@ struct QueryResult {
 
 /// Runs an operator tree to completion and materialises all chunks.
 Result<QueryResult> DrainOperator(Operator* root, ExecContext* ctx);
+
+/// Drains an *already open* operator into `result` (appends chunks; does
+/// not Open or Close). Used by the pipeline executor per morsel and by
+/// operators that lazily materialise a child they keep open across
+/// Rewinds (sort, hash-join build, cross-join right side).
+Status DrainAppend(Operator* root, ExecContext* ctx, QueryResult* result);
 
 /// Copies row `row` of `src` onto the end of `dst` (all columns).
 void AppendRowTo(const DataChunk& src, int64_t row, DataChunk* dst);

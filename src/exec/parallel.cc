@@ -4,27 +4,40 @@
 #include <string>
 
 #include "common/trace.h"
+#include "exec/morsel.h"
 
 namespace indbml::exec {
 
 Result<QueryResult> ExecuteParallel(const OperatorFactory& factory, int num_partitions,
                                     storage::Catalog* catalog, ThreadPool* pool) {
   if (num_partitions <= 0) num_partitions = 1;
-  std::vector<Result<QueryResult>> partial(
-      static_cast<size_t>(num_partitions),
-      Result<QueryResult>(Status::Internal("partition not executed")));
+  // Partitions are contiguous row ranges in partition order, so reassembling
+  // them through the collector (one slot per partition) preserves the global
+  // row order, exactly as it does for morsels.
+  ResultCollector collector(num_partitions);
+  std::mutex error_mu;
+  Status first_error = Status::OK();
 
   auto run_one = [&](int p) {
     trace::Span span("partition " + std::to_string(p));
     ExecContext ctx;
     ctx.catalog = catalog;
-    ctx.partition_id = p;
+    ctx.worker_id = p;
     Result<OperatorPtr> op = factory(p);
     if (!op.ok()) {
-      partial[static_cast<size_t>(p)] = op.status();
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = op.status();
       return;
     }
-    partial[static_cast<size_t>(p)] = DrainOperator(op->get(), &ctx);
+    Result<QueryResult> result = DrainOperator(op.ValueOrDie().get(), &ctx);
+    if (!result.ok()) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = result.status();
+      return;
+    }
+    QueryResult& qr = result.ValueOrDie();
+    collector.SetSchema(qr.names, qr.types);
+    collector.Add(p, std::move(qr.chunks), qr.num_rows);
   };
 
   if (pool != nullptr && num_partitions > 1) {
@@ -33,21 +46,11 @@ Result<QueryResult> ExecuteParallel(const OperatorFactory& factory, int num_part
     for (int p = 0; p < num_partitions; ++p) run_one(p);
   }
 
-  QueryResult merged;
-  bool first = true;
-  for (int p = 0; p < num_partitions; ++p) {
-    Result<QueryResult>& r = partial[static_cast<size_t>(p)];
-    if (!r.ok()) return r.status();
-    QueryResult& qr = r.ValueOrDie();
-    if (first) {
-      merged.names = qr.names;
-      merged.types = qr.types;
-      first = false;
-    }
-    merged.num_rows += qr.num_rows;
-    for (auto& chunk : qr.chunks) merged.chunks.push_back(std::move(chunk));
+  {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (!first_error.ok()) return first_error;
   }
-  return merged;
+  return collector.Assemble();
 }
 
 }  // namespace indbml::exec

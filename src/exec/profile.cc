@@ -28,26 +28,27 @@ void OperatorStats::MergeFrom(const OperatorStats& other) {
   open_nanos += other.open_nanos;
   next_nanos += other.next_nanos;
   close_nanos += other.close_nanos;
+  rewind_nanos += other.rewind_nanos;
   for (const auto& [name, nanos] : other.phase_nanos) phase_nanos[name] += nanos;
 }
 
 int QueryProfile::RegisterNode(std::string label, int depth) {
-  INDBML_CHECK(num_partitions_ == 0) << "RegisterNode after SetNumPartitions";
+  INDBML_CHECK(num_workers_ == 0) << "RegisterNode after SetNumWorkers";
   nodes_.push_back(Node{std::move(label), depth});
   return static_cast<int>(nodes_.size()) - 1;
 }
 
-void QueryProfile::SetNumPartitions(int n) {
+void QueryProfile::SetNumWorkers(int n) {
   INDBML_CHECK(n > 0);
-  num_partitions_ = n;
+  num_workers_ = n;
   slots_.assign(nodes_.size() * static_cast<size_t>(n), OperatorStats());
 }
 
 OperatorStats QueryProfile::Aggregate(int node) const {
   OperatorStats total;
-  for (int p = 0; p < num_partitions_; ++p) {
+  for (int p = 0; p < num_workers_; ++p) {
     total.MergeFrom(
-        slots_[static_cast<size_t>(node) * static_cast<size_t>(num_partitions_) +
+        slots_[static_cast<size_t>(node) * static_cast<size_t>(num_workers_) +
                static_cast<size_t>(p)]);
   }
   return total;
@@ -55,7 +56,7 @@ OperatorStats QueryProfile::Aggregate(int node) const {
 
 std::string QueryProfile::ToString() const {
   std::string out =
-      StrFormat("EXPLAIN ANALYZE  partitions=%d  wall=%s", num_partitions_,
+      StrFormat("EXPLAIN ANALYZE  workers=%d  wall=%s", num_workers_,
                 FormatNanos(wall_nanos_).c_str());
   if (peak_memory_bytes_ >= 0) {
     out += "  peak_memory=" + FormatBytes(peak_memory_bytes_);
@@ -72,6 +73,9 @@ std::string QueryProfile::ToString() const {
                      FormatNanos(stats.open_nanos).c_str(),
                      FormatNanos(stats.next_nanos).c_str(),
                      FormatNanos(stats.close_nanos).c_str());
+    if (stats.rewind_nanos > 0) {
+      out += " rewind=" + FormatNanos(stats.rewind_nanos);
+    }
     if (!stats.phase_nanos.empty()) {
       out += " [";
       bool first = true;
@@ -88,7 +92,7 @@ std::string QueryProfile::ToString() const {
 }
 
 Status ProfiledOperator::Open(ExecContext* ctx) {
-  OperatorStats* stats = profile_->slot(node_id_, ctx->partition_id);
+  OperatorStats* stats = profile_->slot(node_id_, ctx->worker_id);
   OperatorStats* saved = ctx->active_stats;
   ctx->active_stats = stats;
   int64_t start = NowNanos();
@@ -98,8 +102,19 @@ Status ProfiledOperator::Open(ExecContext* ctx) {
   return status;
 }
 
+Status ProfiledOperator::Rewind(ExecContext* ctx) {
+  OperatorStats* stats = profile_->slot(node_id_, ctx->worker_id);
+  OperatorStats* saved = ctx->active_stats;
+  ctx->active_stats = stats;
+  int64_t start = NowNanos();
+  Status status = inner_->Rewind(ctx);
+  stats->rewind_nanos += NowNanos() - start;
+  ctx->active_stats = saved;
+  return status;
+}
+
 Status ProfiledOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
-  OperatorStats* stats = profile_->slot(node_id_, ctx->partition_id);
+  OperatorStats* stats = profile_->slot(node_id_, ctx->worker_id);
   OperatorStats* saved = ctx->active_stats;
   ctx->active_stats = stats;
   int64_t start = NowNanos();
@@ -114,7 +129,7 @@ Status ProfiledOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
 }
 
 void ProfiledOperator::Close(ExecContext* ctx) {
-  OperatorStats* stats = profile_->slot(node_id_, ctx->partition_id);
+  OperatorStats* stats = profile_->slot(node_id_, ctx->worker_id);
   OperatorStats* saved = ctx->active_stats;
   ctx->active_stats = stats;
   int64_t start = NowNanos();

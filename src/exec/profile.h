@@ -10,9 +10,9 @@
 namespace indbml::exec {
 
 /// \brief EXPLAIN ANALYZE statistics of one operator instance (one plan
-/// node in one partition).
+/// node in one worker).
 ///
-/// Durations are nanoseconds (partition-level slices of small queries are
+/// Durations are nanoseconds (worker-level slices of small queries are
 /// well below a microsecond) and cumulative: an operator's `next_nanos`
 /// includes the time its children spent producing input, exactly like the
 /// per-node times of PostgreSQL's EXPLAIN ANALYZE.
@@ -22,6 +22,9 @@ struct OperatorStats {
   int64_t open_nanos = 0;
   int64_t next_nanos = 0;
   int64_t close_nanos = 0;
+  /// Time spent re-arming the operator between morsels (morsel-driven
+  /// execution only; zero under the static/serial paths).
+  int64_t rewind_nanos = 0;
   /// Named sub-phase timings recorded by the operator body itself, e.g.
   /// the ModelJoin's "build"/"inference"/"convert" split (paper §5.2/§5.3)
   /// or the C-API runtime's "convert"/"run" split (§6.1).
@@ -34,30 +37,30 @@ struct OperatorStats {
 };
 
 /// \brief Per-query profile: one OperatorStats slot per (plan node,
-/// partition).
+/// worker).
 ///
 /// Life cycle: the physical planner registers every plan node pre-order
-/// (RegisterNode) and sizes the slot matrix (SetNumPartitions); during
-/// execution each partition's ProfiledOperator wrappers write their own
+/// (RegisterNode) and sizes the slot matrix (SetNumWorkers); during
+/// execution each worker's ProfiledOperator wrappers write their own
 /// slot, so the hot path is unsynchronised; afterwards ToString() renders
-/// the annotated plan tree with partition-aggregated stats.
+/// the annotated plan tree with worker-aggregated stats.
 class QueryProfile {
  public:
   /// Registers a plan node (pre-order); returns its node id.
   int RegisterNode(std::string label, int depth);
-  /// Allocates the per-partition slots; call after all RegisterNode calls.
-  void SetNumPartitions(int n);
+  /// Allocates the per-worker slots; call after all RegisterNode calls.
+  void SetNumWorkers(int n);
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
-  int num_partitions() const { return num_partitions_; }
+  int num_workers() const { return num_workers_; }
   const std::string& node_label(int node) const { return nodes_[node].label; }
 
-  OperatorStats* slot(int node, int partition) {
-    return &slots_[static_cast<size_t>(node) * static_cast<size_t>(num_partitions_) +
-                   static_cast<size_t>(partition)];
+  OperatorStats* slot(int node, int worker) {
+    return &slots_[static_cast<size_t>(node) * static_cast<size_t>(num_workers_) +
+                   static_cast<size_t>(worker)];
   }
 
-  /// Node stats summed over all partitions.
+  /// Node stats summed over all workers.
   OperatorStats Aggregate(int node) const;
 
   void set_wall_nanos(int64_t nanos) { wall_nanos_ = nanos; }
@@ -75,8 +78,8 @@ class QueryProfile {
     int depth;
   };
   std::vector<Node> nodes_;
-  int num_partitions_ = 0;
-  std::vector<OperatorStats> slots_;  ///< [node * num_partitions + partition]
+  int num_workers_ = 0;
+  std::vector<OperatorStats> slots_;  ///< [node * num_workers + worker]
   int64_t wall_nanos_ = 0;
   int64_t peak_memory_bytes_ = -1;
 };
@@ -101,6 +104,8 @@ class ProfiledOperator final : public Operator {
   Status Open(ExecContext* ctx) override;
   Status Next(ExecContext* ctx, DataChunk* out, bool* eof) override;
   void Close(ExecContext* ctx) override;
+  Status Rewind(ExecContext* ctx) override;
+  bool MorselDriven() const override { return inner_->MorselDriven(); }
 
  private:
   OperatorPtr inner_;

@@ -43,12 +43,29 @@ TableScanOperator::TableScanOperator(storage::TablePtr table,
   }
 }
 
+TableScanOperator::TableScanOperator(MorselBound, storage::TablePtr table,
+                                     std::vector<int> columns,
+                                     std::vector<ScanPredicate> predicates)
+    : TableScanOperator(std::move(table), storage::PartitionRange{0, 0},
+                        std::move(columns), std::move(predicates)) {
+  morsel_bound_ = true;
+}
+
 Status TableScanOperator::Open(ExecContext*) {
   if (!table_->finalized()) {
     return Status::Internal("scanning a non-finalized table: " + table_->name());
   }
+  if (morsel_bound_) range_ = {0, 0};
   cursor_ = range_.begin;
-  stats_ = {};
+  stats_ = {};  // stats accumulate across Rewinds, reset only here
+  return Status::OK();
+}
+
+Status TableScanOperator::Rewind(ExecContext* ctx) {
+  if (morsel_bound_) {
+    range_ = {ctx->morsel_begin, ctx->morsel_end};
+  }
+  cursor_ = range_.begin;
   return Status::OK();
 }
 

@@ -30,15 +30,26 @@ struct ScanStats {
 /// predicates and zone-map block pruning.
 class TableScanOperator final : public Operator {
  public:
+  /// Tag type selecting the morsel-bound constructor.
+  struct MorselBound {};
+
   /// `columns`: table column indexes to emit, in order.
   TableScanOperator(storage::TablePtr table, storage::PartitionRange range,
                     std::vector<int> columns, std::vector<ScanPredicate> predicates);
+
+  /// Morsel-bound scan: the row range is not fixed at plan time but
+  /// re-targeted by every Rewind from the morsel range published in the
+  /// ExecContext (exec/morsel.h). Until the first Rewind the scan is empty.
+  TableScanOperator(MorselBound, storage::TablePtr table, std::vector<int> columns,
+                    std::vector<ScanPredicate> predicates);
 
   const std::vector<DataType>& output_types() const override { return types_; }
   const std::vector<std::string>& output_names() const override { return names_; }
 
   Status Open(ExecContext* ctx) override;
   Status Next(ExecContext* ctx, DataChunk* out, bool* eof) override;
+  Status Rewind(ExecContext* ctx) override;
+  bool MorselDriven() const override { return morsel_bound_; }
 
   const ScanStats& stats() const { return stats_; }
 
@@ -54,6 +65,7 @@ class TableScanOperator final : public Operator {
   std::vector<ScanPredicate> predicates_;
   std::vector<DataType> types_;
   std::vector<std::string> names_;
+  bool morsel_bound_ = false;
   int64_t cursor_ = 0;
   ScanStats stats_;
 };

@@ -58,6 +58,8 @@ class ValidatingOperator final : public Operator {
   Status Open(ExecContext* ctx) override { return inner_->Open(ctx); }
   Status Next(ExecContext* ctx, DataChunk* out, bool* eof) override;
   void Close(ExecContext* ctx) override { inner_->Close(ctx); }
+  Status Rewind(ExecContext* ctx) override { return inner_->Rewind(ctx); }
+  bool MorselDriven() const override { return inner_->MorselDriven(); }
 
  private:
   OperatorPtr inner_;

@@ -166,7 +166,25 @@ struct DataChunk {
   std::vector<Vector> columns;
   int64_t size = 0;
 
+  /// Prepares the chunk for the given schema. When the chunk already has
+  /// matching columns (the common Next() hot-path case: the same chunk is
+  /// Reset between iterations) the column buffers are kept and merely
+  /// cleared, so steady-state execution does not reallocate per batch.
   void Reset(const std::vector<DataType>& types) {
+    if (columns.size() == types.size()) {
+      bool same = true;
+      for (size_t i = 0; i < types.size(); ++i) {
+        if (columns[i].type() != types[i]) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        for (auto& c : columns) c.Clear();
+        size = 0;
+        return;
+      }
+    }
     columns.clear();
     columns.reserve(types.size());
     for (DataType t : types) columns.emplace_back(t);

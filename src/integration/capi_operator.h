@@ -34,6 +34,8 @@ class CApiInferenceOperator final : public exec::Operator {
   Status Open(exec::ExecContext* ctx) override;
   Status Next(exec::ExecContext* ctx, exec::DataChunk* out, bool* eof) override;
   void Close(exec::ExecContext* ctx) override;
+  Status Rewind(exec::ExecContext* ctx) override { return child_->Rewind(ctx); }
+  bool MorselDriven() const override { return child_->MorselDriven(); }
 
   /// Runtime memory of this instance's session (0 before Open).
   int64_t SessionMemoryBytes() const;

@@ -33,6 +33,8 @@ class UdfOperator final : public exec::Operator {
   Status Open(exec::ExecContext* ctx) override { return child_->Open(ctx); }
   Status Next(exec::ExecContext* ctx, exec::DataChunk* out, bool* eof) override;
   void Close(exec::ExecContext* ctx) override { child_->Close(ctx); }
+  Status Rewind(exec::ExecContext* ctx) override { return child_->Rewind(ctx); }
+  bool MorselDriven() const override { return child_->MorselDriven(); }
 
  private:
   exec::OperatorPtr child_;

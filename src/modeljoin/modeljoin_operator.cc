@@ -51,12 +51,12 @@ ModelJoinOperator::ModelJoinOperator(exec::OperatorPtr child,
                                      storage::TablePtr model_table,
                                      std::vector<int> input_column_indexes,
                                      std::vector<std::string> prediction_names,
-                                     int partition)
+                                     int worker)
     : child_(std::move(child)),
       model_(std::move(model)),
       model_table_(std::move(model_table)),
       input_columns_(std::move(input_column_indexes)),
-      partition_(partition),
+      worker_(worker),
       rows_metric_(metrics::Registry::Global().counter("modeljoin.rows")),
       build_micros_metric_(
           metrics::Registry::Global().histogram("modeljoin.build_micros")),
@@ -77,12 +77,12 @@ ModelJoinOperator::~ModelJoinOperator() = default;
 Status ModelJoinOperator::Open(exec::ExecContext* ctx) {
   INDBML_RETURN_NOT_OK(child_->Open(ctx));
 
-  // Build phase: parse this partition's share of the model table into the
-  // shared model, synchronising with the other partitions.
+  // Build phase: claim and parse model-table rows into the shared model,
+  // synchronising with the other workers.
   {
     trace::Span span("modeljoin.build");
     Stopwatch build_watch;
-    INDBML_RETURN_NOT_OK(model_->BuildPartition(*model_table_, partition_));
+    INDBML_RETURN_NOT_OK(model_->BuildPartition(*model_table_, worker_));
     int64_t nanos = build_watch.ElapsedNanos();
     build_micros_metric_->Record(nanos / 1000);
     if (ctx->active_stats != nullptr) ctx->active_stats->AddPhase("build", nanos);
@@ -265,9 +265,9 @@ Status ModelJoinOperator::Infer(const float* x, int64_t n, const float** result)
 
 Status ModelJoinOperator::Next(exec::ExecContext* ctx, exec::DataChunk* out,
                                bool* eof) {
-  exec::DataChunk in;
-  in.Reset(child_->output_types());
-  INDBML_RETURN_NOT_OK(child_->Next(ctx, &in, eof));
+  in_.Reset(child_->output_types());
+  INDBML_RETURN_NOT_OK(child_->Next(ctx, &in_, eof));
+  exec::DataChunk& in = in_;
   const int64_t n = in.size;
   const int64_t child_width = in.num_columns();
   if (n == 0) {

@@ -13,7 +13,7 @@ namespace indbml::modeljoin {
 
 /// \brief The native ModelJoin query operator (paper §5).
 ///
-/// Volcano-style two-phase join: Open() runs this partition's share of the
+/// Volcano-style two-phase join: Open() runs this worker's share of the
 /// parallel model build (blocking until the shared model is complete);
 /// Next() pulls a chunk from the input flow, converts the input columns
 /// into a transposed [input_width x vectorsize] device matrix (one
@@ -26,7 +26,7 @@ class ModelJoinOperator final : public exec::Operator {
   ModelJoinOperator(exec::OperatorPtr child, std::shared_ptr<SharedModel> model,
                     storage::TablePtr model_table,
                     std::vector<int> input_column_indexes,
-                    std::vector<std::string> prediction_names, int partition);
+                    std::vector<std::string> prediction_names, int worker);
   ~ModelJoinOperator() override;
 
   const std::vector<exec::DataType>& output_types() const override { return types_; }
@@ -35,6 +35,10 @@ class ModelJoinOperator final : public exec::Operator {
   Status Open(exec::ExecContext* ctx) override;
   Status Next(exec::ExecContext* ctx, exec::DataChunk* out, bool* eof) override;
   void Close(exec::ExecContext* ctx) override;
+  /// Re-arms only the input flow: the shared model is built once per query
+  /// in Open and survives every morsel.
+  Status Rewind(exec::ExecContext* ctx) override { return child_->Rewind(ctx); }
+  bool MorselDriven() const override { return child_->MorselDriven(); }
 
  private:
   /// Runs the model on the device input matrix `x` ([input_width x n],
@@ -55,7 +59,8 @@ class ModelJoinOperator final : public exec::Operator {
   std::vector<int> input_columns_;
   std::vector<exec::DataType> types_;
   std::vector<std::string> names_;
-  int partition_;
+  int worker_;
+  exec::DataChunk in_;  ///< reused input buffer (no per-batch reallocation)
 
   /// Device scratch buffers sized for one vector (allocated in Open,
   /// released in Close / destructor).

@@ -17,13 +17,13 @@ void RegisterNativeModelJoin(sql::QueryEngine* engine, DeviceProvider provider) 
 
   sql::ModelJoinStateFactory state_factory =
       [provider](const nn::ModelMeta& meta, const std::string& device_name,
-                 int num_partitions) -> Result<std::shared_ptr<void>> {
+                 int num_workers) -> Result<std::shared_ptr<void>> {
     device::Device* device = provider(device_name);
     if (device == nullptr) {
       return Status::InvalidArgument("unknown ModelJoin device: " + device_name);
     }
     return std::shared_ptr<void>(std::make_shared<SharedModel>(
-        meta, device, num_partitions, kDefaultVectorSize));
+        meta, device, num_workers, kDefaultVectorSize));
   };
 
   sql::ModelJoinOperatorFactory operator_factory =
@@ -32,7 +32,7 @@ void RegisterNativeModelJoin(sql::QueryEngine* engine, DeviceProvider provider) 
     return exec::OperatorPtr(std::make_unique<ModelJoinOperator>(
         std::move(args.child), std::move(model), std::move(args.model_table),
         std::move(args.input_column_indexes), std::move(args.prediction_names),
-        args.partition));
+        args.worker));
   };
 
   engine->SetModelJoinFactories(std::move(state_factory),

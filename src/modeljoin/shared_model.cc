@@ -1,7 +1,9 @@
 #include "modeljoin/shared_model.h"
 
+#include <algorithm>
 #include <cstring>
 
+#include "common/config.h"
 #include "common/string_util.h"
 #include "common/validation.h"
 #include "modeljoin/validate.h"
@@ -49,13 +51,13 @@ Result<ModelTableColumns> ResolveColumns(const storage::Table& table) {
 }  // namespace
 
 SharedModel::SharedModel(nn::ModelMeta meta, device::Device* device,
-                         int num_partitions, int vector_size)
+                         int num_workers, int vector_size)
     : meta_(std::move(meta)),
       device_(device),
-      num_partitions_(num_partitions),
+      num_workers_(num_workers),
       vector_size_(vector_size),
-      build_barrier_(num_partitions),
-      upload_barrier_(num_partitions) {
+      build_barrier_(num_workers),
+      upload_barrier_(num_workers) {
   // Unique-node-id layout: input nodes first for dense-input models.
   const bool dense_input =
       meta_.layers.empty() || meta_.layers[0].kind == LayerKind::kDense;
@@ -225,13 +227,24 @@ void SharedModel::UploadToDevice() {
   }
 }
 
-Status SharedModel::BuildPartition(const storage::Table& model_table, int partition) {
-  auto ranges = model_table.MakePartitions(num_partitions_);
-  Status status = ParsePartition(model_table, ranges[static_cast<size_t>(partition)]);
-  if (!status.ok()) {
-    failed_.store(true);
-    std::lock_guard<std::mutex> lock(failure_mu_);
-    failure_message_ = status.ToString();
+Status SharedModel::BuildPartition(const storage::Table& model_table, int worker) {
+  // Work-stealing build: every worker claims fixed-size row ranges from the
+  // shared cursor until the table is exhausted. ParsePartition writes are
+  // disjoint per model-table row, so claimed ranges never conflict.
+  const int64_t n = model_table.num_rows();
+  const int64_t step = kRowsPerBlock;
+  for (;;) {
+    if (failed_.load()) break;
+    int64_t begin = build_cursor_.fetch_add(step);
+    if (begin >= n) break;
+    storage::PartitionRange range{begin, std::min(begin + step, n)};
+    Status status = ParsePartition(model_table, range);
+    if (!status.ok()) {
+      failed_.store(true);
+      std::lock_guard<std::mutex> lock(failure_mu_);
+      failure_message_ = status.ToString();
+      break;
+    }
   }
   // All participants must reach the barrier even on failure, or the others
   // would deadlock (paper §5.2: single synchronisation point).
@@ -242,7 +255,7 @@ Status SharedModel::BuildPartition(const storage::Table& model_table, int partit
   }
   // One thread moves the finished model to the device (§5.2 optimisation:
   // build on host memory, upload once at the end).
-  if (partition == 0) {
+  if (worker == 0) {
     UploadToDevice();
     if (validation::Enabled()) {
       Status shape = ValidateSharedModelShape(*this);

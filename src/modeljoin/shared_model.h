@@ -16,32 +16,35 @@ namespace indbml::modeljoin {
 
 /// \brief The shared model of the native ModelJoin (paper §5.2).
 ///
-/// One instance exists per query; all execution threads fill disjoint parts
-/// of the shared weight matrices from their partition of the model table
-/// and synchronise on a barrier before inference starts. Weights are stored
-/// *transposed* ([units x input] row-major) and biases replicated into
-/// [units x vectorsize] matrices (§5.4) so the per-chunk inference is plain
-/// GEMM + one large addition.
+/// One instance exists per query; all execution workers fill disjoint parts
+/// of the shared weight matrices from the model table and synchronise on a
+/// barrier before inference starts. Build work is claimed morsel-wise from
+/// a shared atomic cursor (mirroring exec/morsel.h), so a worker that
+/// finishes its rows early steals more instead of idling at the barrier.
+/// Weights are stored *transposed* ([units x input] row-major) and biases
+/// replicated into [units x vectorsize] matrices (§5.4) so the per-chunk
+/// inference is plain GEMM + one large addition.
 ///
 /// On a GPU device the build writes host staging buffers; after the barrier
 /// one thread uploads the finished model to device memory (the §5.2
 /// optimisation avoiding fine-grained transfers).
 class SharedModel {
  public:
-  /// `num_partitions` build participants will call BuildPartition.
-  SharedModel(nn::ModelMeta meta, device::Device* device, int num_partitions,
+  /// `num_workers` build participants will call BuildPartition.
+  SharedModel(nn::ModelMeta meta, device::Device* device, int num_workers,
               int vector_size);
   ~SharedModel();
 
   SharedModel(const SharedModel&) = delete;
   SharedModel& operator=(const SharedModel&) = delete;
 
-  /// Parses partition `partition` of `model_table` (unique-node-id
-  /// relational representation, 14 columns) into the shared weights, then
-  /// waits on the build barrier. Every participant must call this exactly
-  /// once; the call returns only after the whole model is built (and
-  /// uploaded to the device).
-  Status BuildPartition(const storage::Table& model_table, int partition);
+  /// Participates in the parallel build: claims row ranges of `model_table`
+  /// (unique-node-id relational representation, 14 columns) from the shared
+  /// build cursor and parses them into the shared weights, then waits on
+  /// the build barrier. Every worker must call this exactly once; the call
+  /// returns only after the whole model is built (and uploaded to the
+  /// device). `worker` identifies the caller; worker 0 performs the upload.
+  Status BuildPartition(const storage::Table& model_table, int worker);
 
   const nn::ModelMeta& meta() const { return meta_; }
   device::Device* device() const { return device_; }
@@ -94,7 +97,7 @@ class SharedModel {
 
   nn::ModelMeta meta_;
   device::Device* device_;
-  int num_partitions_;
+  int num_workers_;
   int vector_size_;
 
   std::vector<int64_t> first_node_;  ///< unique-id layout per layer
@@ -104,6 +107,8 @@ class SharedModel {
   std::vector<LayerBuffers> layers_;  ///< device buffers (== host on CPU)
   int64_t device_bytes_ = 0;
 
+  /// Next unclaimed model-table row of the work-stealing build phase.
+  std::atomic<int64_t> build_cursor_{0};
   Barrier build_barrier_;
   Barrier upload_barrier_;
   std::atomic<bool> failed_{false};

@@ -40,13 +40,15 @@ Result<ExprPtr> Remap(const exec::Expr& expr,
 }  // namespace
 
 PhysicalPlanner::PhysicalPlanner(const LogicalOp* plan, const PlanAnalysis& analysis,
-                                 int requested_partitions,
+                                 int requested_workers,
                                  ModelJoinStateFactory state_factory,
                                  ModelJoinOperatorFactory operator_factory,
-                                 exec::QueryProfile* profile)
+                                 exec::QueryProfile* profile, bool morsel_driven)
     : plan_(plan),
       analysis_(analysis),
-      num_partitions_(analysis.parallel_safe ? std::max(1, requested_partitions) : 1),
+      num_workers_(analysis.parallel_safe ? std::max(1, requested_workers) : 1),
+      morsel_driven_(morsel_driven && analysis.parallel_safe &&
+                     analysis.partitioned_table != nullptr),
       state_factory_(std::move(state_factory)),
       operator_factory_(std::move(operator_factory)),
       profile_(profile) {}
@@ -61,7 +63,7 @@ void PhysicalPlanner::RegisterProfileNodes(const LogicalOp& node, int depth) {
 Status PhysicalPlanner::Prepare() {
   if (profile_ != nullptr) {
     RegisterProfileNodes(*plan_, 0);
-    profile_->SetNumPartitions(num_partitions_);
+    profile_->SetNumWorkers(num_workers_);
   }
   // Create shared ModelJoin state once per ModelJoin node, serially.
   struct Visitor {
@@ -78,7 +80,7 @@ Status PhysicalPlanner::Prepare() {
         INDBML_ASSIGN_OR_RETURN(
             auto state,
             planner->state_factory_(node.modeljoin.meta, node.modeljoin.device,
-                                    planner->num_partitions_));
+                                    planner->num_workers_));
         planner->modeljoin_states_[&node] = std::move(state);
       }
       return Status::OK();
@@ -88,12 +90,12 @@ Status PhysicalPlanner::Prepare() {
   return visitor.Visit(*plan_);
 }
 
-Result<OperatorPtr> PhysicalPlanner::Instantiate(int partition) {
-  return Build(*plan_, partition);
+Result<OperatorPtr> PhysicalPlanner::Instantiate(int worker) {
+  return Build(*plan_, worker);
 }
 
-Result<OperatorPtr> PhysicalPlanner::Build(const LogicalOp& node, int partition) {
-  INDBML_ASSIGN_OR_RETURN(auto op, BuildNode(node, partition));
+Result<OperatorPtr> PhysicalPlanner::Build(const LogicalOp& node, int worker) {
+  INDBML_ASSIGN_OR_RETURN(auto op, BuildNode(node, worker));
   if (validation::Enabled()) {
     // Model predictions may legitimately be non-finite; every other
     // operator emitting a NaN is propagating a corrupted intermediate.
@@ -108,26 +110,32 @@ Result<OperatorPtr> PhysicalPlanner::Build(const LogicalOp& node, int partition)
   return op;
 }
 
-Result<OperatorPtr> PhysicalPlanner::BuildNode(const LogicalOp& node, int partition) {
+Result<OperatorPtr> PhysicalPlanner::BuildNode(const LogicalOp& node, int worker) {
   switch (node.kind) {
     case LogicalKind::kScan: {
+      if (morsel_driven_ && node.table.get() == analysis_.partitioned_table) {
+        // Morsel-bound: starts empty; the pipeline executor re-targets the
+        // scan's row range per claimed morsel via Rewind.
+        return OperatorPtr(std::make_unique<exec::TableScanOperator>(
+            exec::TableScanOperator::MorselBound{}, node.table, node.scan_columns,
+            node.pushed));
+      }
       storage::PartitionRange range{0, node.table->num_rows()};
-      if (node.table.get() == analysis_.partitioned_table && num_partitions_ > 1) {
-        range = node.table->MakePartitions(num_partitions_)[
-            static_cast<size_t>(partition)];
+      if (node.table.get() == analysis_.partitioned_table && num_workers_ > 1) {
+        range = node.table->MakePartitions(num_workers_)[static_cast<size_t>(worker)];
       }
       return OperatorPtr(std::make_unique<exec::TableScanOperator>(
           node.table, range, node.scan_columns, node.pushed));
     }
     case LogicalKind::kFilter: {
-      INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], partition));
+      INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], worker));
       auto mapping = PositionMap(node.children[0]->outputs);
       INDBML_ASSIGN_OR_RETURN(auto cond, Remap(*node.condition, mapping));
       return OperatorPtr(
           std::make_unique<exec::FilterOperator>(std::move(child), std::move(cond)));
     }
     case LogicalKind::kProject: {
-      INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], partition));
+      INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], worker));
       auto mapping = PositionMap(node.children[0]->outputs);
       std::vector<ExprPtr> exprs;
       std::vector<std::string> names;
@@ -140,8 +148,8 @@ Result<OperatorPtr> PhysicalPlanner::BuildNode(const LogicalOp& node, int partit
           std::move(child), std::move(exprs), std::move(names)));
     }
     case LogicalKind::kHashJoin: {
-      INDBML_ASSIGN_OR_RETURN(auto probe, Build(*node.children[0], partition));
-      INDBML_ASSIGN_OR_RETURN(auto build, Build(*node.children[1], partition));
+      INDBML_ASSIGN_OR_RETURN(auto probe, Build(*node.children[0], worker));
+      INDBML_ASSIGN_OR_RETURN(auto build, Build(*node.children[1], worker));
       auto probe_map = PositionMap(node.children[0]->outputs);
       auto build_map = PositionMap(node.children[1]->outputs);
       std::vector<ExprPtr> probe_keys;
@@ -159,13 +167,13 @@ Result<OperatorPtr> PhysicalPlanner::BuildNode(const LogicalOp& node, int partit
           std::move(build_keys)));
     }
     case LogicalKind::kCrossJoin: {
-      INDBML_ASSIGN_OR_RETURN(auto left, Build(*node.children[0], partition));
-      INDBML_ASSIGN_OR_RETURN(auto right, Build(*node.children[1], partition));
+      INDBML_ASSIGN_OR_RETURN(auto left, Build(*node.children[0], worker));
+      INDBML_ASSIGN_OR_RETURN(auto right, Build(*node.children[1], worker));
       return OperatorPtr(std::make_unique<exec::CrossJoinOperator>(std::move(left),
                                                                    std::move(right)));
     }
     case LogicalKind::kAggregate: {
-      INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], partition));
+      INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], worker));
       auto mapping = PositionMap(node.children[0]->outputs);
       std::vector<ExprPtr> groups;
       std::vector<std::string> group_names;
@@ -195,7 +203,7 @@ Result<OperatorPtr> PhysicalPlanner::BuildNode(const LogicalOp& node, int partit
           std::move(aggs)));
     }
     case LogicalKind::kSort: {
-      INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], partition));
+      INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], worker));
       auto mapping = PositionMap(node.children[0]->outputs);
       std::vector<ExprPtr> keys;
       for (const auto& k : node.sort_keys) {
@@ -206,7 +214,7 @@ Result<OperatorPtr> PhysicalPlanner::BuildNode(const LogicalOp& node, int partit
           std::move(child), std::move(keys), node.ascending));
     }
     case LogicalKind::kLimit: {
-      INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], partition));
+      INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], worker));
       return OperatorPtr(
           std::make_unique<exec::LimitOperator>(std::move(child), node.limit));
     }
@@ -215,7 +223,7 @@ Result<OperatorPtr> PhysicalPlanner::BuildNode(const LogicalOp& node, int partit
         return Status::NotImplemented(
             "no native ModelJoin implementation registered with this engine");
       }
-      INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], partition));
+      INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], worker));
       auto mapping = PositionMap(node.children[0]->outputs);
       ModelJoinPhysicalArgs args;
       for (int64_t id : node.modeljoin.input_column_ids) {
@@ -234,8 +242,8 @@ Result<OperatorPtr> PhysicalPlanner::BuildNode(const LogicalOp& node, int partit
         args.prediction_names.push_back(node.outputs[i].name);
       }
       args.shared_state = modeljoin_states_.at(&node);
-      args.partition = partition;
-      args.num_partitions = num_partitions_;
+      args.worker = worker;
+      args.num_workers = num_workers_;
       return operator_factory_(std::move(args));
     }
   }

@@ -14,7 +14,7 @@
 namespace indbml::sql {
 
 /// Everything the native ModelJoin operator implementation needs from the
-/// planner for one partition's instance.
+/// planner for one worker's instance.
 struct ModelJoinPhysicalArgs {
   exec::OperatorPtr child;
   storage::TablePtr model_table;
@@ -23,27 +23,30 @@ struct ModelJoinPhysicalArgs {
   nn::ModelMeta meta;
   std::string device;
   std::vector<std::string> prediction_names;
-  /// Query-wide state shared by all partition instances (the shared model
+  /// Query-wide state shared by all worker instances (the shared model
   /// of the parallel build phase, paper §5.2). Created once per query by
   /// the registered state factory.
   std::shared_ptr<void> shared_state;
-  int partition = 0;
-  int num_partitions = 1;
+  int worker = 0;
+  int num_workers = 1;
 };
 
 /// Creates the per-query shared state of the native ModelJoin.
 using ModelJoinStateFactory = std::function<Result<std::shared_ptr<void>>(
-    const nn::ModelMeta& meta, const std::string& device, int num_partitions)>;
+    const nn::ModelMeta& meta, const std::string& device, int num_workers)>;
 
-/// Creates the per-partition native ModelJoin operator.
+/// Creates the per-worker native ModelJoin operator.
 using ModelJoinOperatorFactory =
     std::function<Result<exec::OperatorPtr>(ModelJoinPhysicalArgs args)>;
 
-/// \brief Lowers an optimized logical plan to per-partition operator trees.
+/// \brief Lowers an optimized logical plan to per-worker operator trees.
 ///
-/// Column references (binder ids) are rewritten to chunk positions; the
-/// partitioned scan identified by the PlanAnalysis receives its partition's
-/// row range, every other scan reads its full table in each partition.
+/// Column references (binder ids) are rewritten to chunk positions. In the
+/// default (static) mode, the partitioned scan identified by the
+/// PlanAnalysis receives its worker's row range; with `morsel_driven` set,
+/// that scan is built morsel-bound instead (empty until the pipeline
+/// executor assigns it a row range via Rewind). Every other scan reads its
+/// full table in each worker.
 class PhysicalPlanner {
  public:
   /// With a non-null `profile`, Prepare() registers every plan node in it
@@ -51,29 +54,31 @@ class PhysicalPlanner {
   /// writing that profile (EXPLAIN ANALYZE); with null, plans execute with
   /// zero profiling overhead.
   PhysicalPlanner(const LogicalOp* plan, const PlanAnalysis& analysis,
-                  int requested_partitions, ModelJoinStateFactory state_factory,
+                  int requested_workers, ModelJoinStateFactory state_factory,
                   ModelJoinOperatorFactory operator_factory,
-                  exec::QueryProfile* profile = nullptr);
+                  exec::QueryProfile* profile = nullptr,
+                  bool morsel_driven = false);
 
-  /// Effective partition count (1 if the plan is not parallel-safe).
-  int num_partitions() const { return num_partitions_; }
+  /// Effective worker count (1 if the plan is not parallel-safe).
+  int num_workers() const { return num_workers_; }
 
-  /// Builds the operator tree for one partition. Thread-compatible: called
-  /// concurrently for distinct partitions after Prepare() succeeded.
-  Result<exec::OperatorPtr> Instantiate(int partition);
+  /// Builds the operator tree for one worker. Thread-compatible: called
+  /// concurrently for distinct workers after Prepare() succeeded.
+  Result<exec::OperatorPtr> Instantiate(int worker);
 
   /// Creates shared state (ModelJoin) once; must be called before the first
   /// Instantiate.
   Status Prepare();
 
  private:
-  Result<exec::OperatorPtr> Build(const LogicalOp& node, int partition);
-  Result<exec::OperatorPtr> BuildNode(const LogicalOp& node, int partition);
+  Result<exec::OperatorPtr> Build(const LogicalOp& node, int worker);
+  Result<exec::OperatorPtr> BuildNode(const LogicalOp& node, int worker);
   void RegisterProfileNodes(const LogicalOp& node, int depth);
 
   const LogicalOp* plan_;
   PlanAnalysis analysis_;
-  int num_partitions_;
+  int num_workers_;
+  bool morsel_driven_;
   ModelJoinStateFactory state_factory_;
   ModelJoinOperatorFactory operator_factory_;
   exec::QueryProfile* profile_;

@@ -233,8 +233,47 @@ Status ValidateNode(const LogicalOp& op) {
   return Fail(op, "unknown operator kind");
 }
 
+bool ContainsKind(const LogicalOp& op, LogicalKind kind) {
+  if (op.kind == kind) return true;
+  for (const auto& child : op.children) {
+    if (child != nullptr && ContainsKind(*child, kind)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 Status ValidateLogicalPlan(const LogicalOp& plan) { return ValidateNode(plan); }
+
+Status ValidateMorselSafety(const LogicalOp& plan, const PlanAnalysis& analysis) {
+  if (!analysis.parallel_safe) {
+    return Status::Internal(
+        "morsel-driven execution requested for a plan the analysis marked "
+        "serial-only");
+  }
+  if (analysis.partitioned_table == nullptr) {
+    return Status::Internal(
+        "morsel-driven execution requested without a partitioned table");
+  }
+  bool order_sensitive = ContainsKind(plan, LogicalKind::kAggregate) ||
+                         ContainsKind(plan, LogicalKind::kSort);
+  if (order_sensitive) {
+    const storage::Table& table = *analysis.partitioned_table;
+    const std::string& id_name = table.unique_id_column();
+    if (id_name.empty()) {
+      return Status::Internal(
+          "morsel-driven aggregation/sort over table '" + table.name() +
+          "' which declares no unique-id column to align morsels on");
+    }
+    auto index = table.ColumnIndex(id_name);
+    if (!index.ok() ||
+        table.column(*index).type() != storage::DataType::kInt64) {
+      return Status::Internal(
+          "unique-id column '" + id_name + "' of table '" + table.name() +
+          "' does not resolve to an Int64 column; morsel alignment impossible");
+    }
+  }
+  return Status::OK();
+}
 
 }  // namespace indbml::sql

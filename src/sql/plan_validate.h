@@ -3,6 +3,7 @@
 
 #include "common/status.h"
 #include "sql/logical_plan.h"
+#include "sql/optimizer.h"
 
 namespace indbml::sql {
 
@@ -17,6 +18,17 @@ namespace indbml::sql {
 /// joins, scan column indexes within the table, and output-column
 /// consistency of pass-through nodes (filter/sort/limit).
 Status ValidateLogicalPlan(const LogicalOp& plan);
+
+/// \brief Safety check of the morsel-driven execution gate.
+///
+/// Run (under `INDBML_VALIDATE=1`) right before a plan is handed to the
+/// pipeline executor. Verifies the facts the morsel path relies on: the
+/// analysis marked the plan parallel-safe and identified a partitioned
+/// table, and — when the plan contains an aggregation or sort, whose
+/// decomposition depends on partition boundaries never splitting a group —
+/// that the partitioned table declares a unique-id column resolving to an
+/// Int64 column (MakeMorsels aligns morsel boundaries on it).
+Status ValidateMorselSafety(const LogicalOp& plan, const PlanAnalysis& analysis);
 
 }  // namespace indbml::sql
 

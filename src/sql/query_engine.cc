@@ -4,8 +4,11 @@
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "common/validation.h"
+#include "exec/morsel.h"
 #include "exec/parallel.h"
 #include "sql/parser.h"
+#include "sql/plan_validate.h"
 
 namespace indbml::sql {
 
@@ -15,9 +18,15 @@ QueryEngine::QueryEngine(Options options) : options_(options) {}
 
 QueryEngine::~QueryEngine() = default;
 
+int QueryEngine::EffectiveWorkers() const {
+  return options_.worker_threads > 0 ? options_.worker_threads
+                                     : HardwareConcurrency();
+}
+
 ThreadPool* QueryEngine::pool() {
-  if (pool_ == nullptr) {
-    pool_ = std::make_unique<ThreadPool>(std::max(1, options_.partitions));
+  int want = EffectiveWorkers();
+  if (pool_ == nullptr || pool_->num_threads() != want) {
+    pool_ = std::make_unique<ThreadPool>(want);
   }
   return pool_.get();
 }
@@ -41,26 +50,56 @@ Result<exec::QueryResult> QueryEngine::ExecutePlan(const LogicalOp& plan,
   trace::Span query_span("query");
   Optimizer optimizer(options_.optimizer);
   PlanAnalysis analysis = optimizer.Analyze(plan);
-  // Serial mode must plan one partition: multi-partition plans synchronise
-  // inside operators (ModelJoin build barrier) and require all partition
-  // trees to run concurrently.
-  int requested = options_.parallel ? options_.partitions : 1;
+  const int pipeline_workers = EffectiveWorkers();
+  const bool use_morsel = options_.morsel_driven && options_.parallel &&
+                          analysis.parallel_safe &&
+                          analysis.partitioned_table != nullptr &&
+                          pipeline_workers > 1;
+  // Serial mode must plan one worker: multi-worker plans synchronise inside
+  // operators (ModelJoin build barrier) and require all worker trees to run
+  // concurrently.
+  int requested = use_morsel ? pipeline_workers
+                             : (options_.parallel ? options_.partitions : 1);
   PhysicalPlanner planner(&plan, analysis, requested, modeljoin_state_factory_,
-                          modeljoin_operator_factory_, profile);
+                          modeljoin_operator_factory_, profile, use_morsel);
   INDBML_RETURN_NOT_OK(planner.Prepare());
+  if (use_morsel && validation::Enabled()) {
+    INDBML_RETURN_NOT_OK(ValidateMorselSafety(plan, analysis));
+  }
 
   // Peak tracked memory is process-wide; the reset makes the recorded peak
   // per-query as long as queries don't overlap (Table 3 methodology).
   if (profile != nullptr) MemoryTracker::Global().ResetPeak();
   Stopwatch stopwatch;
 
-  exec::OperatorFactory factory = [&](int partition) {
-    return planner.Instantiate(partition);
+  auto run = [&]() -> Result<exec::QueryResult> {
+    if (use_morsel) {
+      exec::MorselSource source(
+          exec::MakeMorsels(*analysis.partitioned_table, options_.morsel_rows));
+      exec::WorkerPlanFactory factory = [&](int worker) {
+        return planner.Instantiate(worker);
+      };
+      return exec::ExecutePipeline(factory, &source, planner.num_workers(),
+                                   &catalog_, pool());
+    }
+    exec::OperatorFactory factory = [&](int worker) {
+      return planner.Instantiate(worker);
+    };
+    ThreadPool* run_pool =
+        options_.parallel && planner.num_workers() > 1 ? pool() : nullptr;
+    // The engine pool is sized for the pipeline executor; a static plan with
+    // more partitions than pool threads would deadlock operators that
+    // barrier across workers (ModelJoin build). Give those queries a
+    // dedicated right-sized pool.
+    std::unique_ptr<ThreadPool> static_pool;
+    if (run_pool != nullptr && planner.num_workers() > run_pool->num_threads()) {
+      static_pool = std::make_unique<ThreadPool>(planner.num_workers());
+      run_pool = static_pool.get();
+    }
+    return exec::ExecuteParallel(factory, planner.num_workers(), &catalog_,
+                                 run_pool);
   };
-  ThreadPool* run_pool =
-      options_.parallel && planner.num_partitions() > 1 ? pool() : nullptr;
-  auto result = exec::ExecuteParallel(factory, planner.num_partitions(), &catalog_,
-                                      run_pool);
+  auto result = run();
 
   int64_t wall_micros = stopwatch.ElapsedMicros();
   metrics::Registry& registry = metrics::Registry::Global();

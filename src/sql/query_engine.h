@@ -14,14 +14,24 @@
 namespace indbml::sql {
 
 /// \brief The database engine facade: catalog + model registry + SQL
-/// execution with partitioned parallelism (the stand-in for Actian Vector
+/// execution with morsel-driven parallelism (the stand-in for Actian Vector
 /// in the paper's evaluation, see DESIGN.md §2).
 class QueryEngine {
  public:
   struct Options {
-    /// Partition/thread count (paper §6.1 uses 12).
+    /// Partition count of the legacy static-partitioning path, used when
+    /// `morsel_driven` is false (paper §6.1 uses 12).
     int partitions = kDefaultPartitions;
-    /// Run partitions on a thread pool; false = serial (debugging).
+    /// Pipeline worker threads; 0 = one per hardware thread. Independent of
+    /// `partitions`: workers are an execution resource, partitions/morsels a
+    /// work-division unit. Honored on the next query when changed.
+    int worker_threads = 0;
+    /// Rows per morsel handed out by the work-stealing scheduler.
+    int64_t morsel_rows = kDefaultMorselRows;
+    /// Schedule parallel plans morsel-wise with work stealing (default);
+    /// false = one static contiguous partition per thread.
+    bool morsel_driven = true;
+    /// Run workers on a thread pool; false = serial (debugging).
     bool parallel = true;
     OptimizerOptions optimizer;
   };
@@ -71,7 +81,13 @@ class QueryEngine {
   Result<exec::QueryResult> ExecutePlan(const LogicalOp& plan,
                                         exec::QueryProfile* profile = nullptr);
 
+  /// Effective pipeline worker count: `worker_threads` if set, one per
+  /// hardware thread otherwise.
+  int EffectiveWorkers() const;
+
   /// The engine's worker pool (shared with the native ModelJoin build).
+  /// Lazily (re)created at EffectiveWorkers() threads, so option changes
+  /// between queries take effect.
   ThreadPool* pool();
 
  private:

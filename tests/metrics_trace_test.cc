@@ -185,11 +185,11 @@ TEST(TraceTest, DisabledSpansCostNothingAndRecordNothing) {
   EXPECT_EQ(trace::ToJson().find("should-not-appear"), std::string::npos);
 }
 
-TEST(QueryProfileTest, AggregatesAcrossPartitionsAndRenders) {
+TEST(QueryProfileTest, AggregatesAcrossWorkersAndRenders) {
   exec::QueryProfile profile;
   int root = profile.RegisterNode("Project [p]", 0);
   int leaf = profile.RegisterNode("Scan fact [x]", 1);
-  profile.SetNumPartitions(2);
+  profile.SetNumWorkers(2);
 
   profile.slot(root, 0)->rows = 10;
   profile.slot(root, 1)->rows = 20;
@@ -206,7 +206,7 @@ TEST(QueryProfileTest, AggregatesAcrossPartitionsAndRenders) {
   EXPECT_EQ(agg.phase_nanos.at("inference"), 1500000);
 
   std::string text = profile.ToString();
-  EXPECT_NE(text.find("partitions=2"), std::string::npos);
+  EXPECT_NE(text.find("workers=2"), std::string::npos);
   EXPECT_NE(text.find("Project [p]"), std::string::npos);
   EXPECT_NE(text.find("  Scan fact [x]"), std::string::npos);
   EXPECT_NE(text.find("rows=30"), std::string::npos);

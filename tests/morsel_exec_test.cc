@@ -1,0 +1,388 @@
+// Tests of the morsel-driven pipeline executor (exec/morsel.h): morsel
+// generation, the DataChunk buffer-reuse hot path, the engine's worker-pool
+// options, and — the core acceptance property — that morsel-driven parallel
+// execution is row-for-row identical to serial execution across scans,
+// filters, joins, aggregation, sorting and the native ModelJoin.
+
+#include "exec/morsel.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "benchlib/workloads.h"
+#include "common/config.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "exec/vector.h"
+#include "mltosql/mltosql.h"
+#include "modeljoin/register.h"
+#include "nn/model.h"
+#include "sql/plan_validate.h"
+#include "sql/query_engine.h"
+#include "test_util.h"
+
+namespace indbml {
+namespace {
+
+using testutil::I;
+
+storage::TablePtr MakeIdTable(const std::string& name, int64_t rows,
+                              int64_t repeats_per_id) {
+  auto table = std::make_shared<storage::Table>(
+      name, std::vector<storage::Field>{{"id", exec::DataType::kInt64},
+                                        {"x", exec::DataType::kFloat}});
+  for (int64_t r = 0; r < rows; ++r) {
+    INDBML_CHECK(table
+                     ->AppendRow({storage::Value::Int64(r / repeats_per_id),
+                                  storage::Value::Float(static_cast<float>(r))})
+                     .ok());
+  }
+  table->Finalize();
+  table->SetUniqueIdColumn("id");
+  table->SetSortedBy({"id"});
+  return table;
+}
+
+TEST(MakeMorselsTest, CoversTableContiguously) {
+  auto table = MakeIdTable("t", 10000, 1);
+  auto morsels = exec::MakeMorsels(*table, 1024);
+  ASSERT_FALSE(morsels.empty());
+  EXPECT_EQ(morsels.front().begin, 0);
+  EXPECT_EQ(morsels.back().end, 10000);
+  for (size_t i = 1; i < morsels.size(); ++i) {
+    EXPECT_EQ(morsels[i].begin, morsels[i - 1].end) << "gap before morsel " << i;
+  }
+  // Unique ids: no boundary extension, so every morsel except the last is
+  // exactly the requested size.
+  for (size_t i = 0; i + 1 < morsels.size(); ++i) {
+    EXPECT_EQ(morsels[i].end - morsels[i].begin, 1024);
+  }
+}
+
+TEST(MakeMorselsTest, AlignsBoundariesOnRepeatedIds) {
+  // 7 rows per id and a morsel size that never divides evenly: every raw
+  // boundary lands mid-group and must be pushed to the next id change.
+  auto table = MakeIdTable("t", 7 * 300, 7);
+  auto morsels = exec::MakeMorsels(*table, 10);
+  ASSERT_GT(morsels.size(), 1u);
+  const storage::Column& id = table->column(0);
+  for (size_t i = 0; i + 1 < morsels.size(); ++i) {
+    int64_t b = morsels[i].end;
+    EXPECT_NE(id.GetInt64(b), id.GetInt64(b - 1))
+        << "morsel " << i << " splits id group at row " << b;
+  }
+  EXPECT_EQ(morsels.back().end, table->num_rows());
+}
+
+TEST(MakeMorselsTest, NonPositiveSizeFallsBackToDefault) {
+  auto table = MakeIdTable("t", kDefaultMorselRows + 5, 1);
+  auto morsels = exec::MakeMorsels(*table, 0);
+  EXPECT_EQ(static_cast<int64_t>(morsels.size()), 2);
+}
+
+TEST(DataChunkResetTest, ReusesColumnBuffersAcrossResets) {
+  std::vector<exec::DataType> types{exec::DataType::kInt64,
+                                    exec::DataType::kFloat};
+  exec::DataChunk chunk;
+  chunk.Reset(types);
+  chunk.SetCardinality(512);
+  const int64_t* ints_before = chunk.column(0).ints();
+  const float* floats_before = chunk.column(1).floats();
+
+  chunk.Reset(types);
+  EXPECT_EQ(chunk.size, 0);
+  EXPECT_EQ(chunk.column(0).size(), 0);
+  chunk.SetCardinality(512);
+  // Same capacity request after a same-schema Reset: the buffers must be the
+  // ones from the previous iteration, not fresh allocations.
+  EXPECT_EQ(chunk.column(0).ints(), ints_before);
+  EXPECT_EQ(chunk.column(1).floats(), floats_before);
+
+  // Schema change falls back to a rebuild.
+  std::vector<exec::DataType> other{exec::DataType::kFloat};
+  chunk.Reset(other);
+  ASSERT_EQ(chunk.num_columns(), 1);
+  EXPECT_EQ(chunk.column(0).type(), exec::DataType::kFloat);
+}
+
+TEST(EngineWorkerPoolTest, HonorsWorkerThreadOptionChanges) {
+  sql::QueryEngine::Options options;
+  options.worker_threads = 3;
+  sql::QueryEngine engine(options);
+  EXPECT_EQ(engine.EffectiveWorkers(), 3);
+  EXPECT_EQ(engine.pool()->num_threads(), 3);
+
+  options.worker_threads = 2;
+  engine.set_options(options);
+  EXPECT_EQ(engine.pool()->num_threads(), 2);
+
+  options.worker_threads = 0;
+  engine.set_options(options);
+  EXPECT_GE(HardwareConcurrency(), 1);
+  EXPECT_EQ(engine.EffectiveWorkers(), HardwareConcurrency());
+  EXPECT_EQ(engine.pool()->num_threads(), HardwareConcurrency());
+}
+
+/// Asserts two results are row-for-row identical: same schema, same row
+/// count, bit-equal values at every (row, column).
+void ExpectRowIdentical(const exec::QueryResult& actual,
+                        const exec::QueryResult& expected) {
+  ASSERT_EQ(actual.names, expected.names);
+  ASSERT_EQ(actual.num_rows, expected.num_rows);
+  for (int64_t r = 0; r < expected.num_rows; ++r) {
+    for (size_t c = 0; c < expected.types.size(); ++c) {
+      exec::Value va = actual.GetValue(r, static_cast<int>(c));
+      exec::Value ve = expected.GetValue(r, static_cast<int>(c));
+      ASSERT_EQ(va.type, ve.type) << "row " << r << " col " << c;
+      switch (ve.type) {
+        case exec::DataType::kBool:
+          ASSERT_EQ(va.b, ve.b) << "row " << r << " col " << c;
+          break;
+        case exec::DataType::kInt64:
+          ASSERT_EQ(va.i, ve.i) << "row " << r << " col " << c;
+          break;
+        case exec::DataType::kFloat:
+          ASSERT_EQ(va.f, ve.f) << "row " << r << " col " << c;
+          break;
+      }
+    }
+  }
+}
+
+storage::TablePtr DeterminismFactTable(int64_t rows) {
+  auto table = std::make_shared<storage::Table>(
+      "fact", std::vector<storage::Field>{{"id", exec::DataType::kInt64},
+                                          {"k", exec::DataType::kInt64},
+                                          {"a", exec::DataType::kFloat},
+                                          {"b", exec::DataType::kFloat}});
+  Random rng(7);
+  for (int64_t i = 0; i < rows; ++i) {
+    INDBML_CHECK(table
+                     ->AppendRow({storage::Value::Int64(i),
+                                  storage::Value::Int64(static_cast<int64_t>(
+                                      rng.NextUint64(5))),
+                                  storage::Value::Float(rng.NextFloat(-10, 10)),
+                                  storage::Value::Float(rng.NextFloat(-10, 10))})
+                     .ok());
+  }
+  table->Finalize();
+  table->SetUniqueIdColumn("id");
+  table->SetSortedBy({"id"});
+  return table;
+}
+
+class MorselDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fact_ = DeterminismFactTable(20000);
+    dim_ = testutil::MakeTable("dim",
+                               {{"k", exec::DataType::kInt64},
+                                {"v", exec::DataType::kInt64}},
+                               {{I(0), I(100)},
+                                {I(1), I(101)},
+                                {I(2), I(102)},
+                                {I(3), I(103)},
+                                {I(4), I(104)}});
+
+    sql::QueryEngine::Options serial;
+    serial.parallel = false;
+    serial_ = std::make_unique<sql::QueryEngine>(serial);
+
+    // Deliberately small morsels (many per worker) and more workers than the
+    // query strictly needs: maximises interleaving, so ordering bugs surface.
+    sql::QueryEngine::Options morsel;
+    morsel.worker_threads = 5;
+    morsel.morsel_rows = 64;
+    morsel_ = std::make_unique<sql::QueryEngine>(morsel);
+
+    sql::QueryEngine::Options static_part;
+    static_part.morsel_driven = false;
+    static_part.partitions = 4;
+    static_ = std::make_unique<sql::QueryEngine>(static_part);
+
+    for (sql::QueryEngine* engine :
+         {serial_.get(), morsel_.get(), static_.get()}) {
+      ASSERT_OK(engine->catalog()->CreateTable(fact_));
+      ASSERT_OK(engine->catalog()->CreateTable(dim_));
+    }
+  }
+
+  void ExpectDeterministic(const std::string& query) {
+    SCOPED_TRACE(query);
+    ASSERT_OK_AND_ASSIGN(auto serial_result, serial_->ExecuteQuery(query));
+    ASSERT_OK_AND_ASSIGN(auto morsel_result, morsel_->ExecuteQuery(query));
+    ExpectRowIdentical(morsel_result, serial_result);
+  }
+
+  storage::TablePtr fact_;
+  storage::TablePtr dim_;
+  std::unique_ptr<sql::QueryEngine> serial_;
+  std::unique_ptr<sql::QueryEngine> morsel_;
+  std::unique_ptr<sql::QueryEngine> static_;
+};
+
+TEST_F(MorselDeterminismTest, ScanFilterProject) {
+  ExpectDeterministic(
+      "SELECT f.id, f.a + f.b AS e FROM fact f WHERE f.a >= 0.0");
+}
+
+TEST_F(MorselDeterminismTest, StreamingAggregationById) {
+  ExpectDeterministic(
+      "SELECT f.id AS g, SUM(f.a) AS s, COUNT(*) AS c, MIN(f.b) AS m "
+      "FROM fact f GROUP BY f.id");
+}
+
+TEST_F(MorselDeterminismTest, HashJoinAgainstDimension) {
+  ExpectDeterministic(
+      "SELECT f.id, d.v, f.a FROM fact f, dim d WHERE f.k = d.k");
+}
+
+TEST_F(MorselDeterminismTest, SortOnPartitionColumn) {
+  ExpectDeterministic(
+      "SELECT f.id, f.a FROM fact f WHERE f.b >= 0.0 ORDER BY f.id");
+}
+
+TEST_F(MorselDeterminismTest, JoinThenAggregation) {
+  ExpectDeterministic(
+      "SELECT f.id AS g, SUM(f.a + f.b) AS s FROM fact f, dim d "
+      "WHERE f.k = d.k AND f.a >= -5.0 GROUP BY f.id");
+}
+
+TEST_F(MorselDeterminismTest, StaticPathStillMatchesSerial) {
+  const std::string query =
+      "SELECT f.id, f.a + f.b AS e FROM fact f WHERE f.a >= 0.0";
+  ASSERT_OK_AND_ASSIGN(auto serial_result, serial_->ExecuteQuery(query));
+  ASSERT_OK_AND_ASSIGN(auto static_result, static_->ExecuteQuery(query));
+  ExpectRowIdentical(static_result, serial_result);
+}
+
+/// Skewed workload: virtually all filter survivors sit in one contiguous 10%
+/// of the table, so static partitioning gives one thread almost all the
+/// post-filter work. The morsel path must still produce serial row order.
+TEST(MorselSkewTest, SkewedFilterRowIdenticalToSerial) {
+  const int64_t kRows = 50000;
+  auto table = std::make_shared<storage::Table>(
+      "fact", std::vector<storage::Field>{{"id", exec::DataType::kInt64},
+                                          {"marker", exec::DataType::kFloat},
+                                          {"x", exec::DataType::kFloat}});
+  Random rng(13);
+  const int64_t hot_begin = kRows * 8 / 10;
+  const int64_t hot_end = hot_begin + kRows / 10;
+  for (int64_t i = 0; i < kRows; ++i) {
+    float marker = (i >= hot_begin && i < hot_end) ? 1.0f : 0.0f;
+    INDBML_CHECK(table
+                     ->AppendRow({storage::Value::Int64(i),
+                                  storage::Value::Float(marker),
+                                  storage::Value::Float(rng.NextFloat(-1, 1))})
+                     .ok());
+  }
+  table->Finalize();
+  table->SetUniqueIdColumn("id");
+  table->SetSortedBy({"id"});
+
+  sql::QueryEngine::Options serial;
+  serial.parallel = false;
+  sql::QueryEngine serial_engine(serial);
+  ASSERT_OK(serial_engine.catalog()->CreateTable(table));
+
+  sql::QueryEngine::Options morsel;
+  morsel.worker_threads = 8;
+  morsel.morsel_rows = 512;
+  sql::QueryEngine morsel_engine(morsel);
+  ASSERT_OK(morsel_engine.catalog()->CreateTable(table));
+
+  const std::string query =
+      "SELECT f.id, f.x * 2.0 AS y FROM fact f WHERE f.marker >= 0.5";
+  ASSERT_OK_AND_ASSIGN(auto serial_result, serial_engine.ExecuteQuery(query));
+  ASSERT_OK_AND_ASSIGN(auto morsel_result, morsel_engine.ExecuteQuery(query));
+  ASSERT_EQ(serial_result.num_rows, kRows / 10);
+  ExpectRowIdentical(morsel_result, serial_result);
+}
+
+class ModelJoinMorselTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sql::QueryEngine::Options serial;
+    serial.parallel = false;
+    serial_ = std::make_unique<sql::QueryEngine>(serial);
+    modeljoin::RegisterNativeModelJoin(serial_.get());
+
+    sql::QueryEngine::Options morsel;
+    morsel.worker_threads = 4;
+    morsel.morsel_rows = 256;
+    morsel_ = std::make_unique<sql::QueryEngine>(morsel);
+    modeljoin::RegisterNativeModelJoin(morsel_.get());
+  }
+
+  void Deploy(nn::Model* model, const std::string& registered_name) {
+    for (sql::QueryEngine* engine : {serial_.get(), morsel_.get()}) {
+      mltosql::MlToSql framework(model, "m");
+      ASSERT_OK(framework.Deploy(engine));
+      engine->models()->Register(nn::MetaOf(*model, registered_name));
+    }
+  }
+
+  std::unique_ptr<sql::QueryEngine> serial_;
+  std::unique_ptr<sql::QueryEngine> morsel_;
+};
+
+TEST_F(ModelJoinMorselTest, InferenceRowIdenticalToSerial) {
+  auto fact = benchlib::MakeIrisTable("fact", 4000);
+  ASSERT_OK(serial_->catalog()->CreateTable(fact));
+  ASSERT_OK(morsel_->catalog()->CreateTable(fact));
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeDenseBenchmarkModel(16, 3, 21));
+  Deploy(&model, "dense16");
+
+  const std::string query =
+      "SELECT id, prediction FROM fact MODEL JOIN m USING MODEL 'dense16' "
+      "DEVICE 'cpu' PREDICT (sepal_length, sepal_width, petal_length, "
+      "petal_width)";
+  ASSERT_OK_AND_ASSIGN(auto serial_result, serial_->ExecuteQuery(query));
+  ASSERT_OK_AND_ASSIGN(auto morsel_result, morsel_->ExecuteQuery(query));
+  ASSERT_EQ(serial_result.num_rows, 4000);
+  ExpectRowIdentical(morsel_result, serial_result);
+}
+
+TEST_F(ModelJoinMorselTest, InferenceWithAggregationRowIdenticalToSerial) {
+  auto fact = benchlib::MakeIrisTable("fact", 3000);
+  ASSERT_OK(serial_->catalog()->CreateTable(fact));
+  ASSERT_OK(morsel_->catalog()->CreateTable(fact));
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeDenseBenchmarkModel(8, 2, 5));
+  Deploy(&model, "dense8");
+
+  const std::string query =
+      "SELECT id, AVG(prediction) AS p, COUNT(*) AS n FROM fact "
+      "MODEL JOIN m USING MODEL 'dense8' DEVICE 'cpu' "
+      "PREDICT (sepal_length, sepal_width, petal_length, petal_width) "
+      "GROUP BY id";
+  ASSERT_OK_AND_ASSIGN(auto serial_result, serial_->ExecuteQuery(query));
+  ASSERT_OK_AND_ASSIGN(auto morsel_result, morsel_->ExecuteQuery(query));
+  ASSERT_EQ(serial_result.num_rows, 3000);
+  ExpectRowIdentical(morsel_result, serial_result);
+}
+
+TEST(MorselSafetyValidationTest, AcceptsParallelSafeRejectsSerialOnly) {
+  sql::QueryEngine engine;
+  auto fact = DeterminismFactTable(100);
+  ASSERT_OK(engine.catalog()->CreateTable(fact));
+
+  sql::Optimizer optimizer(engine.options().optimizer);
+  const std::string safe_query = "SELECT f.id, f.a FROM fact f";
+  ASSERT_OK_AND_ASSIGN(auto safe_plan, engine.PlanQuery(safe_query));
+  sql::PlanAnalysis safe_analysis = optimizer.Analyze(*safe_plan);
+  ASSERT_TRUE(safe_analysis.parallel_safe);
+  ASSERT_OK(sql::ValidateMorselSafety(*safe_plan, safe_analysis));
+
+  // Global LIMIT does not decompose over morsels; the analysis marks it
+  // serial-only and the validator must refuse it.
+  const std::string limit_query = "SELECT f.id FROM fact f LIMIT 5";
+  ASSERT_OK_AND_ASSIGN(auto limit_plan, engine.PlanQuery(limit_query));
+  sql::PlanAnalysis limit_analysis = optimizer.Analyze(*limit_plan);
+  ASSERT_FALSE(limit_analysis.parallel_safe);
+  EXPECT_FALSE(sql::ValidateMorselSafety(*limit_plan, limit_analysis).ok());
+}
+
+}  // namespace
+}  // namespace indbml
