@@ -22,6 +22,11 @@ raw-thread       No direct std::thread construction outside
 test-status      Test code must not discard a Status/Result returned by
                  engine/op/table calls (`engine.Execute(...)` as a bare
                  statement); assert on it or consume it explicitly.
+boxed-hot-path   No per-row Value boxing (`GetValue(` / `SetValue(`) inside
+                 inference hot-path kernels (src/modeljoin/, src/nn/, the
+                 C-API operator): batches cross the columnar→matrix boundary
+                 through the typed gather kernels in exec/gather.h, not one
+                 heap-free tagged-union Value per cell.
 """
 
 import re
@@ -52,6 +57,18 @@ STATUS_METHODS = {
 TEST_CALL_RE = re.compile(r"^\s*(engine|op|table)(\.|->)(\w+)\(.*\);\s*$")
 
 GUARD_RE = re.compile(r"^#ifndef\s+(\w+)\s*$")
+
+# --- boxed-hot-path rule configuration --------------------------------------
+
+# Inference hot paths: every batch crossing storage→model here must use the
+# typed gather kernels (exec/gather.h). UDF boxing (src/integration/udf.cc)
+# is deliberately NOT listed: per-value boxing is the UDF experiment's
+# measured tax (paper Table 2).
+BOXED_HOT_PATHS = ("src/modeljoin/", "src/nn/", "src/integration/capi_operator.cc")
+# Files under the hot paths allowed to box (none today; add `rel` paths with
+# a justification if a cold diagnostic path genuinely needs Value).
+BOXED_ALLOWED_FILES: set = set()
+BOXED_RE = re.compile(r"\b(Get|Set)Value\s*\(")
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -130,6 +147,16 @@ def check_raw_thread(rel: str, path: Path, errors):
                           "use outside thread_pool; submit to a ThreadPool")
 
 
+def check_boxed_hot_path(rel: str, path: Path, errors):
+    if not rel.startswith(BOXED_HOT_PATHS) or rel in BOXED_ALLOWED_FILES:
+        return
+    for lineno, line in iter_code_lines(path):
+        if BOXED_RE.search(line):
+            errors.append(f"{rel}:{lineno}: [boxed-hot-path] per-row Value "
+                          "boxing in an inference hot path; gather through "
+                          "exec/gather.h instead")
+
+
 def check_test_status(rel: str, path: Path, errors):
     for lineno, line in iter_code_lines(path):
         m = TEST_CALL_RE.match(line)
@@ -150,6 +177,7 @@ def main() -> int:
         check_naked_new(rel, path, errors)
         check_endl(rel, path, errors)
         check_raw_thread(rel, path, errors)
+        check_boxed_hot_path(rel, path, errors)
         if path.suffix == ".h":
             check_header_guard(rel, path, errors)
 

@@ -1,0 +1,30 @@
+#include "common/buffer.h"
+
+#include "common/memory_tracker.h"
+#include "common/metrics.h"
+
+namespace indbml {
+
+Buffer::Buffer(int64_t bytes) : capacity_(bytes) {
+  if (bytes > 0) {
+    // make_unique_for_overwrite: no value-initialisation — callers fill the
+    // buffer themselves, and zeroing large column allocations twice shows
+    // up in scan-heavy profiles.
+    data_ = std::make_unique_for_overwrite<uint8_t[]>(static_cast<size_t>(bytes));
+  }
+  MemoryTracker::Global().Allocate(capacity_);
+}
+
+Buffer::~Buffer() { MemoryTracker::Global().Free(capacity_); }
+
+std::shared_ptr<Buffer> Buffer::New(int64_t bytes) {
+  static metrics::Counter* allocations =
+      metrics::Registry::Global().counter("buffer.allocations");
+  static metrics::Counter* allocated_bytes =
+      metrics::Registry::Global().counter("buffer.allocated_bytes");
+  allocations->Increment();
+  allocated_bytes->Increment(bytes);
+  return std::shared_ptr<Buffer>(new Buffer(bytes));
+}
+
+}  // namespace indbml

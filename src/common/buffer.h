@@ -1,0 +1,53 @@
+#ifndef INDBML_COMMON_BUFFER_H_
+#define INDBML_COMMON_BUFFER_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace indbml {
+
+/// \brief Reference-counted, type-erased block of raw storage.
+///
+/// A Buffer is the single unit of data ownership in the engine: base-table
+/// columns (storage::Column), operator vectors (exec::Vector) and
+/// materialised results all hold BufferPtr references to the same
+/// allocation instead of copying it. A scan therefore emits *views* over
+/// table storage, a filter narrows a view with a selection vector, and the
+/// bytes are only duplicated when an operator explicitly flattens.
+///
+/// The MemoryTracker accounting lives here and nowhere else: each Buffer
+/// reports its capacity exactly once for its whole lifetime, however many
+/// vectors/columns share it. That keeps the Table-3 peak-memory experiment
+/// honest — a chunk viewing a 1 GB column adds ~0 bytes, not another 1 GB.
+///
+/// Buffers are fixed-capacity; "growth" is the owner's job (allocate a
+/// larger Buffer, copy, drop the old reference). Contents are shared
+/// read-only the moment a second reference exists; writers must hold the
+/// only reference (see exec::Vector's copy-on-write discipline).
+class Buffer {
+ public:
+  /// Allocates an untyped buffer of `bytes` (uninitialised) and reports it
+  /// to the global MemoryTracker.
+  static std::shared_ptr<Buffer> New(int64_t bytes);
+
+  ~Buffer();
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  uint8_t* data() { return data_.get(); }
+  const uint8_t* data() const { return data_.get(); }
+  int64_t capacity() const { return capacity_; }
+
+ private:
+  explicit Buffer(int64_t bytes);
+
+  std::unique_ptr<uint8_t[]> data_;
+  int64_t capacity_ = 0;
+};
+
+using BufferPtr = std::shared_ptr<Buffer>;
+
+}  // namespace indbml
+
+#endif  // INDBML_COMMON_BUFFER_H_

@@ -81,6 +81,9 @@ Status EvalChunk(const std::vector<ExprPtr>& groups,
   for (const auto& g : groups) {
     Vector v(g->type);
     INDBML_RETURN_NOT_OK(EvaluateExpr(*g, in, &v));
+    // KeyPart/ArgValue read raw typed pointers, so aggregation is a flatten
+    // boundary for selected views coming off a filtered scan.
+    v.Flatten();
     group_vecs->push_back(std::move(v));
   }
   arg_vecs->clear();
@@ -88,6 +91,7 @@ Status EvalChunk(const std::vector<ExprPtr>& groups,
     Vector v(a.argument ? a.argument->type : DataType::kInt64);
     if (a.argument) {
       INDBML_RETURN_NOT_OK(EvaluateExpr(*a.argument, in, &v));
+      v.Flatten();
     }
     arg_vecs->push_back(std::move(v));
   }

@@ -1,6 +1,7 @@
 #include "exec/basic_operators.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/config.h"
 
@@ -18,9 +19,22 @@ Status FilterOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
     if (in_.size > 0) {
       Vector mask(DataType::kBool);
       INDBML_RETURN_NOT_OK(EvaluateExpr(*condition_, in_, &mask));
-      const uint8_t* m = mask.bools();
+      // A bare column-ref condition yields a view that may carry the
+      // input's selection; flatten so the mask scan is one linear pass.
+      mask.Flatten();
+      const uint8_t* m = std::as_const(mask).bools();
+      std::vector<int32_t> passing;
       for (int64_t r = 0; r < in_.size; ++r) {
-        if (m[r]) AppendRowTo(in_, r, out);
+        if (m[r]) passing.push_back(static_cast<int32_t>(r));
+      }
+      // Survivors become a selection over the input's views — no row data
+      // moves; WithSelection composes with any selection already present.
+      if (!passing.empty()) {
+        auto sel = std::make_shared<const SelectionVector>(std::move(passing));
+        for (int64_t c = 0; c < in_.num_columns(); ++c) {
+          out->column(c) = in_.column(c).WithSelection(sel);
+        }
+        out->size = sel->size();
       }
     }
     if (child_eof) {

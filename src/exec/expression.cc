@@ -1,7 +1,9 @@
 #include "exec/expression.h"
 
 #include <cmath>
+#include <cstring>
 #include <unordered_map>
+#include <utility>
 
 #include "common/string_util.h"
 #include "nn/blas.h"
@@ -65,9 +67,18 @@ std::string Expr::ToString() const {
                           : name;
     case ExprKind::kConstant:
       return constant.ToString();
-    case ExprKind::kBinary:
-      return "(" + children[0]->ToString() + " " + BinaryOpName(bin_op) + " " +
-             children[1]->ToString() + ")";
+    case ExprKind::kBinary: {
+      // Appends instead of an operator+ chain: GCC 12's -Wrestrict reports a
+      // bogus overlapping-memcpy warning on the chained form at -O2.
+      std::string out = "(";
+      out += children[0]->ToString();
+      out += " ";
+      out += BinaryOpName(bin_op);
+      out += " ";
+      out += children[1]->ToString();
+      out += ")";
+      return out;
+    }
     case ExprKind::kUnary:
       return std::string(un_op == UnaryOp::kNot ? "NOT " : "-") +
              children[0]->ToString();
@@ -219,13 +230,19 @@ Status EvalBinary(const Expr& expr, const DataChunk& input, Vector* out) {
   Vector rhs(expr.children[1]->type);
   INDBML_RETURN_NOT_OK(EvaluateExpr(*expr.children[0], input, &lhs));
   INDBML_RETURN_NOT_OK(EvaluateExpr(*expr.children[1], input, &rhs));
+  // Column refs over a filtered chunk arrive as selected views; the typed
+  // kernels below want contiguous data, so this is the flatten boundary.
+  lhs.Flatten();
+  rhs.Flatten();
   int64_t n = input.size;
   out->Resize(n);
 
   BinaryOp op = expr.bin_op;
   if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
-    const uint8_t* a = lhs.bools();
-    const uint8_t* b = rhs.bools();
+    // as_const: the const accessors read shared views in place; the
+    // non-const overloads would copy-on-write a private buffer first.
+    const uint8_t* a = std::as_const(lhs).bools();
+    const uint8_t* b = std::as_const(rhs).bools();
     uint8_t* o = out->bools();
     if (op == BinaryOp::kAnd) {
       for (int64_t i = 0; i < n; ++i) o[i] = a[i] & b[i];
@@ -239,8 +256,8 @@ Status EvalBinary(const Expr& expr, const DataChunk& input, Vector* out) {
   if (IsComparison(op)) {
     uint8_t* o = out->bools();
     if (int_math) {
-      const int64_t* a = lhs.ints();
-      const int64_t* b = rhs.ints();
+      const int64_t* a = std::as_const(lhs).ints();
+      const int64_t* b = std::as_const(rhs).ints();
       switch (op) {
         case BinaryOp::kEq:
           for (int64_t i = 0; i < n; ++i) o[i] = a[i] == b[i];
@@ -295,8 +312,8 @@ Status EvalBinary(const Expr& expr, const DataChunk& input, Vector* out) {
 
   // Arithmetic.
   if (expr.type == DataType::kInt64) {
-    const int64_t* a = lhs.ints();
-    const int64_t* b = rhs.ints();
+    const int64_t* a = std::as_const(lhs).ints();
+    const int64_t* b = std::as_const(rhs).ints();
     int64_t* o = out->ints();
     switch (op) {
       case BinaryOp::kAdd:
@@ -348,6 +365,55 @@ Status EvalBinary(const Expr& expr, const DataChunk& input, Vector* out) {
   return Status::OK();
 }
 
+/// CASE branch merge: writes `src` rows into `out` wherever `cond` (nullptr
+/// = ELSE, always true) holds and the row is still undecided. Typed when the
+/// branch type matches the result type (the binder inserts casts, so it
+/// always does in practice); coercing Value fallback otherwise. `src` may be
+/// a selected view — the Get*At readers apply its selection.
+void MergeCaseBranch(const Vector& src, const uint8_t* cond,
+                     std::vector<uint8_t>* decided, int64_t n, Vector* out) {
+  auto pending = [&](int64_t r) {
+    return !(*decided)[static_cast<size_t>(r)] && (cond == nullptr || cond[r]);
+  };
+  if (src.type() != out->type()) {
+    for (int64_t r = 0; r < n; ++r) {
+      if (!pending(r)) continue;
+      out->SetValue(r, src.GetValue(r));
+      (*decided)[static_cast<size_t>(r)] = 1;
+    }
+    return;
+  }
+  switch (out->type()) {
+    case DataType::kBool: {
+      uint8_t* o = out->bools();
+      for (int64_t r = 0; r < n; ++r) {
+        if (!pending(r)) continue;
+        o[r] = src.GetBoolAt(r) ? 1 : 0;
+        (*decided)[static_cast<size_t>(r)] = 1;
+      }
+      return;
+    }
+    case DataType::kInt64: {
+      int64_t* o = out->ints();
+      for (int64_t r = 0; r < n; ++r) {
+        if (!pending(r)) continue;
+        o[r] = src.GetInt64At(r);
+        (*decided)[static_cast<size_t>(r)] = 1;
+      }
+      return;
+    }
+    case DataType::kFloat: {
+      float* o = out->floats();
+      for (int64_t r = 0; r < n; ++r) {
+        if (!pending(r)) continue;
+        o[r] = src.GetFloatAt(r);
+        (*decided)[static_cast<size_t>(r)] = 1;
+      }
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 Status EvaluateExpr(const Expr& expr, const DataChunk& input, Vector* out) {
@@ -365,7 +431,34 @@ Status EvaluateExpr(const Expr& expr, const DataChunk& input, Vector* out) {
     }
     case ExprKind::kConstant: {
       out->Resize(n);
-      for (int64_t i = 0; i < n; ++i) out->SetValue(i, expr.constant);
+      if (n == 0) return Status::OK();
+      // Coerce once, then a typed fill (no per-row Value dispatch).
+      const Value& v = expr.constant;
+      switch (out->type()) {
+        case DataType::kBool: {
+          const uint8_t b =
+              (v.type == DataType::kBool ? v.b : v.AsDouble() != 0) ? 1 : 0;
+          uint8_t* o = out->bools();
+          std::fill(o, o + n, b);
+          break;
+        }
+        case DataType::kInt64: {
+          const int64_t iv = v.type == DataType::kInt64
+                                 ? v.i
+                                 : static_cast<int64_t>(v.AsDouble());
+          int64_t* o = out->ints();
+          std::fill(o, o + n, iv);
+          break;
+        }
+        case DataType::kFloat: {
+          const float fv = v.type == DataType::kFloat
+                               ? v.f
+                               : static_cast<float>(v.AsDouble());
+          float* o = out->floats();
+          std::fill(o, o + n, fv);
+          break;
+        }
+      }
       return Status::OK();
     }
     case ExprKind::kBinary:
@@ -373,17 +466,18 @@ Status EvaluateExpr(const Expr& expr, const DataChunk& input, Vector* out) {
     case ExprKind::kUnary: {
       Vector child(expr.children[0]->type);
       INDBML_RETURN_NOT_OK(EvaluateExpr(*expr.children[0], input, &child));
+      child.Flatten();
       out->Resize(n);
       if (expr.un_op == UnaryOp::kNot) {
-        const uint8_t* a = child.bools();
+        const uint8_t* a = std::as_const(child).bools();
         uint8_t* o = out->bools();
         for (int64_t i = 0; i < n; ++i) o[i] = a[i] ? 0 : 1;
       } else if (child.type() == DataType::kInt64) {
-        const int64_t* a = child.ints();
+        const int64_t* a = std::as_const(child).ints();
         int64_t* o = out->ints();
         for (int64_t i = 0; i < n; ++i) o[i] = -a[i];
       } else {
-        const float* a = child.floats();
+        const float* a = std::as_const(child).floats();
         float* o = out->floats();
         for (int64_t i = 0; i < n; ++i) o[i] = -a[i];
       }
@@ -392,6 +486,7 @@ Status EvaluateExpr(const Expr& expr, const DataChunk& input, Vector* out) {
     case ExprKind::kFunction: {
       Vector child(expr.children[0]->type);
       INDBML_RETURN_NOT_OK(EvaluateExpr(*expr.children[0], input, &child));
+      child.Flatten();
       std::vector<float> tmp;
       const float* a = AsFloats(child, &tmp);
       out->Resize(n);
@@ -427,20 +522,13 @@ Status EvaluateExpr(const Expr& expr, const DataChunk& input, Vector* out) {
         INDBML_RETURN_NOT_OK(EvaluateExpr(*expr.children[i], input, &cond));
         Vector then(expr.children[i + 1]->type);
         INDBML_RETURN_NOT_OK(EvaluateExpr(*expr.children[i + 1], input, &then));
-        const uint8_t* c = cond.bools();
-        for (int64_t r = 0; r < n; ++r) {
-          if (!decided[static_cast<size_t>(r)] && c[r]) {
-            out->SetValue(r, then.GetValue(r));
-            decided[static_cast<size_t>(r)] = 1;
-          }
-        }
+        cond.Flatten();
+        MergeCaseBranch(then, std::as_const(cond).bools(), &decided, n, out);
       }
       if (i < expr.children.size()) {
         Vector els(expr.children[i]->type);
         INDBML_RETURN_NOT_OK(EvaluateExpr(*expr.children[i], input, &els));
-        for (int64_t r = 0; r < n; ++r) {
-          if (!decided[static_cast<size_t>(r)]) out->SetValue(r, els.GetValue(r));
-        }
+        MergeCaseBranch(els, nullptr, &decided, n, out);
       } else {
         for (int64_t r = 0; r < n; ++r) {
           if (!decided[static_cast<size_t>(r)]) {
@@ -453,19 +541,54 @@ Status EvaluateExpr(const Expr& expr, const DataChunk& input, Vector* out) {
     case ExprKind::kCast: {
       Vector child(expr.children[0]->type);
       INDBML_RETURN_NOT_OK(EvaluateExpr(*expr.children[0], input, &child));
+      child.Flatten();
       out->Resize(n);
-      for (int64_t r = 0; r < n; ++r) {
-        Value v = child.GetValue(r);
-        switch (expr.type) {
-          case DataType::kBool:
-            out->SetValue(r, Value::Bool(v.AsDouble() != 0));
-            break;
-          case DataType::kInt64:
-            out->SetValue(r, Value::Int64(static_cast<int64_t>(v.AsDouble())));
-            break;
-          case DataType::kFloat:
-            out->SetValue(r, Value::Float(static_cast<float>(v.AsDouble())));
-            break;
+      // Typed source→target kernels; same truncate-toward-zero semantics as
+      // the old per-row Value path.
+      switch (expr.type) {
+        case DataType::kBool: {
+          uint8_t* o = out->bools();
+          if (child.type() == DataType::kInt64) {
+            const int64_t* a = std::as_const(child).ints();
+            for (int64_t r = 0; r < n; ++r) o[r] = a[r] != 0 ? 1 : 0;
+          } else if (child.type() == DataType::kFloat) {
+            const float* a = std::as_const(child).floats();
+            for (int64_t r = 0; r < n; ++r) o[r] = a[r] != 0 ? 1 : 0;
+          } else {
+            std::memcpy(o, std::as_const(child).bools(),
+                        static_cast<size_t>(n));
+          }
+          break;
+        }
+        case DataType::kInt64: {
+          int64_t* o = out->ints();
+          if (child.type() == DataType::kFloat) {
+            const float* a = std::as_const(child).floats();
+            for (int64_t r = 0; r < n; ++r) {
+              o[r] = static_cast<int64_t>(static_cast<double>(a[r]));
+            }
+          } else if (child.type() == DataType::kBool) {
+            const uint8_t* a = std::as_const(child).bools();
+            for (int64_t r = 0; r < n; ++r) o[r] = a[r] != 0 ? 1 : 0;
+          } else {
+            std::memcpy(o, std::as_const(child).ints(),
+                        static_cast<size_t>(n) * sizeof(int64_t));
+          }
+          break;
+        }
+        case DataType::kFloat: {
+          float* o = out->floats();
+          if (child.type() == DataType::kInt64) {
+            const int64_t* a = std::as_const(child).ints();
+            for (int64_t r = 0; r < n; ++r) o[r] = static_cast<float>(a[r]);
+          } else if (child.type() == DataType::kBool) {
+            const uint8_t* a = std::as_const(child).bools();
+            for (int64_t r = 0; r < n; ++r) o[r] = a[r] != 0 ? 1.0f : 0.0f;
+          } else {
+            std::memcpy(o, std::as_const(child).floats(),
+                        static_cast<size_t>(n) * sizeof(float));
+          }
+          break;
         }
       }
       return Status::OK();

@@ -1,0 +1,71 @@
+#include "exec/gather.h"
+
+#include <cstring>
+
+namespace indbml::exec {
+
+namespace {
+
+template <typename T>
+void GatherAsFloat(const T* base, const SelectionVector* sel, int64_t n,
+                   float* dst) {
+  if (sel == nullptr) {
+    for (int64_t i = 0; i < n; ++i) dst[i] = static_cast<float>(base[i]);
+    return;
+  }
+  const int32_t* idx = sel->data();
+  for (int64_t i = 0; i < n; ++i) dst[i] = static_cast<float>(base[idx[i]]);
+}
+
+template <typename T>
+void GatherAsFloatStrided(const T* base, const SelectionVector* sel, int64_t n,
+                          float* dst, int64_t stride) {
+  if (sel == nullptr) {
+    for (int64_t i = 0; i < n; ++i) dst[i * stride] = static_cast<float>(base[i]);
+    return;
+  }
+  const int32_t* idx = sel->data();
+  for (int64_t i = 0; i < n; ++i) {
+    dst[i * stride] = static_cast<float>(base[idx[i]]);
+  }
+}
+
+}  // namespace
+
+void GatherToFloat(const Vector& v, float* dst) {
+  const int64_t n = v.size();
+  const SelectionVector* sel = v.selection();
+  switch (v.type()) {
+    case DataType::kBool:
+      GatherAsFloat(v.BaseBools(), sel, n, dst);
+      return;
+    case DataType::kInt64:
+      GatherAsFloat(v.BaseInts(), sel, n, dst);
+      return;
+    case DataType::kFloat:
+      if (sel == nullptr) {
+        std::memcpy(dst, v.BaseFloats(), static_cast<size_t>(n) * sizeof(float));
+      } else {
+        GatherAsFloat(v.BaseFloats(), sel, n, dst);
+      }
+      return;
+  }
+}
+
+void GatherToFloatStrided(const Vector& v, float* dst, int64_t stride) {
+  const int64_t n = v.size();
+  const SelectionVector* sel = v.selection();
+  switch (v.type()) {
+    case DataType::kBool:
+      GatherAsFloatStrided(v.BaseBools(), sel, n, dst, stride);
+      return;
+    case DataType::kInt64:
+      GatherAsFloatStrided(v.BaseInts(), sel, n, dst, stride);
+      return;
+    case DataType::kFloat:
+      GatherAsFloatStrided(v.BaseFloats(), sel, n, dst, stride);
+      return;
+  }
+}
+
+}  // namespace indbml::exec

@@ -1,0 +1,74 @@
+#ifndef INDBML_EXEC_GATHER_H_
+#define INDBML_EXEC_GATHER_H_
+
+#include <cstdint>
+
+#include "exec/vector.h"
+
+namespace indbml::exec {
+
+/// \brief Typed gather kernels for the columnar ↔ matrix boundary.
+///
+/// These are the only sanctioned way to move a Vector's rows into an
+/// inference engine's input layout. They hoist the base pointer, element
+/// type, and selection vector out of the row loop, so a filtered zero-copy
+/// chunk is packed with one indexed load per row — no per-row Value boxing
+/// and no intermediate flatten copy.
+
+/// Writes the vector's `v.size()` logical rows into `dst[0..n)` as floats,
+/// applying the selection and converting from bool/int64 as needed. For a
+/// flat float vector this is a straight memcpy.
+void GatherToFloat(const Vector& v, float* dst);
+
+/// Strided variant for row-major packs: logical row i is written to
+/// `dst[i * stride]`. Used by the C-API boundary, where column c of a
+/// [n x width] row-major matrix lives at `base + c` with stride `width`.
+void GatherToFloatStrided(const Vector& v, float* dst, int64_t stride);
+
+/// \brief Selection-aware per-row reader for boundaries that must keep
+/// per-value semantics (the UDF approach boxes every value into a PyValue —
+/// that tax is the experiment) but should not also pay Value boxing or a
+/// per-row selection branch chain.
+///
+/// Construct once per (vector, batch), then call DoubleAt in the row loop.
+class TypedDoubleReader {
+ public:
+  explicit TypedDoubleReader(const Vector& v)
+      : type_(v.type()), sel_(v.selection()) {
+    switch (type_) {
+      case DataType::kBool:
+        bools_ = v.BaseBools();
+        break;
+      case DataType::kInt64:
+        ints_ = v.BaseInts();
+        break;
+      case DataType::kFloat:
+        floats_ = v.BaseFloats();
+        break;
+    }
+  }
+
+  double DoubleAt(int64_t row) const {
+    const int64_t r = sel_ != nullptr ? (*sel_)[row] : row;
+    switch (type_) {
+      case DataType::kBool:
+        return bools_[r] != 0 ? 1.0 : 0.0;
+      case DataType::kInt64:
+        return static_cast<double>(ints_[r]);
+      case DataType::kFloat:
+        return static_cast<double>(floats_[r]);
+    }
+    return 0.0;
+  }
+
+ private:
+  DataType type_;
+  const SelectionVector* sel_ = nullptr;
+  const uint8_t* bools_ = nullptr;
+  const int64_t* ints_ = nullptr;
+  const float* floats_ = nullptr;
+};
+
+}  // namespace indbml::exec
+
+#endif  // INDBML_EXEC_GATHER_H_

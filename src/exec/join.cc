@@ -63,6 +63,9 @@ Status HashJoinOperator::EnsureBuilt(ExecContext* ctx) {
     for (const auto& k : build_keys_) {
       Vector v(k->type);
       INDBML_RETURN_NOT_OK(EvaluateExpr(*k, chunk, &v));
+      // NormalizeKey reads raw typed pointers; key refs over a filtered
+      // chunk arrive as selected views, so the build is a flatten boundary.
+      v.Flatten();
       key_vecs.push_back(std::move(v));
     }
     for (int64_t r = 0; r < chunk.size; ++r) {
@@ -152,6 +155,7 @@ Status HashJoinOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
       for (const auto& k : probe_keys_) {
         Vector v(k->type);
         INDBML_RETURN_NOT_OK(EvaluateExpr(*k, probe_chunk_, &v));
+        v.Flatten();
         probe_key_vecs_.push_back(std::move(v));
       }
       probe_chunk_valid_ = true;

@@ -32,11 +32,13 @@ bool CompareDoubles(double lhs, BinaryOp op, double rhs) {
 TableScanOperator::TableScanOperator(storage::TablePtr table,
                                      storage::PartitionRange range,
                                      std::vector<int> columns,
-                                     std::vector<ScanPredicate> predicates)
+                                     std::vector<ScanPredicate> predicates,
+                                     bool zero_copy)
     : table_(std::move(table)),
       range_(range),
       columns_(std::move(columns)),
-      predicates_(std::move(predicates)) {
+      predicates_(std::move(predicates)),
+      zero_copy_(zero_copy) {
   for (int c : columns_) {
     types_.push_back(table_->fields()[static_cast<size_t>(c)].type);
     names_.push_back(table_->fields()[static_cast<size_t>(c)].name);
@@ -45,9 +47,10 @@ TableScanOperator::TableScanOperator(storage::TablePtr table,
 
 TableScanOperator::TableScanOperator(MorselBound, storage::TablePtr table,
                                      std::vector<int> columns,
-                                     std::vector<ScanPredicate> predicates)
+                                     std::vector<ScanPredicate> predicates,
+                                     bool zero_copy)
     : TableScanOperator(std::move(table), storage::PartitionRange{0, 0},
-                        std::move(columns), std::move(predicates)) {
+                        std::move(columns), std::move(predicates), zero_copy) {
   morsel_bound_ = true;
 }
 
@@ -126,6 +129,65 @@ bool TableScanOperator::RowPasses(int64_t r) const {
 }
 
 Status TableScanOperator::Next(ExecContext*, DataChunk* out, bool* eof) {
+  if (!zero_copy_) return NextMaterialized(out, eof);
+  const int64_t rows_per_block = table_->rows_per_block();
+  while (cursor_ < range_.end) {
+    // Block pruning (unchanged from the materialising path): at a block
+    // boundary, consult the zone maps before touching rows.
+    if (!predicates_.empty()) {
+      int64_t block = cursor_ / rows_per_block;
+      int64_t block_end = std::min((block + 1) * rows_per_block, range_.end);
+      if (cursor_ % rows_per_block == 0 && block_end <= range_.end) {
+        ++stats_.blocks_total;
+        if (CanPruneBlock(block)) {
+          ++stats_.blocks_pruned;
+          cursor_ = block_end;
+          continue;
+        }
+      }
+    }
+
+    // One contiguous window per Next: up to kDefaultVectorSize base rows,
+    // clipped to the block when predicates are present so pruning decisions
+    // stay per-block.
+    int64_t window_end = std::min(cursor_ + kDefaultVectorSize, range_.end);
+    if (!predicates_.empty()) {
+      window_end = std::min(window_end,
+                            ((cursor_ / rows_per_block) + 1) * rows_per_block);
+    }
+    const int64_t window_rows = window_end - cursor_;
+
+    SelectionPtr sel;
+    if (!predicates_.empty()) {
+      std::vector<int32_t> passing;
+      for (int64_t r = cursor_; r < window_end; ++r) {
+        if (RowPasses(r)) passing.push_back(static_cast<int32_t>(r - cursor_));
+      }
+      if (passing.empty()) {
+        cursor_ = window_end;
+        continue;  // nothing survived this window; keep scanning
+      }
+      sel = std::make_shared<const SelectionVector>(std::move(passing));
+    }
+
+    // Emit views over the table's column buffers — no row data is copied.
+    for (size_t ci = 0; ci < columns_.size(); ++ci) {
+      const storage::Column& col = table_->column(columns_[ci]);
+      Vector view = Vector::View(col.type(), col.buffer(), cursor_, window_rows);
+      out->column(static_cast<int64_t>(ci)) =
+          sel != nullptr ? view.WithSelection(sel) : std::move(view);
+    }
+    out->size = sel != nullptr ? sel->size() : window_rows;
+    cursor_ = window_end;
+    stats_.rows_emitted += out->size;
+    *eof = cursor_ >= range_.end;
+    return Status::OK();
+  }
+  *eof = true;
+  return Status::OK();
+}
+
+Status TableScanOperator::NextMaterialized(DataChunk* out, bool* eof) {
   const int64_t rows_per_block = table_->rows_per_block();
   while (cursor_ < range_.end) {
     // Block pruning: if the cursor is at a block boundary within the

@@ -66,10 +66,16 @@ Status ValidateChunk(const DataChunk& chunk, const std::vector<DataType>& types,
           static_cast<long long>(c), static_cast<long long>(v.size()),
           static_cast<long long>(chunk.size)));
     }
+    if (v.has_selection()) {
+      INDBML_RETURN_IF_ERROR(ValidateSelection(
+          v.selection()->data(), v.size(), v.base_rows(),
+          where + StrFormat(" column %lld", static_cast<long long>(c))));
+    }
     if (v.type() == DataType::kFloat && !options.allow_non_finite) {
-      const float* data = v.floats();
+      // GetFloatAt applies the selection, so selected views validate
+      // without being flattened first.
       for (int64_t r = 0; r < v.size(); ++r) {
-        if (!std::isfinite(data[r])) {
+        if (!std::isfinite(v.GetFloatAt(r))) {
           return fail(StrFormat("non-finite float at column %lld row %lld",
                                 static_cast<long long>(c),
                                 static_cast<long long>(r)));
@@ -80,7 +86,7 @@ Status ValidateChunk(const DataChunk& chunk, const std::vector<DataType>& types,
   return Status::OK();
 }
 
-Status ValidateSelection(const int64_t* sel, int64_t n, int64_t input_size,
+Status ValidateSelection(const int32_t* sel, int64_t n, int64_t input_size,
                          const std::string& where) {
   for (int64_t i = 0; i < n; ++i) {
     if (sel[i] < 0 || sel[i] >= input_size) {

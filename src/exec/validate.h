@@ -26,16 +26,17 @@ struct ChunkValidationOptions {
 };
 
 /// Checks one inter-operator chunk: column count and types match `types`,
-/// every column's length equals `chunk.size`, and float columns are finite
-/// unless `allow_non_finite`. `where` names the producing operator for the
-/// error message.
+/// every column's length equals `chunk.size`, each column's selection
+/// vector (if any) stays inside its base window, and float columns are
+/// finite unless `allow_non_finite`. `where` names the producing operator
+/// for the error message.
 Status ValidateChunk(const DataChunk& chunk, const std::vector<DataType>& types,
                      const std::string& where,
                      const ChunkValidationOptions& options = {});
 
 /// Checks that all `n` row/selection indices in `sel` lie inside
-/// `[0, input_size)` (filter/join gather paths).
-Status ValidateSelection(const int64_t* sel, int64_t n, int64_t input_size,
+/// `[0, input_size)` (filter/scan selection vectors, join gather paths).
+Status ValidateSelection(const int32_t* sel, int64_t n, int64_t input_size,
                          const std::string& where);
 
 /// \brief Validation decorator around any Operator: re-checks every chunk

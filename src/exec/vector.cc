@@ -1,0 +1,83 @@
+#include "exec/vector.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/metrics.h"
+
+namespace indbml::exec {
+
+namespace {
+
+metrics::Counter* FlattenCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Global().counter("vector.flattens");
+  return counter;
+}
+
+metrics::Counter* FlattenRowsCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Global().counter("vector.flatten_rows");
+  return counter;
+}
+
+metrics::Counter* CowCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Global().counter("vector.cow_copies");
+  return counter;
+}
+
+/// Copies `n` logical rows of (`base`, `sel`) into contiguous `dst`.
+template <typename T>
+void GatherRows(const T* base, const SelectionVector* sel, int64_t n, T* dst) {
+  if (sel == nullptr) {
+    std::memcpy(dst, base, static_cast<size_t>(n) * sizeof(T));
+    return;
+  }
+  const int32_t* idx = sel->data();
+  for (int64_t i = 0; i < n; ++i) dst[i] = base[idx[i]];
+}
+
+}  // namespace
+
+void Vector::EnsureWritable(int64_t min_rows) {
+  const int64_t elem = ElemSize();
+  const bool writable = buffer_ != nullptr && buffer_.use_count() == 1 &&
+                        offset_ == 0 && sel_ == nullptr;
+  if (writable && buffer_->capacity() >= min_rows * elem) return;
+  if (buffer_ == nullptr && min_rows == 0) return;
+  if (buffer_ != nullptr && !writable) CowCounter()->Increment();
+
+  // Geometric growth so repeated Append stays amortised O(1).
+  int64_t new_rows = std::max<int64_t>(
+      min_rows, std::max<int64_t>(size_ * 2, int64_t{16}));
+  BufferPtr fresh = Buffer::New(new_rows * elem);
+  if (size_ > 0) {
+    switch (type_) {
+      case DataType::kBool:
+        GatherRows(BaseBools(), sel_.get(), size_, fresh->data());
+        break;
+      case DataType::kInt64:
+        GatherRows(BaseInts(), sel_.get(), size_,
+                   reinterpret_cast<int64_t*>(fresh->data()));
+        break;
+      case DataType::kFloat:
+        GatherRows(BaseFloats(), sel_.get(), size_,
+                   reinterpret_cast<float*>(fresh->data()));
+        break;
+    }
+  }
+  buffer_ = std::move(fresh);
+  offset_ = 0;
+  sel_.reset();
+  base_rows_ = size_;
+}
+
+void Vector::Flatten() {
+  if (sel_ == nullptr) return;
+  FlattenCounter()->Increment();
+  FlattenRowsCounter()->Increment(size_);
+  EnsureWritable(size_);
+}
+
+}  // namespace indbml::exec

@@ -2,11 +2,13 @@
 #define INDBML_EXEC_VECTOR_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/config.h"
 #include "common/logging.h"
-#include "common/memory_tracker.h"
 #include "storage/types.h"
 
 namespace indbml::exec {
@@ -14,99 +16,219 @@ namespace indbml::exec {
 using storage::DataType;
 using storage::Value;
 
+/// \brief Immutable list of row indices selecting a subset of a vector's
+/// base window (DuckDB-style selection vector).
+///
+/// Shared by every column of a filtered chunk: a filter emits one
+/// SelectionVector and attaches it to all of its input's column views
+/// instead of re-materialising the survivors.
+class SelectionVector {
+ public:
+  explicit SelectionVector(std::vector<int32_t> indices)
+      : indices_(std::move(indices)) {}
+
+  int64_t size() const { return static_cast<int64_t>(indices_.size()); }
+  const int32_t* data() const { return indices_.data(); }
+  int32_t operator[](int64_t i) const { return indices_[static_cast<size_t>(i)]; }
+
+ private:
+  std::vector<int32_t> indices_;
+};
+
+using SelectionPtr = std::shared_ptr<const SelectionVector>;
+
 /// \brief One column's values for a batch of up to kDefaultVectorSize rows.
 ///
-/// Vectors own their storage (operators materialise into fresh vectors);
-/// this keeps lifetimes trivial at the cost of a copy out of base-table
-/// storage during scans, which is negligible next to join/aggregate work.
+/// A Vector is a *view* until someone needs new storage. Three
+/// representations share one class:
+///
+///  - **owned**: the vector holds the only reference to its Buffer and may
+///    write it in place (fresh kernel outputs, flattened data);
+///  - **view**: a contiguous window `[offset, offset + size)` over a shared
+///    Buffer — zero-copy scans emit these straight over table storage;
+///  - **view + selection**: the same window narrowed by a SelectionVector —
+///    filters emit these instead of copying survivors.
+///
+/// Copying a Vector never copies data: the copy shares the Buffer and
+/// becomes a view. Every mutating entry point (Resize growth, SetValue,
+/// Append, the non-const data accessors) goes through EnsureWritable(),
+/// which materialises a private flat buffer only when the current one is
+/// shared or selected (copy-on-write). Operators that need contiguous rows
+/// for pointer arithmetic call Flatten() explicitly; selection-agnostic
+/// random access goes through GetValue()/Get*At(). Buffer-level
+/// MemoryTracker accounting means a thousand views over one column cost one
+/// column.
 class Vector {
  public:
   Vector() : type_(DataType::kInt64) {}
   explicit Vector(DataType type) : type_(type) {}
 
-  ~Vector() { AdjustTracking(0); }
-  Vector(const Vector& other)
-      : type_(other.type_),
-        size_(other.size_),
-        bools_(other.bools_),
-        ints_(other.ints_),
-        floats_(other.floats_) {
-    AdjustTracking(CapacityBytes());
-  }
-  Vector& operator=(const Vector& other) {
-    type_ = other.type_;
-    size_ = other.size_;
-    bools_ = other.bools_;
-    ints_ = other.ints_;
-    floats_ = other.floats_;
-    AdjustTracking(CapacityBytes());
-    return *this;
-  }
+  /// Copies share the buffer (the copy is a view); see class comment.
+  Vector(const Vector&) = default;
+  Vector& operator=(const Vector&) = default;
+
   Vector(Vector&& other) noexcept
       : type_(other.type_),
         size_(other.size_),
-        bools_(std::move(other.bools_)),
-        ints_(std::move(other.ints_)),
-        floats_(std::move(other.floats_)),
-        tracked_(other.tracked_) {
-    other.tracked_ = 0;
+        base_rows_(other.base_rows_),
+        offset_(other.offset_),
+        buffer_(std::move(other.buffer_)),
+        sel_(std::move(other.sel_)) {
     other.size_ = 0;
+    other.base_rows_ = 0;
+    other.offset_ = 0;
   }
   Vector& operator=(Vector&& other) noexcept {
-    AdjustTracking(0);
     type_ = other.type_;
     size_ = other.size_;
-    bools_ = std::move(other.bools_);
-    ints_ = std::move(other.ints_);
-    floats_ = std::move(other.floats_);
-    tracked_ = other.tracked_;
-    other.tracked_ = 0;
+    base_rows_ = other.base_rows_;
+    offset_ = other.offset_;
+    buffer_ = std::move(other.buffer_);
+    sel_ = std::move(other.sel_);
     other.size_ = 0;
+    other.base_rows_ = 0;
+    other.offset_ = 0;
     return *this;
+  }
+
+  /// Zero-copy flat view over `rows` elements of `buffer` starting at
+  /// element `offset` (scans use this to expose table storage directly).
+  static Vector View(DataType type, BufferPtr buffer, int64_t offset,
+                     int64_t rows) {
+    Vector v(type);
+    v.buffer_ = std::move(buffer);
+    v.offset_ = offset;
+    v.size_ = rows;
+    v.base_rows_ = rows;
+    return v;
+  }
+
+  /// This vector narrowed by `sel` (indices are *logical* rows of this
+  /// vector, i.e. already-selected positions compose). Never copies data.
+  Vector WithSelection(SelectionPtr sel) const {
+    Vector v(type_);
+    v.buffer_ = buffer_;
+    v.offset_ = offset_;
+    v.base_rows_ = base_rows_;
+    if (sel_ == nullptr) {
+      v.sel_ = std::move(sel);
+    } else {
+      // Compose: materialise indices (cheap — O(output rows), no data copy).
+      std::vector<int32_t> composed;
+      composed.reserve(static_cast<size_t>(sel->size()));
+      for (int64_t i = 0; i < sel->size(); ++i) {
+        composed.push_back((*sel_)[(*sel)[i]]);
+      }
+      v.sel_ = std::make_shared<const SelectionVector>(std::move(composed));
+    }
+    v.size_ = v.sel_->size();
+    return v;
   }
 
   DataType type() const { return type_; }
   int64_t size() const { return size_; }
 
+  bool has_selection() const { return sel_ != nullptr; }
+  const SelectionVector* selection() const { return sel_.get(); }
+  /// Length of the contiguous base window the selection indexes into
+  /// (== size() for flat vectors).
+  int64_t base_rows() const { return base_rows_; }
+  /// The underlying shared buffer (lifetime tests / diagnostics).
+  const BufferPtr& buffer() const { return buffer_; }
+
+  /// Grows (copy-on-write, zero-filling new rows) or shrinks (in place,
+  /// views keep their representation) to `n` logical rows.
   void Resize(int64_t n) {
-    size_ = n;
-    switch (type_) {
-      case DataType::kBool:
-        bools_.resize(static_cast<size_t>(n));
-        break;
-      case DataType::kInt64:
-        ints_.resize(static_cast<size_t>(n));
-        break;
-      case DataType::kFloat:
-        floats_.resize(static_cast<size_t>(n));
-        break;
+    if (n <= size_) {
+      size_ = n;
+      if (sel_ == nullptr) base_rows_ = n;
+      return;
     }
-    AdjustTracking(CapacityBytes());
+    EnsureWritable(n);
+    uint8_t* base = buffer_->data();
+    const int64_t elem = ElemSize();
+    std::fill(base + size_ * elem, base + n * elem, uint8_t{0});
+    size_ = n;
+    base_rows_ = n;
   }
 
+  /// Empties the vector. A private buffer is kept for reuse (the DataChunk
+  /// Reset hot path); shared/selected buffers are released so the producer
+  /// of the next batch starts from fresh storage.
   void Clear() {
     size_ = 0;
-    bools_.clear();
-    ints_.clear();
-    floats_.clear();
-    AdjustTracking(CapacityBytes());
+    base_rows_ = 0;
+    if (sel_ != nullptr || offset_ != 0 ||
+        (buffer_ != nullptr && buffer_.use_count() > 1)) {
+      buffer_.reset();
+      offset_ = 0;
+      sel_.reset();
+    }
   }
 
-  uint8_t* bools() { return bools_.data(); }
-  const uint8_t* bools() const { return bools_.data(); }
-  int64_t* ints() { return ints_.data(); }
-  const int64_t* ints() const { return ints_.data(); }
-  float* floats() { return floats_.data(); }
-  const float* floats() const { return floats_.data(); }
+  /// Contiguous typed data. Valid only without a selection (flat views are
+  /// contiguous; call Flatten() first if a selection may be present). The
+  /// non-const overloads make the vector writable (copy-on-write).
+  const uint8_t* bools() const {
+    INDBML_DCHECK(sel_ == nullptr);
+    return BaseBools();
+  }
+  const int64_t* ints() const {
+    INDBML_DCHECK(sel_ == nullptr);
+    return BaseInts();
+  }
+  const float* floats() const {
+    INDBML_DCHECK(sel_ == nullptr);
+    return BaseFloats();
+  }
+  uint8_t* bools() {
+    EnsureWritable(size_);
+    return buffer_ != nullptr ? buffer_->data() : nullptr;
+  }
+  int64_t* ints() {
+    EnsureWritable(size_);
+    return buffer_ != nullptr ? reinterpret_cast<int64_t*>(buffer_->data())
+                              : nullptr;
+  }
+  float* floats() {
+    EnsureWritable(size_);
+    return buffer_ != nullptr ? reinterpret_cast<float*>(buffer_->data())
+                              : nullptr;
+  }
+
+  /// Base-window typed pointers: element i is base row i, *before* the
+  /// selection is applied. Gather kernels (exec/gather.h) hoist these plus
+  /// selection()->data() out of their row loops.
+  const uint8_t* BaseBools() const {
+    INDBML_DCHECK(type_ == DataType::kBool);
+    return buffer_ != nullptr ? buffer_->data() + offset_ : nullptr;
+  }
+  const int64_t* BaseInts() const {
+    INDBML_DCHECK(type_ == DataType::kInt64);
+    return buffer_ != nullptr
+               ? reinterpret_cast<const int64_t*>(buffer_->data()) + offset_
+               : nullptr;
+  }
+  const float* BaseFloats() const {
+    INDBML_DCHECK(type_ == DataType::kFloat);
+    return buffer_ != nullptr
+               ? reinterpret_cast<const float*>(buffer_->data()) + offset_
+               : nullptr;
+  }
+
+  /// Representation-agnostic typed row access (applies the selection).
+  bool GetBoolAt(int64_t row) const { return BaseBools()[RowIndex(row)] != 0; }
+  int64_t GetInt64At(int64_t row) const { return BaseInts()[RowIndex(row)]; }
+  float GetFloatAt(int64_t row) const { return BaseFloats()[RowIndex(row)]; }
 
   Value GetValue(int64_t row) const {
     switch (type_) {
       case DataType::kBool:
-        return Value::Bool(bools_[static_cast<size_t>(row)] != 0);
+        return Value::Bool(GetBoolAt(row));
       case DataType::kInt64:
-        return Value::Int64(ints_[static_cast<size_t>(row)]);
+        return Value::Int64(GetInt64At(row));
       case DataType::kFloat:
-        return Value::Float(floats_[static_cast<size_t>(row)]);
+        return Value::Float(GetFloatAt(row));
     }
     return Value();
   }
@@ -114,17 +236,18 @@ class Vector {
   /// Stores `v` at `row`, coercing numerically if the value's type differs
   /// from the vector's type (used by CASE branches and casts).
   void SetValue(int64_t row, const Value& v) {
+    EnsureWritable(size_);
+    uint8_t* base = buffer_->data();
     switch (type_) {
       case DataType::kBool:
-        bools_[static_cast<size_t>(row)] =
-            (v.type == DataType::kBool ? v.b : v.AsDouble() != 0) ? 1 : 0;
+        base[row] = (v.type == DataType::kBool ? v.b : v.AsDouble() != 0) ? 1 : 0;
         break;
       case DataType::kInt64:
-        ints_[static_cast<size_t>(row)] =
+        reinterpret_cast<int64_t*>(base)[row] =
             v.type == DataType::kInt64 ? v.i : static_cast<int64_t>(v.AsDouble());
         break;
       case DataType::kFloat:
-        floats_[static_cast<size_t>(row)] =
+        reinterpret_cast<float*>(base)[row] =
             v.type == DataType::kFloat ? v.f : static_cast<float>(v.AsDouble());
         break;
     }
@@ -135,29 +258,31 @@ class Vector {
     SetValue(size_ - 1, v);
   }
 
+  /// Materialises selected rows into a private contiguous buffer; no-op for
+  /// flat vectors. After Flatten() the contiguous accessors are valid and
+  /// the vector is safe to mutate. Operators that need contiguous owned
+  /// data (hash-join keys, aggregation, matrix packs) call this at their
+  /// boundary; everything upstream stays zero-copy.
+  void Flatten();
+
  private:
-  /// Buffer bytes currently held (capacity, not size).
-  int64_t CapacityBytes() const {
-    return static_cast<int64_t>(bools_.capacity() + ints_.capacity() * 8 +
-                                floats_.capacity() * 4);
+  int64_t ElemSize() const { return storage::DataTypeSize(type_); }
+
+  int64_t RowIndex(int64_t row) const {
+    return sel_ != nullptr ? (*sel_)[row] : row;
   }
 
-  /// Keeps the global MemoryTracker in sync with this vector's buffers so
-  /// materialised intermediate results show up in the Table-3 peak-memory
-  /// experiment.
-  void AdjustTracking(int64_t now) {
-    if (now != tracked_) {
-      MemoryTracker::Global().Allocate(now - tracked_);
-      tracked_ = now;
-    }
-  }
+  /// Guarantees a private (use_count == 1), offset-free, selection-free
+  /// buffer with capacity for `min_rows` rows, preserving the current
+  /// logical contents. The copy-on-write core of every mutator.
+  void EnsureWritable(int64_t min_rows);
 
   DataType type_;
-  int64_t size_ = 0;
-  std::vector<uint8_t> bools_;
-  std::vector<int64_t> ints_;
-  std::vector<float> floats_;
-  int64_t tracked_ = 0;
+  int64_t size_ = 0;       ///< logical rows (== selection size when selected)
+  int64_t base_rows_ = 0;  ///< contiguous window length behind the selection
+  int64_t offset_ = 0;     ///< element offset of the window in the buffer
+  BufferPtr buffer_;
+  SelectionPtr sel_;
 };
 
 /// \brief A batch of rows in columnar layout: the unit of data flow between

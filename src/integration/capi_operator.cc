@@ -4,6 +4,7 @@
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "exec/gather.h"
 #include "exec/profile.h"
 #include "mlruntime/trt_c_api.h"
 
@@ -62,17 +63,9 @@ Status CApiInferenceOperator::Next(exec::ExecContext* ctx, exec::DataChunk* out,
   row_major_input_.resize(static_cast<size_t>(n * in_width));
   for (int64_t c = 0; c < in_width; ++c) {
     const exec::Vector& col = in.column(input_columns_[static_cast<size_t>(c)]);
-    if (col.type() == exec::DataType::kFloat) {
-      const float* data = col.floats();
-      for (int64_t r = 0; r < n; ++r) {
-        row_major_input_[static_cast<size_t>(r * in_width + c)] = data[r];
-      }
-    } else {
-      for (int64_t r = 0; r < n; ++r) {
-        row_major_input_[static_cast<size_t>(r * in_width + c)] =
-            static_cast<float>(col.GetValue(r).AsDouble());
-      }
-    }
+    // Typed strided gather through the selection vector: column c of the
+    // row-major matrix lives at base + c with stride in_width.
+    exec::GatherToFloatStrided(col, row_major_input_.data() + c, in_width);
   }
 
   int64_t convert_nanos = phase_watch.ElapsedNanos();

@@ -6,6 +6,7 @@
 #include "common/config.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "exec/gather.h"
 #include "exec/profile.h"
 
 namespace indbml::modeljoin {
@@ -282,14 +283,15 @@ Status ModelJoinOperator::Next(exec::ExecContext* ctx, exec::DataChunk* out,
   for (size_t ci = 0; ci < input_columns_.size(); ++ci) {
     const exec::Vector& col = in.column(input_columns_[ci]);
     const float* src;
-    if (col.type() == exec::DataType::kFloat) {
+    if (col.type() == exec::DataType::kFloat && !col.has_selection()) {
+      // Flat float column (possibly a zero-copy view over table storage):
+      // transfer straight from the column's window, no staging copy.
       src = col.floats();
     } else {
-      // Integer feature columns are converted on the host first.
-      for (int64_t r = 0; r < n; ++r) {
-        scratch_->host_staging[static_cast<size_t>(r)] =
-            static_cast<float>(col.GetValue(r).AsDouble());
-      }
+      // Selected or non-float columns: typed gather through the selection
+      // vector into the staging buffer — one indexed load per row, no
+      // per-row Value boxing.
+      exec::GatherToFloat(col, scratch_->host_staging.data());
       src = scratch_->host_staging.data();
     }
     device->CopyToDevice(scratch_->x + static_cast<int64_t>(ci) * n, src, n);

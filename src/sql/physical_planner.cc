@@ -43,12 +43,14 @@ PhysicalPlanner::PhysicalPlanner(const LogicalOp* plan, const PlanAnalysis& anal
                                  int requested_workers,
                                  ModelJoinStateFactory state_factory,
                                  ModelJoinOperatorFactory operator_factory,
-                                 exec::QueryProfile* profile, bool morsel_driven)
+                                 exec::QueryProfile* profile, bool morsel_driven,
+                                 bool zero_copy_scan)
     : plan_(plan),
       analysis_(analysis),
       num_workers_(analysis.parallel_safe ? std::max(1, requested_workers) : 1),
       morsel_driven_(morsel_driven && analysis.parallel_safe &&
                      analysis.partitioned_table != nullptr),
+      zero_copy_scan_(zero_copy_scan),
       state_factory_(std::move(state_factory)),
       operator_factory_(std::move(operator_factory)),
       profile_(profile) {}
@@ -118,14 +120,14 @@ Result<OperatorPtr> PhysicalPlanner::BuildNode(const LogicalOp& node, int worker
         // scan's row range per claimed morsel via Rewind.
         return OperatorPtr(std::make_unique<exec::TableScanOperator>(
             exec::TableScanOperator::MorselBound{}, node.table, node.scan_columns,
-            node.pushed));
+            node.pushed, zero_copy_scan_));
       }
       storage::PartitionRange range{0, node.table->num_rows()};
       if (node.table.get() == analysis_.partitioned_table && num_workers_ > 1) {
         range = node.table->MakePartitions(num_workers_)[static_cast<size_t>(worker)];
       }
       return OperatorPtr(std::make_unique<exec::TableScanOperator>(
-          node.table, range, node.scan_columns, node.pushed));
+          node.table, range, node.scan_columns, node.pushed, zero_copy_scan_));
     }
     case LogicalKind::kFilter: {
       INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], worker));

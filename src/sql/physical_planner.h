@@ -57,7 +57,7 @@ class PhysicalPlanner {
                   int requested_workers, ModelJoinStateFactory state_factory,
                   ModelJoinOperatorFactory operator_factory,
                   exec::QueryProfile* profile = nullptr,
-                  bool morsel_driven = false);
+                  bool morsel_driven = false, bool zero_copy_scan = true);
 
   /// Effective worker count (1 if the plan is not parallel-safe).
   int num_workers() const { return num_workers_; }
@@ -79,6 +79,7 @@ class PhysicalPlanner {
   PlanAnalysis analysis_;
   int num_workers_;
   bool morsel_driven_;
+  bool zero_copy_scan_;
   ModelJoinStateFactory state_factory_;
   ModelJoinOperatorFactory operator_factory_;
   exec::QueryProfile* profile_;

@@ -40,11 +40,16 @@ std::string LogicalOp::ToString(int indent) const {
   return line;
 }
 
+// Pieces are appended one at a time instead of chained with operator+:
+// GCC 12's -Wrestrict reports bogus overlapping-memcpy warnings on inlined
+// string operator+ chains at -O2, which -Werror turns fatal.
 std::string LogicalOp::NodeString() const {
   std::string line = KindName(kind);
   switch (kind) {
     case LogicalKind::kScan: {
-      line += " " + table->name() + " [";
+      line += " ";
+      line += table->name();
+      line += " [";
       for (size_t i = 0; i < outputs.size(); ++i) {
         if (i) line += ", ";
         line += outputs[i].name;
@@ -57,13 +62,16 @@ std::string LogicalOp::NodeString() const {
       break;
     }
     case LogicalKind::kFilter:
-      line += " " + condition->ToString();
+      line += " ";
+      line += condition->ToString();
       break;
     case LogicalKind::kProject: {
       line += " [";
       for (size_t i = 0; i < exprs.size(); ++i) {
         if (i) line += ", ";
-        line += outputs[i].name + "=" + exprs[i]->ToString();
+        line += outputs[i].name;
+        line += "=";
+        line += exprs[i]->ToString();
       }
       line += "]";
       break;
@@ -72,7 +80,9 @@ std::string LogicalOp::NodeString() const {
       line += " on ";
       for (size_t i = 0; i < probe_keys.size(); ++i) {
         if (i) line += " AND ";
-        line += probe_keys[i]->ToString() + "=" + build_keys[i]->ToString();
+        line += probe_keys[i]->ToString();
+        line += "=";
+        line += build_keys[i]->ToString();
       }
       break;
     }
@@ -109,7 +119,10 @@ std::string LogicalOp::NodeString() const {
       line += StrFormat(" %lld", static_cast<long long>(limit));
       break;
     case LogicalKind::kModelJoin:
-      line += " model=" + modeljoin.meta.name + " device=" + modeljoin.device;
+      line += " model=";
+      line += modeljoin.meta.name;
+      line += " device=";
+      line += modeljoin.device;
       break;
     case LogicalKind::kCrossJoin:
       break;

@@ -33,6 +33,10 @@ class QueryEngine {
     bool morsel_driven = true;
     /// Run workers on a thread pool; false = serial (debugging).
     bool parallel = true;
+    /// Scans emit zero-copy views over table storage, and filters emit
+    /// selection vectors instead of copying survivors (default); false =
+    /// the legacy per-row materialising scan (conversion ablation).
+    bool zero_copy_scan = true;
     OptimizerOptions optimizer;
   };
 

@@ -4,65 +4,89 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/logging.h"
-#include "common/memory_tracker.h"
 #include "storage/types.h"
 
 namespace indbml::storage {
 
 /// \brief A fully materialised table column (columnar storage layout).
 ///
-/// Values are stored in type-specific contiguous arrays; the allocation is
-/// reported to the MemoryTracker in coarse steps so peak-memory experiments
-/// see table storage.
+/// Values live in one type-erased, reference-counted Buffer
+/// (common/buffer.h), which reports itself to the MemoryTracker exactly
+/// once — so base-table storage is visible to the Table-3 peak-memory
+/// experiment, and the zero-copy scan views (exec::Vector) that share the
+/// buffer add nothing to the count. Sharing also pins the storage: a result
+/// chunk viewing this column keeps the bytes alive after the Table is gone.
 class Column {
  public:
   explicit Column(DataType type) : type_(type) {}
+
+  /// Columns deep-copy: a copy sharing the buffer while either side keeps
+  /// appending would corrupt the other, and column copies are cold-path
+  /// (table construction only).
+  Column(const Column& other) { *this = other; }
+  Column& operator=(const Column& other);
+  Column(Column&&) noexcept = default;
+  Column& operator=(Column&&) noexcept = default;
 
   DataType type() const { return type_; }
   int64_t size() const { return size_; }
 
   void AppendBool(bool v) {
     INDBML_DCHECK(type_ == DataType::kBool);
-    bools_.push_back(v);
-    ++size_;
+    EnsureCapacity(size_ + 1);
+    buf_->data()[size_++] = v ? 1 : 0;
   }
   void AppendInt64(int64_t v) {
     INDBML_DCHECK(type_ == DataType::kInt64);
-    ints_.push_back(v);
-    ++size_;
+    EnsureCapacity(size_ + 1);
+    reinterpret_cast<int64_t*>(buf_->data())[size_++] = v;
   }
   void AppendFloat(float v) {
     INDBML_DCHECK(type_ == DataType::kFloat);
-    floats_.push_back(v);
-    ++size_;
+    EnsureCapacity(size_ + 1);
+    reinterpret_cast<float*>(buf_->data())[size_++] = v;
   }
   void AppendValue(const Value& v);
 
-  bool GetBool(int64_t row) const { return bools_[static_cast<size_t>(row)] != 0; }
-  int64_t GetInt64(int64_t row) const { return ints_[static_cast<size_t>(row)]; }
-  float GetFloat(int64_t row) const { return floats_[static_cast<size_t>(row)]; }
+  bool GetBool(int64_t row) const { return bool_data()[row] != 0; }
+  int64_t GetInt64(int64_t row) const { return int_data()[row]; }
+  float GetFloat(int64_t row) const { return float_data()[row]; }
   Value GetValue(int64_t row) const;
 
-  const int64_t* int_data() const { return ints_.data(); }
-  const float* float_data() const { return floats_.data(); }
-  const uint8_t* bool_data() const { return bools_.data(); }
-
-  /// Reserves capacity for n rows (avoids growth reallocation churn).
-  void Reserve(int64_t n);
-
-  /// Bytes of storage currently held.
-  int64_t MemoryBytes() const {
-    return static_cast<int64_t>(ints_.capacity() * 8 + floats_.capacity() * 4 +
-                                bools_.capacity());
+  const int64_t* int_data() const {
+    return buf_ != nullptr ? reinterpret_cast<const int64_t*>(buf_->data())
+                           : nullptr;
+  }
+  const float* float_data() const {
+    return buf_ != nullptr ? reinterpret_cast<const float*>(buf_->data())
+                           : nullptr;
+  }
+  const uint8_t* bool_data() const {
+    return buf_ != nullptr ? buf_->data() : nullptr;
   }
 
+  /// The shared storage buffer; scans hand this to exec::Vector::View for
+  /// zero-copy chunks. Stable once the table is finalized (appends may
+  /// reallocate).
+  const BufferPtr& buffer() const { return buf_; }
+
+  /// Reserves capacity for n rows (avoids growth reallocation churn).
+  void Reserve(int64_t n) { EnsureCapacity(n); }
+
+  /// Bytes of storage currently held.
+  int64_t MemoryBytes() const { return buf_ != nullptr ? buf_->capacity() : 0; }
+
  private:
+  /// Grows the buffer (geometrically) to hold at least `rows` elements. A
+  /// shared buffer is never grown in place: readers holding views keep the
+  /// old buffer, the column moves to a private copy.
+  void EnsureCapacity(int64_t rows);
+
   DataType type_;
   int64_t size_ = 0;
-  std::vector<uint8_t> bools_;
-  std::vector<int64_t> ints_;
-  std::vector<float> floats_;
+  BufferPtr buf_;
 };
 
 }  // namespace indbml::storage

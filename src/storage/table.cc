@@ -1,6 +1,7 @@
 #include "storage/table.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/string_util.h"
 
@@ -16,6 +17,33 @@ std::string Value::ToString() const {
       return StrFormat("%g", static_cast<double>(f));
   }
   return "?";
+}
+
+Column& Column::operator=(const Column& other) {
+  if (this == &other) return *this;
+  type_ = other.type_;
+  size_ = other.size_;
+  buf_.reset();
+  if (other.buf_ != nullptr && other.size_ > 0) {
+    const int64_t bytes = other.size_ * DataTypeSize(type_);
+    buf_ = Buffer::New(bytes);
+    std::memcpy(buf_->data(), other.buf_->data(), static_cast<size_t>(bytes));
+  }
+  return *this;
+}
+
+void Column::EnsureCapacity(int64_t rows) {
+  const int64_t elem = DataTypeSize(type_);
+  const bool private_buf = buf_ != nullptr && buf_.use_count() == 1;
+  if (private_buf && buf_->capacity() >= rows * elem) return;
+  int64_t new_rows =
+      std::max<int64_t>(rows, std::max<int64_t>(size_ * 2, int64_t{64}));
+  BufferPtr fresh = Buffer::New(new_rows * elem);
+  if (size_ > 0 && buf_ != nullptr) {
+    std::memcpy(fresh->data(), buf_->data(),
+                static_cast<size_t>(size_ * elem));
+  }
+  buf_ = std::move(fresh);
 }
 
 void Column::AppendValue(const Value& v) {
@@ -42,20 +70,6 @@ Value Column::GetValue(int64_t row) const {
       return Value::Float(GetFloat(row));
   }
   return Value();
-}
-
-void Column::Reserve(int64_t n) {
-  switch (type_) {
-    case DataType::kBool:
-      bools_.reserve(static_cast<size_t>(n));
-      return;
-    case DataType::kInt64:
-      ints_.reserve(static_cast<size_t>(n));
-      return;
-    case DataType::kFloat:
-      floats_.reserve(static_cast<size_t>(n));
-      return;
-  }
 }
 
 Table::Table(std::string name, std::vector<Field> fields)

@@ -3,8 +3,10 @@
 // concurrency primitives hard enough that a missing happens-before edge
 // shows up as a TSan report (or, without TSan, as a flaky count mismatch).
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,7 @@
 #include "modeljoin/shared_model.h"
 #include "nn/model.h"
 #include "nn/model_meta.h"
+#include "sql/query_engine.h"
 #include "test_util.h"
 
 namespace indbml {
@@ -267,6 +270,65 @@ TEST(SharedModelStressTest, ConcurrentBuildRounds) {
       }
     }
   }
+}
+
+/// Shared-Buffer lifetime under concurrency: a morsel-driven filter query
+/// returns chunks that are selection views sharing the base table's column
+/// buffers across worker threads. Dropping the table from the catalog,
+/// destroying the engine, and releasing the last named TablePtr must leave
+/// every view readable — the ref-counted buffers are the only thing keeping
+/// the data alive (TSan/ASan guard the reads below).
+TEST(SharedBufferStressTest, ResultViewsOutliveEngineAndTable) {
+  constexpr int64_t kRows = 50000;
+  exec::QueryResult result;
+  {
+    auto table = std::make_shared<storage::Table>(
+        "t", std::vector<storage::Field>{{"id", storage::DataType::kInt64},
+                                         {"k", storage::DataType::kInt64},
+                                         {"x", storage::DataType::kFloat}});
+    table->Reserve(kRows);
+    for (int64_t i = 0; i < kRows; ++i) {
+      ASSERT_OK(table->AppendRow({storage::Value::Int64(i),
+                                  storage::Value::Int64(i % 5),
+                                  storage::Value::Float(static_cast<float>(i))}));
+    }
+    table->Finalize();
+    table->SetUniqueIdColumn("id");
+    table->SetSortedBy({"id"});
+
+    sql::QueryEngine::Options options;
+    options.worker_threads = 5;
+    options.morsel_rows = 64;
+    auto engine = std::make_unique<sql::QueryEngine>(options);
+    ASSERT_OK(engine->catalog()->CreateTable(table));
+    ASSERT_OK_AND_ASSIGN(result, engine->ExecuteQuery(
+                                     "SELECT t.id, t.x FROM t WHERE t.k = 3"));
+    ASSERT_OK(engine->catalog()->DropTable("t"));
+    engine.reset();
+    // `table` — the last named owner — dies at scope end.
+  }
+
+  ASSERT_EQ(result.num_rows, kRows / 5);
+  // Hammer the orphaned views from several threads at once: concurrent
+  // readers of the shared immutable buffers must be race-free.
+  constexpr int kReaders = 4;
+  ThreadPool pool(kReaders);
+  std::vector<int64_t> sums(kReaders, 0);
+  for (int p = 0; p < kReaders; ++p) {
+    pool.Submit([&result, &sums, p] {
+      const int64_t stripe = (result.num_rows + kReaders - 1) / kReaders;
+      const int64_t begin = p * stripe;
+      const int64_t end = std::min(result.num_rows, begin + stripe);
+      int64_t sum = 0;
+      for (int64_t r = begin; r < end; ++r) sum += result.GetValue(r, 0).i;
+      sums[static_cast<size_t>(p)] = sum;
+    });
+  }
+  pool.WaitIdle();
+  int64_t total = 0;
+  for (int64_t s : sums) total += s;
+  // ids ≡ 3 (mod 5) over [0, kRows): 10000 survivors summing to 250005000.
+  EXPECT_EQ(total, 250005000);
 }
 
 }  // namespace

@@ -250,6 +250,28 @@ TEST_F(MorselDeterminismTest, JoinThenAggregation) {
       "WHERE f.k = d.k AND f.a >= -5.0 GROUP BY f.id");
 }
 
+/// A selection-heavy plan (filter → selection vectors over scan views,
+/// project evaluated through them) must be bit-identical whether executed
+/// serially, morsel-wise with aggressive interleaving, or with the legacy
+/// materialising scan (`zero_copy_scan = false`).
+TEST_F(MorselDeterminismTest, SelectionProducingFilterMatchesLegacyScan) {
+  const std::string query =
+      "SELECT f.id, f.a * 2.0 AS a2, f.b FROM fact f "
+      "WHERE f.k = 2 AND f.a >= 0.0";
+  ASSERT_OK_AND_ASSIGN(auto serial_result, serial_->ExecuteQuery(query));
+  ASSERT_GT(serial_result.num_rows, 0);
+  ASSERT_OK_AND_ASSIGN(auto morsel_result, morsel_->ExecuteQuery(query));
+  ExpectRowIdentical(morsel_result, serial_result);
+
+  sql::QueryEngine::Options legacy;
+  legacy.parallel = false;
+  legacy.zero_copy_scan = false;
+  sql::QueryEngine legacy_engine(legacy);
+  ASSERT_OK(legacy_engine.catalog()->CreateTable(fact_));
+  ASSERT_OK_AND_ASSIGN(auto legacy_result, legacy_engine.ExecuteQuery(query));
+  ExpectRowIdentical(legacy_result, serial_result);
+}
+
 TEST_F(MorselDeterminismTest, StaticPathStillMatchesSerial) {
   const std::string query =
       "SELECT f.id, f.a + f.b AS e FROM fact f WHERE f.a >= 0.0";

@@ -213,8 +213,14 @@ INSTANTIATE_TEST_SUITE_P(
                       ArchCase{3, {4, 5}},               // multi-output
                       ArchCase{6, {2, 9, 2}}),           // bottleneck
     [](const ::testing::TestParamInfo<ArchCase>& info) {
-      std::string name = "f" + std::to_string(info.param.features);
-      for (int64_t w : info.param.layer_widths) name += "_" + std::to_string(w);
+      // Appended piecewise: GCC 12 -Wrestrict false-positives on inlined
+      // string operator+ chains at -O2, fatal under -Werror.
+      std::string name = "f";
+      name += std::to_string(info.param.features);
+      for (int64_t w : info.param.layer_widths) {
+        name += "_";
+        name += std::to_string(w);
+      }
       return name;
     });
 

@@ -95,11 +95,11 @@ TEST_F(ValidationTest, NonFiniteFloatCaughtUnlessAllowed) {
 }
 
 TEST_F(ValidationTest, SelectionIndicesBoundsChecked) {
-  const int64_t good[] = {0, 3, 7};
+  const int32_t good[] = {0, 3, 7};
   EXPECT_OK(exec::ValidateSelection(good, 3, 8, "test"));
-  const int64_t out_of_range[] = {0, 8};
+  const int32_t out_of_range[] = {0, 8};
   EXPECT_FALSE(exec::ValidateSelection(out_of_range, 2, 8, "test").ok());
-  const int64_t negative[] = {-1};
+  const int32_t negative[] = {-1};
   EXPECT_FALSE(exec::ValidateSelection(negative, 1, 8, "test").ok());
 }
 
