@@ -1,0 +1,16 @@
+"""indbml-analyze: the project's multi-pass static-analysis framework.
+
+Grown out of the original single-file ``scripts/lint.py`` regex gate. The
+framework adds what regexes alone could not express:
+
+ - a shared comment/string/raw-string-aware C++ tokenizer (``tokenizer``),
+ - structured per-pass findings (``path:line: [pass] message``, ``--json``),
+ - inline ``// NOLINT(indbml-<pass>)`` suppressions,
+ - a committed baseline file for grandfathered findings,
+ - project-wide passes that need the whole file set (include graphs).
+
+Entry point: ``scripts/indbml-analyze`` (registered as the ``lint_gate``
+ctest target, label ``static_analysis``). Passes live in
+``scripts/analysis/passes/``; see DESIGN.md "Static analysis" for how to
+add one.
+"""

@@ -1,0 +1,120 @@
+"""Core types of the indbml-analyze framework: findings, passes, baseline."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured analysis finding."""
+
+    rel: str  # repo-relative path
+    line: int  # 1-based
+    pass_name: str  # kebab-case pass name, e.g. "view-escape"
+    message: str
+
+    def format(self) -> str:
+        return f"{self.rel}:{self.line}: [{self.pass_name}] {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.rel,
+            "line": self.line,
+            "pass": self.pass_name,
+            "message": self.message,
+        }
+
+    def baseline_key(self) -> str:
+        """Line-number-insensitive identity used by the baseline file, so
+        grandfathered findings survive unrelated edits above them."""
+        return "\t".join((self.rel, self.pass_name, self.message))
+
+
+class Pass:
+    """Base class for analysis passes.
+
+    Subclasses set:
+      - ``name``: kebab-case identifier; ``// NOLINT(indbml-<name>)``
+        suppresses it.
+      - ``roots``: top-level directories the pass runs over.
+      - ``suffixes``: file suffixes the pass looks at.
+    and implement ``check_file`` (per file) and/or ``finish`` (once, after
+    all files — for project-wide analyses such as include graphs).
+    """
+
+    name = ""
+    roots = ("src",)
+    suffixes = (".cc", ".h")
+
+    def wants(self, sf) -> bool:
+        return sf.top_dir in self.roots and sf.path.suffix in self.suffixes
+
+    def check_file(self, sf, ctx) -> list:
+        return []
+
+    def finish(self, ctx) -> list:
+        return []
+
+
+class AnalysisContext:
+    """Shared state handed to every pass: the root and the full file set."""
+
+    def __init__(self, root: Path):
+        self.root = root
+        self.files = []  # populated by the driver before passes run
+
+
+def render_text(findings: list) -> str:
+    return "\n".join(f.format() for f in findings)
+
+
+def render_json(findings: list) -> str:
+    return json.dumps([f.to_json() for f in findings], indent=2)
+
+
+def load_baseline(path: Path) -> dict:
+    """Baseline file → {key: count}. Missing file is an empty baseline."""
+    counts: dict = {}
+    if not path.is_file():
+        return counts
+    for line in path.read_text().splitlines():
+        line = line.rstrip("\n")
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        counts[line] = counts.get(line, 0) + 1
+    return counts
+
+
+def apply_baseline(findings: list, baseline: dict) -> tuple:
+    """Splits findings into (new, grandfathered) against the baseline.
+
+    Each baseline entry absorbs at most `count` matching findings, so fixing
+    one of N identical grandfathered findings cannot hide a new one.
+    """
+    remaining = dict(baseline)
+    new, grandfathered = [], []
+    for f in findings:
+        key = f.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            grandfathered.append(f)
+        else:
+            new.append(f)
+    return new, grandfathered
+
+
+BASELINE_HEADER = """\
+# indbml-analyze baseline: grandfathered findings, one key per line
+# (path<TAB>pass<TAB>message). A finding matching a line here is reported
+# as grandfathered instead of failing the gate; each line absorbs exactly
+# one finding. Regenerate with: scripts/indbml-analyze --update-baseline.
+# Policy: new code never adds entries; entries only disappear.
+"""
+
+
+def write_baseline(path: Path, findings: list) -> None:
+    lines = sorted(f.baseline_key() for f in findings)
+    path.write_text(BASELINE_HEADER + "".join(line + "\n" for line in lines))

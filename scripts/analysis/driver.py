@@ -1,0 +1,143 @@
+"""indbml-analyze driver: walks the tree, runs the passes, gates the build.
+
+Invocation mirrors the old ``scripts/lint.py <repo-root>`` contract so the
+``lint_gate`` ctest target keeps working unchanged:
+
+    python3 scripts/indbml-analyze [root] [--passes a,b] [--json]
+                                   [--baseline PATH | --no-baseline]
+                                   [--update-baseline] [--list-passes]
+
+Exit status is 1 iff there are findings that are neither suppressed with a
+``// NOLINT(indbml-<pass>)`` marker nor absorbed by the baseline file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core import (AnalysisContext, apply_baseline, load_baseline,
+                   render_json, render_text, write_baseline)
+from .passes import all_passes, pass_names
+from .tokenizer import SourceFile
+
+# Directories scanned for C++ sources, relative to the repo root.
+SCAN_ROOTS = ("src", "tests", "bench", "examples")
+SUFFIXES = (".cc", ".h")
+# The selftest analyses each fixture directory as its own mini repo-root;
+# the fixtures contain deliberate violations and must not gate the real tree.
+EXCLUDED_PARTS = {"analysis_fixtures"}
+
+
+def collect_files(root: Path) -> list:
+    files = []
+    for top in SCAN_ROOTS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in SUFFIXES and path.is_file():
+                if EXCLUDED_PARTS.intersection(path.relative_to(root).parts):
+                    continue
+                files.append(SourceFile(root, path))
+    return files
+
+
+def run(root: Path, selected=None):
+    """Runs the (optionally filtered) passes; returns unsuppressed findings."""
+    ctx = AnalysisContext(root)
+    ctx.files = collect_files(root)
+    passes = all_passes()
+    if selected is not None:
+        passes = [p for p in passes if p.name in selected]
+    findings = []
+    for p in passes:
+        raised = []
+        for sf in ctx.files:
+            if p.wants(sf):
+                raised.extend(
+                    (sf, f) for f in p.check_file(sf, ctx))
+        raised.extend((None, f) for f in p.finish(ctx))
+        for sf, f in raised:
+            if sf is not None and sf.is_suppressed(f.line, p.name):
+                continue
+            findings.append(f)
+    findings.sort(key=lambda f: (f.rel, f.line, f.pass_name))
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="indbml-analyze",
+        description="Multi-pass static analysis for the indbml tree.")
+    parser.add_argument("root", nargs="?", default=".",
+                        help="repo root to analyse (default: cwd)")
+    parser.add_argument("--passes", metavar="NAMES",
+                        help="comma-separated subset of passes to run")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON instead of text")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="baseline file (default: "
+                             "<root>/scripts/analysis/baseline.txt)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline: every finding gates")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to the current findings "
+                             "and exit 0")
+    parser.add_argument("--list-passes", action="store_true",
+                        help="print registered pass names and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_passes:
+        print("\n".join(pass_names()))
+        return 0
+
+    root = Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"indbml-analyze: {root} does not look like a repo root "
+              "(no src/ directory)", file=sys.stderr)
+        return 2
+
+    selected = None
+    if args.passes:
+        selected = {name.strip() for name in args.passes.split(",") if name.strip()}
+        unknown = selected - set(pass_names())
+        if unknown:
+            print(f"indbml-analyze: unknown pass(es): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    findings = run(root, selected)
+
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else root / "scripts" / "analysis" / "baseline.txt")
+    if args.update_baseline:
+        write_baseline(baseline_path, findings)
+        print(f"indbml-analyze: wrote {len(findings)} baseline entries to "
+              f"{baseline_path}")
+        return 0
+
+    baseline = {} if args.no_baseline else load_baseline(baseline_path)
+    new, grandfathered = apply_baseline(findings, baseline)
+
+    if args.json:
+        print(render_json(new))
+    elif new:
+        print(render_text(new))
+
+    if new:
+        print(f"\nindbml-analyze: {len(new)} new finding(s)"
+              + (f" ({len(grandfathered)} grandfathered)" if grandfathered else ""),
+              file=sys.stderr)
+        return 1
+    if grandfathered:
+        print(f"indbml-analyze: clean ({len(grandfathered)} grandfathered)",
+              file=sys.stderr)
+    else:
+        print("indbml-analyze: clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

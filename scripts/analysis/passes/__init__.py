@@ -1,0 +1,38 @@
+"""Pass registry: every analysis pass, in stable execution order."""
+
+from __future__ import annotations
+
+from . import (
+    boxed_hot_path,
+    endl,
+    header_guard,
+    ignored_error,
+    include_layering,
+    lock_scope,
+    naked_new,
+    raw_thread,
+    test_status,
+    view_escape,
+)
+
+_MODULES = (
+    naked_new,
+    endl,
+    header_guard,
+    raw_thread,
+    test_status,
+    boxed_hot_path,
+    view_escape,
+    lock_scope,
+    include_layering,
+    ignored_error,
+)
+
+
+def all_passes() -> list:
+    """Fresh instances of every registered pass, in execution order."""
+    return [m.PASS() for m in _MODULES]
+
+
+def pass_names() -> list:
+    return [m.PASS.name for m in _MODULES]

@@ -1,0 +1,41 @@
+"""boxed-hot-path: no per-row Value boxing inside inference hot paths.
+
+Batches cross the columnar→matrix boundary through the typed gather kernels
+in exec/gather.h, not one heap-free tagged-union Value per cell.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core import Finding, Pass
+
+# Inference hot paths. UDF boxing (src/integration/udf.cc) is deliberately
+# NOT listed: per-value boxing is the UDF experiment's measured tax (paper
+# Table 2).
+HOT_PATHS = ("src/modeljoin/", "src/nn/", "src/integration/capi_operator.cc")
+# Files under the hot paths allowed to box (none today; add `rel` paths with
+# a justification if a cold diagnostic path genuinely needs Value).
+ALLOWED_FILES: set = set()
+
+BOXED_RE = re.compile(r"\b(Get|Set)Value\s*\(")
+
+
+class BoxedHotPathPass(Pass):
+    name = "boxed-hot-path"
+    roots = ("src",)
+
+    def check_file(self, sf, ctx):
+        if not sf.rel.startswith(HOT_PATHS) or sf.rel in ALLOWED_FILES:
+            return []
+        findings = []
+        for lineno, line in sf.iter_code():
+            if BOXED_RE.search(line):
+                findings.append(
+                    Finding(sf.rel, lineno, self.name,
+                            "per-row Value boxing in an inference hot path; "
+                            "gather through exec/gather.h instead"))
+        return findings
+
+
+PASS = BoxedHotPathPass

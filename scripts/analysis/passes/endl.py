@@ -1,0 +1,29 @@
+"""endl: no `std::endl` outside the logging sink.
+
+It flushes the stream, which is poison on hot paths; use '\\n'.
+"""
+
+from __future__ import annotations
+
+from ..core import Finding, Pass
+
+ALLOWED_FILES = {"src/common/logging.cc"}  # the sink flushes deliberately
+
+
+class EndlPass(Pass):
+    name = "endl"
+    roots = ("src", "tests", "bench", "examples")
+
+    def check_file(self, sf, ctx):
+        if sf.rel in ALLOWED_FILES:
+            return []
+        findings = []
+        for lineno, line in sf.iter_code():
+            if "std::endl" in line:
+                findings.append(
+                    Finding(sf.rel, lineno, self.name,
+                            "std::endl flushes the stream; write '\\n' instead"))
+        return findings
+
+
+PASS = EndlPass

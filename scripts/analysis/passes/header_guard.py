@@ -1,0 +1,39 @@
+"""header-guard: guards must be INDBML_<PATH>_H_ from the repo-relative path.
+
+src/exec/vector.h -> INDBML_EXEC_VECTOR_H_.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core import Finding, Pass
+
+GUARD_RE = re.compile(r"^#ifndef\s+(\w+)\s*$")
+
+
+def expected_guard(rel: str) -> str:
+    stem = rel[len("src/"):] if rel.startswith("src/") else rel
+    return "INDBML_" + re.sub(r"[/.]", "_", stem).upper().rstrip("_") + "_"
+
+
+class HeaderGuardPass(Pass):
+    name = "header-guard"
+    roots = ("src",)
+    suffixes = (".h",)
+
+    def check_file(self, sf, ctx):
+        expected = expected_guard(sf.rel)
+        for lineno, line in sf.iter_code():
+            m = GUARD_RE.match(line)
+            if not m:
+                continue
+            if m.group(1) != expected:
+                return [Finding(sf.rel, 1, self.name,
+                                f"guard {m.group(1)} should be {expected}")]
+            return []
+        return [Finding(sf.rel, 1, self.name,
+                        f"missing #ifndef include guard ({expected})")]
+
+
+PASS = HeaderGuardPass

@@ -1,0 +1,46 @@
+"""ignored-error: every `IgnoreError()` carries a justification comment.
+
+`Status::IgnoreError()` is the only sanctioned way to drop an error, but
+"sanctioned" is not "free": the call must say *why* dropping is correct,
+either as a trailing comment on the same line or as a comment on the line
+directly above. An audit then only needs to read the justifications, not
+reconstruct them.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core import Finding, Pass
+
+IGNORE_RE = re.compile(r"(?:\.|->)\s*IgnoreError\s*\(\s*\)")
+# A comment with at least a few words of content (not just `//` or `//!`).
+JUSTIFICATION_RE = re.compile(r"//[/!]?\s*\S+(?:\s+\S+){1,}")
+
+
+class IgnoredErrorPass(Pass):
+    name = "ignored-error"
+    roots = ("src", "tests", "bench", "examples")
+
+    def check_file(self, sf, ctx):
+        findings = []
+        for lineno, line in sf.iter_code():
+            if not IGNORE_RE.search(line):
+                continue
+            # Skip the declaration in status.h itself.
+            if re.search(r"\bvoid\s+IgnoreError\b", line):
+                continue
+            same = sf.raw_lines[lineno - 1]
+            prev = sf.raw_lines[lineno - 2] if lineno >= 2 else ""
+            trailing = same.split("IgnoreError", 1)[1]
+            if JUSTIFICATION_RE.search(trailing) or JUSTIFICATION_RE.search(prev):
+                continue
+            findings.append(
+                Finding(sf.rel, lineno, self.name,
+                        "IgnoreError() without a justification comment; say "
+                        "why dropping this Status is correct (same line or "
+                        "the line above)"))
+        return findings
+
+
+PASS = IgnoredErrorPass

@@ -1,0 +1,77 @@
+"""include-layering: enforce the dependency direction between src/ layers.
+
+The engine layers bottom-up: `common` underpins everything and includes
+nothing above itself; `exec` may not reach into `sql`; the planner (`sql`)
+sits above execution; `benchlib` alone sees the whole stack. The map below
+is the *entire* allowed include graph — a `#include "dir/..."` whose target
+directory is not listed for the including file's directory is a layering
+violation, whichever direction it points. This is what keeps a future
+serving layer able to link `exec` without dragging in the SQL front-end,
+and `common` reusable from anywhere.
+
+Adding a new src/ directory requires adding it here (the pass fails loudly
+on unknown directories rather than guessing a layer).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core import Finding, Pass
+
+# Directory -> directories it may include from (its layer and below).
+ALLOWED_DEPS = {
+    "common": {"common"},
+    "nn": {"nn", "common"},
+    "storage": {"storage", "common"},
+    "device": {"device", "nn", "common"},
+    "exec": {"exec", "storage", "nn", "common"},
+    "mlruntime": {"mlruntime", "device", "nn", "common"},
+    "sql": {"sql", "exec", "storage", "nn", "common"},
+    "mltosql": {"mltosql", "sql", "exec", "storage", "nn", "common"},
+    "modeljoin": {"modeljoin", "sql", "exec", "device", "storage", "nn",
+                  "common"},
+    "integration": {"integration", "sql", "mlruntime", "exec", "device",
+                    "storage", "nn", "common"},
+    "benchlib": {"benchlib", "integration", "modeljoin", "mltosql", "sql",
+                 "mlruntime", "exec", "device", "storage", "nn", "common"},
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+class IncludeLayeringPass(Pass):
+    name = "include-layering"
+    roots = ("src",)
+
+    def check_file(self, sf, ctx):
+        parts = sf.rel.split("/")
+        if len(parts) < 3 or parts[0] != "src":
+            return []
+        from_dir = parts[1]
+        findings = []
+        allowed = ALLOWED_DEPS.get(from_dir)
+        if allowed is None:
+            findings.append(
+                Finding(sf.rel, 1, self.name,
+                        f"directory src/{from_dir}/ is not in the layering "
+                        "map; add it to ALLOWED_DEPS in "
+                        "scripts/analysis/passes/include_layering.py"))
+            return findings
+        for lineno, raw in enumerate(sf.raw_lines, start=1):
+            m = INCLUDE_RE.match(raw)
+            if not m or "/" not in m.group(1):
+                continue
+            to_dir = m.group(1).split("/", 1)[0]
+            if to_dir not in ALLOWED_DEPS:
+                continue  # not a src layer (e.g. generated or external)
+            if to_dir not in allowed:
+                findings.append(
+                    Finding(sf.rel, lineno, self.name,
+                            f"src/{from_dir}/ must not include {m.group(1)!r}: "
+                            f"allowed layers for {from_dir} are "
+                            f"{{{', '.join(sorted(allowed))}}}"))
+        return findings
+
+
+PASS = IncludeLayeringPass

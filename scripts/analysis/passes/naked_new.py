@@ -1,0 +1,50 @@
+"""naked-new: no naked `new` / `delete` outside allocator code.
+
+Allocator files (device arena, C-API boundary, tensor buffer) are
+allowlisted; `static` leaky singletons and allocations immediately wrapped
+in a smart pointer on the same line are allowed anywhere.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core import Finding, Pass
+
+# Files whose job is allocation / ownership across an ABI boundary.
+ALLOWED_FILES = {
+    "src/device/device.cc",  # device memory arena
+    "src/mlruntime/trt_c_api.cc",  # C API: caller-owned opaque handles
+    "src/nn/tensor.h",  # owning tensor buffer
+}
+
+NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new T`, `new T[...]` (not placement)
+DELETE_RE = re.compile(r"\bdelete(\[\])?\s")
+SMART_WRAP_RE = re.compile(r"(unique_ptr|shared_ptr)\s*<[^;]*>?\s*\(\s*new\b|make_")
+
+
+class NakedNewPass(Pass):
+    name = "naked-new"
+    roots = ("src",)
+
+    def check_file(self, sf, ctx):
+        if sf.rel in ALLOWED_FILES:
+            return []
+        findings = []
+        for lineno, line in sf.iter_code():
+            if "static" in line or SMART_WRAP_RE.search(line):
+                continue
+            if NEW_RE.search(line):
+                findings.append(
+                    Finding(sf.rel, lineno, self.name,
+                            "naked `new` outside allocator code; use "
+                            "std::vector / make_unique"))
+            if DELETE_RE.search(line):
+                findings.append(
+                    Finding(sf.rel, lineno, self.name,
+                            "naked `delete` outside allocator code; let an "
+                            "owner manage the lifetime"))
+        return findings
+
+
+PASS = NakedNewPass

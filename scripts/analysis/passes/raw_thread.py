@@ -1,0 +1,35 @@
+"""raw-thread: no direct std::thread construction outside the thread pool.
+
+All engine concurrency goes through ThreadPool so WaitIdle/shutdown
+semantics hold.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core import Finding, Pass
+
+ALLOWED_FILES = {"src/common/thread_pool.h", "src/common/thread_pool.cc"}
+
+THREAD_RE = re.compile(r"\bstd::thread\b")
+
+
+class RawThreadPass(Pass):
+    name = "raw-thread"
+    roots = ("src",)
+
+    def check_file(self, sf, ctx):
+        if sf.rel in ALLOWED_FILES:
+            return []
+        findings = []
+        for lineno, line in sf.iter_code():
+            if THREAD_RE.search(line):
+                findings.append(
+                    Finding(sf.rel, lineno, self.name,
+                            "direct std::thread use outside thread_pool; "
+                            "submit to a ThreadPool"))
+        return findings
+
+
+PASS = RawThreadPass

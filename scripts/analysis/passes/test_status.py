@@ -1,0 +1,38 @@
+"""test-status: test code must not discard a Status/Result.
+
+A bare-statement call like `engine.ExecuteQuery(...);` in a test silently
+swallows the error; assert on it or consume it explicitly.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core import Finding, Pass
+
+# Status/Result-returning methods on the objects the rule names.
+STATUS_METHODS = {
+    "ExecuteQuery", "ExecutePlan", "PlanQuery", "Explain", "ExplainAnalyze",
+    "AppendRow", "CreateTable", "DropTable", "Open", "Next",
+}
+CALL_RE = re.compile(r"^\s*(engine|op|table)(\.|->)(\w+)\(.*\);\s*$")
+
+
+class TestStatusPass(Pass):
+    name = "test-status"
+    roots = ("tests", "bench", "examples")
+
+    def check_file(self, sf, ctx):
+        findings = []
+        for lineno, line in sf.iter_code():
+            m = CALL_RE.match(line)
+            if m and m.group(3) in STATUS_METHODS:
+                findings.append(
+                    Finding(sf.rel, lineno, self.name,
+                            f"discarded Status from "
+                            f"{m.group(1)}{m.group(2)}{m.group(3)}(); ASSERT "
+                            "on it or consume the result"))
+        return findings
+
+
+PASS = TestStatusPass

@@ -1,0 +1,146 @@
+"""view-escape: no returning raw pointers into function-local buffers.
+
+The zero-copy substrate (PR 4) makes borrowed pointers pervasive:
+`Vector::BaseFloats()`, `Buffer::data()`, `std::vector::data()`. Borrowing
+is safe while the owner outlives the borrower — which is exactly what a
+`return local.data();` breaks: the local (or by-value parameter) dies at
+function exit and the caller receives a dangling pointer. Returning a
+*Vector view* is fine (views hold a ref-counted BufferPtr); returning the
+raw typed pointer is not.
+
+Detection is scope-tracked, not regex-per-line: the pass walks brace depth,
+records owning-type locals (and by-value owning parameters) per function
+body, and flags `return x.data()`-shaped statements whose receiver is a
+live local. Members are not tracked (returning a pointer into a member is
+the accessor pattern, e.g. Vector::BaseFloats itself).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core import Finding, Pass
+
+# Types that own their storage; a raw pointer into one dies with it.
+OWNING_TYPE = (
+    r"(?:std::(?:vector|array|deque|basic_string|string|ostringstream|"
+    r"stringstream)\b(?:\s*<[^;={}]*>)?"
+    r"|(?:exec::)?Vector\b"
+    r"|(?:exec::)?DataChunk\b"
+    r"|(?:storage::)?Column\b)"
+)
+
+# `std::vector<float> name` / `Vector name(...)` / `const std::string name =`
+LOCAL_DECL_RE = re.compile(
+    r"(?:^\s*|[;{(]\s*|\breturn\b\s+)(?:const\s+)?" + OWNING_TYPE +
+    r"\s+(\w+)\s*(?:[;({=]|$)")
+
+# Accessors that hand out a raw pointer into the receiver's storage.
+BORROW_RE = re.compile(
+    r"\breturn\s+(?:&\s*)?(\w+)\s*\.\s*"
+    r"(data|c_str|floats|ints|bools|BaseFloats|BaseInts|BaseBools)\s*\(")
+# `return &local[...]` / `return &local` — address of a local object.
+ADDR_RE = re.compile(r"\breturn\s+&\s*(\w+)\s*(?:\[|;)")
+
+# Classify the text before a `{`: function bodies end their header with `)`
+# plus optional qualifiers; type/namespace bodies do not.
+FUNC_HEADER_RE = re.compile(
+    r"\)\s*(?:const|noexcept|override|final|mutable|->\s*[\w:<>,\s*&]+"
+    r"|INDBML_\w+\s*(?:\([^)]*\))?)*\s*$")
+TYPE_HEADER_RE = re.compile(r"\b(?:class|struct|union|enum)\b[^;=()]*$")
+NAMESPACE_HEADER_RE = re.compile(r"\bnamespace\b[^;=()]*$")
+
+# By-value owning parameters inside a function header's parameter list.
+PARAM_RE = re.compile(r"(?:^|[(,])\s*(?:const\s+)?" + OWNING_TYPE + r"\s+(\w+)\s*(?=[,)=])")
+
+
+class ViewEscapePass(Pass):
+    name = "view-escape"
+    roots = ("src",)
+
+    def check_file(self, sf, ctx):
+        findings = []
+        # Stack of (kind, set-of-local-names-declared-at-this-depth); kind is
+        # "func", "type", "ns" or "block".
+        stack = []
+        in_function = 0  # nesting count of "func" entries on the stack
+        locals_live: dict = {}  # name -> depth it was declared at
+        header = ""  # statement text accumulated since the last ; { }
+
+        def enter(kind, names=()):
+            nonlocal in_function
+            stack.append((kind, set(names)))
+            if kind == "func":
+                in_function += 1
+            for name in names:
+                locals_live[name] = len(stack)
+
+        def leave():
+            nonlocal in_function
+            if not stack:
+                return
+            kind, names = stack.pop()
+            if kind == "func":
+                in_function -= 1
+            for name in names:
+                locals_live.pop(name, None)
+
+        for lineno, line in sf.iter_code():
+            i = 0
+            seg_start = 0
+            while i < len(line):
+                c = line[i]
+                if c == "{":
+                    header += " " + line[seg_start:i]
+                    head = header.strip()
+                    if FUNC_HEADER_RE.search(head):
+                        params = PARAM_RE.findall(head) if in_function == 0 else []
+                        enter("func", params)
+                    elif NAMESPACE_HEADER_RE.search(head):
+                        enter("ns")
+                    elif TYPE_HEADER_RE.search(head) or head.endswith("="):
+                        enter("type")  # aggregate init braces behave like type scope
+                    else:
+                        enter("block")
+                    header = ""
+                    seg_start = i + 1
+                elif c == "}":
+                    header = ""
+                    seg_start = i + 1
+                    leave()
+                elif c == ";":
+                    statement = header + " " + line[seg_start:i + 1]
+                    self._check_statement(sf, lineno, statement, locals_live,
+                                          in_function, findings)
+                    if in_function > 0:
+                        for m in LOCAL_DECL_RE.finditer(statement):
+                            if "return" in statement[:m.start()].split("=")[0]:
+                                continue
+                            locals_live[m.group(1)] = len(stack)
+                            stack[-1][1].add(m.group(1))
+                    header = ""
+                    seg_start = i + 1
+                i += 1
+            header += " " + line[seg_start:]
+            # Declarations via constructor call `std::vector<float> v(n);`
+            # end in ';' and are handled above; `Type v{n};` ends the brace
+            # branch — accept the (rare) miss, fixtures pin the common forms.
+        return findings
+
+    def _check_statement(self, sf, lineno, statement, locals_live, in_function,
+                         findings):
+        if in_function == 0:
+            return
+        for regex in (BORROW_RE, ADDR_RE):
+            m = regex.search(statement)
+            if m and m.group(1) in locals_live:
+                findings.append(
+                    Finding(sf.rel, lineno, self.name,
+                            f"returns a pointer into function-local buffer "
+                            f"'{m.group(1)}', which dies at function exit; "
+                            "return an owning value or a ref-counted view "
+                            "(BufferPtr/Vector)"))
+                return
+
+
+PASS = ViewEscapePass

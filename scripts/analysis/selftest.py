@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Golden-fixture self-test for indbml-analyze.
+
+Each directory under tests/analysis_fixtures/ is analysed as its own mini
+repo-root with the pass it names (suppression/ and baseline/ use `endl`).
+Expected findings are `// ^find` (this line) and `// ^find@N` (line N of
+this file) markers; the exact (file, line) multiset must match, so both
+missed findings and false positives fail. The baseline fixture also
+exercises driver exit codes, --update-baseline round-tripping, and --json.
+
+Run as: python3 scripts/analysis/selftest.py [repo-root]
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import re
+import sys
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from analysis import driver  # noqa: E402
+from analysis.passes import pass_names  # noqa: E402
+
+MARKER_RE = re.compile(r"\^find(?:@(\d+))?")
+# Fixtures that exercise the framework rather than a specific pass; both
+# use endl as the triggering pass.
+FRAMEWORK_FIXTURES = {"suppression": "endl", "baseline": "endl"}
+
+
+def expected_findings(fixture_root: Path) -> list:
+    expected = []
+    for path in sorted(fixture_root.rglob("*")):
+        if path.suffix not in (".cc", ".h") or not path.is_file():
+            continue
+        rel = path.relative_to(fixture_root).as_posix()
+        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+            for m in MARKER_RE.finditer(raw):
+                expected.append((rel, int(m.group(1)) if m.group(1) else lineno))
+    return sorted(expected)
+
+
+def check_fixture(fixture_root: Path, pass_name: str) -> list:
+    """Returns a list of error strings (empty = fixture passes)."""
+    findings = driver.run(fixture_root, {pass_name})
+    got = Counter((f.rel, f.line) for f in findings)
+    want = Counter(expected_findings(fixture_root))
+    errors = []
+    for (rel, line), n in sorted((want - got).items()):
+        errors.append(f"missed expected finding at {rel}:{line} (x{n})")
+    for (rel, line), n in sorted((got - want).items()):
+        errors.append(f"false positive at {rel}:{line} (x{n})")
+    return errors
+
+
+def run_driver(argv: list) -> tuple:
+    """driver.main with captured stdout/stderr -> (exit, stdout)."""
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        code = driver.main(argv)
+    return code, out.getvalue()
+
+
+def check_baseline_fixture(fixture_root: Path) -> list:
+    errors = []
+    root = str(fixture_root)
+
+    # Committed fixture baseline absorbs 2 of 3 findings: gate fails with 1.
+    code, out = run_driver([root, "--passes", "endl"])
+    if code != 1:
+        errors.append(f"baselined run: expected exit 1, got {code}")
+    if out.count("[endl]") != 1:
+        errors.append(f"baselined run: expected 1 new finding, got:\n{out}")
+
+    # Without the baseline all 3 findings gate.
+    code, out = run_driver([root, "--passes", "endl", "--no-baseline"])
+    if code != 1 or out.count("[endl]") != 3:
+        errors.append(f"--no-baseline run: expected exit 1 with 3 findings, "
+                      f"got exit {code}:\n{out}")
+
+    # --update-baseline round-trips: rewrite to a temp file, rerun clean.
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_baseline = str(Path(tmp) / "baseline.txt")
+        code, _ = run_driver([root, "--passes", "endl",
+                              "--update-baseline", "--baseline", tmp_baseline])
+        if code != 0:
+            errors.append(f"--update-baseline: expected exit 0, got {code}")
+        code, out = run_driver([root, "--passes", "endl",
+                                "--baseline", tmp_baseline])
+        if code != 0:
+            errors.append(f"run against regenerated baseline: expected exit "
+                          f"0, got {code}:\n{out}")
+
+    # --json emits machine-readable findings with the documented fields.
+    code, out = run_driver([root, "--passes", "endl", "--no-baseline", "--json"])
+    try:
+        payload = json.loads(out)
+    except json.JSONDecodeError as e:
+        payload = None
+        errors.append(f"--json output is not valid JSON: {e}")
+    if payload is not None:
+        if len(payload) != 3:
+            errors.append(f"--json: expected 3 findings, got {len(payload)}")
+        for item in payload:
+            if set(item) != {"path", "line", "pass", "message"}:
+                errors.append(f"--json: unexpected fields in {item}")
+    return errors
+
+
+def main(argv=None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    repo_root = Path(args[0]).resolve() if args else Path(
+        __file__).resolve().parent.parent.parent
+    fixtures = repo_root / "tests" / "analysis_fixtures"
+    if not fixtures.is_dir():
+        print(f"analysis selftest: no fixture directory at {fixtures}",
+              file=sys.stderr)
+        return 2
+
+    known = set(pass_names())
+    failures = 0
+    ran = 0
+    for fixture in sorted(p for p in fixtures.iterdir() if p.is_dir()):
+        name = fixture.name
+        pass_name = FRAMEWORK_FIXTURES.get(name, name)
+        if pass_name not in known:
+            print(f"FAIL {name}: no pass named '{pass_name}'")
+            failures += 1
+            continue
+        # The baseline fixture's contract is driver exit codes, not markers
+        # (its findings are deliberately unmarked so the baseline absorbs
+        # them); every other fixture is an exact marker match.
+        if name == "baseline":
+            errors = check_baseline_fixture(fixture)
+        else:
+            errors = check_fixture(fixture, pass_name)
+        ran += 1
+        if errors:
+            failures += 1
+            print(f"FAIL {name} ({pass_name}):")
+            for e in errors:
+                print(f"  - {e}")
+        else:
+            print(f"ok   {name} ({pass_name})")
+
+    covered = {FRAMEWORK_FIXTURES.get(p.name, p.name)
+               for p in fixtures.iterdir() if p.is_dir()}
+    uncovered = known - covered
+    if uncovered:
+        failures += 1
+        print(f"FAIL coverage: passes without fixtures: "
+              f"{', '.join(sorted(uncovered))}")
+
+    print(f"analysis selftest: {ran} fixtures, {failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Comment/string-aware C++ line tokenizer shared by every analysis pass.
+
+The old regex lint stripped comments with per-line heuristics that broke on
+raw strings and multi-line constructs. This tokenizer walks the file once
+with a small state machine and produces, per physical line:
+
+ - ``code``: the line with comments removed and string/char literal
+   *contents* removed (the quotes remain as ``""`` / ``''`` so regexes that
+   anchor on statement shape keep working). Raw strings ``R"delim(...)"``
+   are handled, including multi-line bodies.
+ - the raw line, for suppression markers that live inside comments.
+
+Suppressions follow the clang-tidy convention:
+
+    do_bad_thing();          // NOLINT(indbml-<pass>)
+    // NOLINTNEXTLINE(indbml-<pass>[, indbml-<other-pass>])
+    do_bad_thing();
+
+``NOLINT(indbml-*)`` suppresses every pass on that line. A bare ``NOLINT``
+without a category is deliberately ignored: suppressions must name what
+they silence.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+_NOLINT_RE = re.compile(r"NOLINT(NEXTLINE)?\(([^)]*)\)")
+
+
+def strip_cpp(text: str) -> str:
+    """Returns `text` with comments and literal contents blanked.
+
+    The output has exactly the same line structure (every '\\n' is kept) so
+    line numbers map 1:1. Comment characters become spaces; string and char
+    literal contents are dropped, keeping the delimiters.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    # States are handled inline; `i` always advances.
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            # Line comment: blank to end of line.
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            # Block comment: blank to */, keeping newlines.
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        elif c == "R" and nxt == '"':
+            # Raw string R"delim( ... )delim": keep empty quotes.
+            j = i + 2
+            while j < n and text[j] not in "(\n":
+                j += 1
+            delim = text[i + 2 : j]
+            close = ")" + delim + '"'
+            end = text.find(close, j)
+            end = n if end < 0 else end + len(close)
+            out.append('""')
+            out.extend("\n" for k in range(i, end) if text[k] == "\n")
+            i = end
+        elif c == '"' or c == "'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1  # skip the escaped character
+                if i < n and text[i] == "\n":  # unterminated literal
+                    break
+                i += 1
+            out.append(quote)
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    """One analysed file: raw lines, code lines, and suppression map."""
+
+    def __init__(self, root: Path, path: Path):
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        text = path.read_text(errors="replace")
+        self.raw_lines = text.splitlines()
+        self.code_lines = strip_cpp(text).splitlines()
+        # strip_cpp preserves line structure; pad defensively for files that
+        # end mid-literal.
+        while len(self.code_lines) < len(self.raw_lines):
+            self.code_lines.append("")
+        self._suppressed = self._collect_suppressions()
+
+    @property
+    def top_dir(self) -> str:
+        """First path component: "src", "tests", "bench", "examples"."""
+        return self.rel.split("/", 1)[0]
+
+    def code(self, lineno: int) -> str:
+        """Comment/string-stripped text of 1-based line `lineno`."""
+        return self.code_lines[lineno - 1]
+
+    def iter_code(self):
+        """Yields (lineno, stripped_line) over the whole file."""
+        return enumerate(self.code_lines, start=1)
+
+    def _collect_suppressions(self) -> dict:
+        suppressed: dict = {}
+        for lineno, raw in enumerate(self.raw_lines, start=1):
+            for m in _NOLINT_RE.finditer(raw):
+                target = lineno + 1 if m.group(1) else lineno
+                names = suppressed.setdefault(target, set())
+                for item in m.group(2).split(","):
+                    item = item.strip()
+                    if item == "indbml-*":
+                        names.add("*")
+                    elif item.startswith("indbml-"):
+                        names.add(item[len("indbml-") :])
+        return suppressed
+
+    def is_suppressed(self, lineno: int, pass_name: str) -> bool:
+        names = self._suppressed.get(lineno)
+        return names is not None and (pass_name in names or "*" in names)

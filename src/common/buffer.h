@@ -24,6 +24,14 @@ namespace indbml {
 /// larger Buffer, copy, drop the old reference). Contents are shared
 /// read-only the moment a second reference exists; writers must hold the
 /// only reference (see exec::Vector's copy-on-write discipline).
+///
+/// Thread-safety: the reference count is `shared_ptr`'s own lock-free
+/// atomic, so BufferPtr copies/destructions may race freely across worker
+/// threads; the final release publishes the MemoryTracker::Free via the
+/// control block's acquire/release ordering. The *bytes* carry no lock:
+/// the single-writer-before-sharing rule above (checked at runtime by
+/// exec::Vector::EnsureWritable's use_count()==1 test) is the discipline
+/// that makes concurrent readers safe.
 class Buffer {
  public:
   /// Allocates an untyped buffer of `bytes` (uninitialised) and reports it

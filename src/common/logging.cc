@@ -5,6 +5,8 @@
 namespace indbml {
 
 namespace {
+/// lock-free: relaxed-equivalent level gate; a racing SetLogLevel may drop
+/// or admit one in-flight message, which is acceptable for a log filter.
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
 
 const char* LevelName(LogLevel level) {
@@ -39,7 +41,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 
 LogMessage::~LogMessage() {
   if (level_ >= GetLogLevel() || level_ == LogLevel::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+    // One insertion per message: two chained << calls are not atomic with
+    // respect to other logging threads, which interleaves half-lines on a
+    // shared stderr. Flushing per line is deliberate (this is the sink).
+    std::string line = stream_.str();
+    line.push_back('\n');
+    std::cerr << line << std::flush;
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

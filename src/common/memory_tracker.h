@@ -33,6 +33,10 @@ class MemoryTracker {
   void ResetPeak() { peak_.store(current_.load()); }
 
  private:
+  /// lock-free: current_ is a plain counter; peak_ advances via a CAS loop
+  /// against the post-add level, so racing Allocate() calls cannot lose a
+  /// high-water mark. ResetPeak() is only meaningful between measurements
+  /// (quiescent point), not under concurrent allocation.
   std::atomic<int64_t> current_{0};
   std::atomic<int64_t> peak_{0};
 };

@@ -66,7 +66,7 @@ Registry& Registry::Global() {
 }
 
 Counter* Registry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   INDBML_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0)
       << "metric '" << name << "' already registered with another kind";
   auto& slot = counters_[name];
@@ -75,7 +75,7 @@ Counter* Registry::counter(const std::string& name) {
 }
 
 Gauge* Registry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   INDBML_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0)
       << "metric '" << name << "' already registered with another kind";
   auto& slot = gauges_[name];
@@ -84,7 +84,7 @@ Gauge* Registry::gauge(const std::string& name) {
 }
 
 Histogram* Registry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   INDBML_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0)
       << "metric '" << name << "' already registered with another kind";
   auto& slot = histograms_[name];
@@ -93,7 +93,7 @@ Histogram* Registry::histogram(const std::string& name) {
 }
 
 std::string Registry::TextSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, c] : counters_) {
     out += StrFormat("counter %s %lld\n", name.c_str(),
@@ -114,7 +114,7 @@ std::string Registry::TextSnapshot() const {
 }
 
 std::string Registry::JsonSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -146,7 +146,7 @@ std::string Registry::JsonSnapshot() const {
 }
 
 std::map<std::string, int64_t> Registry::FlatValues() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, int64_t> out;
   for (const auto& [name, c] : counters_) out[name] = c->value();
   for (const auto& [name, h] : histograms_) {
@@ -157,7 +157,7 @@ std::map<std::string, int64_t> Registry::FlatValues() const {
 }
 
 void Registry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

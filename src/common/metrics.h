@@ -5,8 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace indbml::metrics {
 
@@ -29,7 +31,7 @@ class Counter {
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> value_{0};  ///< lock-free: relaxed; no ordering implied
 };
 
 /// Last-written level plus the maximum level ever written (peak tracking).
@@ -49,6 +51,8 @@ class Gauge {
   }
 
  private:
+  /// lock-free: value_ is a plain relaxed level; max_ advances through a CAS
+  /// loop, so concurrent Set() calls never lose a peak.
   std::atomic<int64_t> value_{0};
   std::atomic<int64_t> max_{0};
 };
@@ -74,6 +78,8 @@ class Histogram {
   void Reset();
 
  private:
+  /// lock-free: relaxed per-bucket adds; a concurrent snapshot may observe a
+  /// sample in count_ before its bucket (bounded skew, fine for reporting).
   std::atomic<int64_t> buckets_[kNumBuckets] = {};
   std::atomic<int64_t> count_{0};
   std::atomic<int64_t> sum_{0};
@@ -93,26 +99,31 @@ class Registry {
 
   /// Get-or-create by name; one name is one kind of metric (registering
   /// the same name as two kinds is a programming error and fatal).
-  Counter* counter(const std::string& name);
-  Gauge* gauge(const std::string& name);
-  Histogram* histogram(const std::string& name);
+  Counter* counter(const std::string& name) INDBML_EXCLUDES(mu_);
+  Gauge* gauge(const std::string& name) INDBML_EXCLUDES(mu_);
+  Histogram* histogram(const std::string& name) INDBML_EXCLUDES(mu_);
 
   /// One metric per line, sorted by name ("counter modeljoin.rows 5000").
-  std::string TextSnapshot() const;
+  std::string TextSnapshot() const INDBML_EXCLUDES(mu_);
   /// {"counters":{...},"gauges":{...},"histograms":{...}}.
-  std::string JsonSnapshot() const;
+  std::string JsonSnapshot() const INDBML_EXCLUDES(mu_);
   /// Flattened integer view used for before/after deltas: counters as
   /// `name`, histograms as `name.count` / `name.sum`. Gauges are levels,
   /// not event counts, so they are excluded.
-  std::map<std::string, int64_t> FlatValues() const;
+  std::map<std::string, int64_t> FlatValues() const INDBML_EXCLUDES(mu_);
   /// Zeroes every registered metric (benchmark reruns, tests).
-  void ResetAll();
+  void ResetAll() INDBML_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Guards the name→metric maps only. The metric objects themselves are
+  /// lock-free: update paths touch relaxed atomics, and unique_ptr targets
+  /// are never deleted, so cached Counter*/Gauge*/Histogram* stay valid
+  /// without the registry lock.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ INDBML_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ INDBML_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      INDBML_GUARDED_BY(mu_);
 };
 
 }  // namespace indbml::metrics

@@ -1,0 +1,93 @@
+#ifndef INDBML_COMMON_THREAD_ANNOTATIONS_H_
+#define INDBML_COMMON_THREAD_ANNOTATIONS_H_
+
+/// \file
+/// \brief Clang thread-safety-analysis capability macros.
+///
+/// These wrap clang's `-Wthread-safety` attributes so lock discipline is a
+/// compile-time contract instead of tribal knowledge: every mutex-protected
+/// member is declared `INDBML_GUARDED_BY(mu_)`, every method that must be
+/// called with a lock held is `INDBML_REQUIRES(mu_)`, and every method that
+/// takes the lock itself is `INDBML_EXCLUDES(mu_)`. The clang CI job builds
+/// with `-Wthread-safety -Werror`; under GCC (which has no such analysis)
+/// every macro expands to nothing.
+///
+/// Conventions (see DESIGN.md "Static analysis"):
+///  - Use the annotated wrappers in common/mutex.h (`Mutex`, `MutexLock`,
+///    `CondVar`), never raw `std::mutex` / `std::lock_guard`: the standard
+///    library types carry no capability attributes, so the analysis cannot
+///    see their acquisitions.
+///  - Lock-free atomics cannot be capability-annotated; document their
+///    ordering contract in a comment at the member declaration instead
+///    (grep for "lock-free:").
+///  - `INDBML_NO_THREAD_SAFETY_ANALYSIS` is an escape hatch of last resort
+///    and must carry a justification comment; it is forbidden in
+///    src/common/ and src/exec/ (enforced by review, the directories build
+///    clean without it).
+
+#if defined(__clang__)
+#define INDBML_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define INDBML_THREAD_ANNOTATION(x)  // no-op on GCC/MSVC
+#endif
+
+/// Declares a type to be a capability ("mutex"-like resource).
+#define INDBML_CAPABILITY(x) INDBML_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define INDBML_SCOPED_CAPABILITY INDBML_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member is protected by the given capability (read and write access
+/// require holding it).
+#define INDBML_GUARDED_BY(x) INDBML_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define INDBML_PT_GUARDED_BY(x) INDBML_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the capability (exclusively) when calling.
+#define INDBML_REQUIRES(...) \
+  INDBML_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capability at least shared when calling.
+#define INDBML_REQUIRES_SHARED(...) \
+  INDBML_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define INDBML_ACQUIRE(...) \
+  INDBML_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability shared and holds it on return.
+#define INDBML_ACQUIRE_SHARED(...) \
+  INDBML_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (which the caller held on entry).
+#define INDBML_RELEASE(...) \
+  INDBML_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define INDBML_RELEASE_SHARED(...) \
+  INDBML_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability; first argument is the return
+/// value that signals success.
+#define INDBML_TRY_ACQUIRE(...) \
+  INDBML_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must *not* hold the capability (the function acquires it itself;
+/// calling with it held would deadlock or double-lock).
+#define INDBML_EXCLUDES(...) INDBML_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code paths the
+/// analysis cannot follow, e.g. a lock taken by a caller through a pointer).
+#define INDBML_ASSERT_CAPABILITY(x) \
+  INDBML_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define INDBML_RETURN_CAPABILITY(x) INDBML_THREAD_ANNOTATION(lock_returned(x))
+
+/// Turns the analysis off for one function. Last resort; justify in a
+/// comment. Forbidden in src/common/ and src/exec/.
+#define INDBML_NO_THREAD_SAFETY_ANALYSIS \
+  INDBML_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // INDBML_COMMON_THREAD_ANNOTATIONS_H_

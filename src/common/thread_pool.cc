@@ -22,24 +22,27 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_task_.notify_all();
+  cv_task_.NotifyAll();
   for (auto& t : workers_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
+    // A task enqueued during shutdown would never run and a later WaitIdle
+    // would hang on it; make the misuse loud instead of a silent hang.
+    INDBML_CHECK(!shutdown_) << "Submit on a ThreadPool being destroyed";
     queue_.push_back(std::move(task));
   }
-  cv_task_.notify_one();
+  cv_task_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || active_ != 0) cv_idle_.Wait(mu_);
 }
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
@@ -62,8 +65,8 @@ void ThreadPool::WorkerLoop(int worker_index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) cv_task_.Wait(mu_);
       if (shutdown_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -71,9 +74,9 @@ void ThreadPool::WorkerLoop(int worker_index) {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+      if (queue_.empty() && active_ == 0) cv_idle_.NotifyAll();
     }
   }
 }

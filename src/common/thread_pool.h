@@ -1,12 +1,13 @@
 #ifndef INDBML_COMMON_THREAD_POOL_H_
 #define INDBML_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace indbml {
 
@@ -28,27 +29,30 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; runs as soon as a worker is free.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task; runs as soon as a worker is free. Must not be called
+  /// once destruction has begun.
+  void Submit(std::function<void()> task) INDBML_EXCLUDES(mu_);
 
-  /// Blocks until the queue is empty and all workers are idle.
-  void WaitIdle();
+  /// Blocks until the queue is empty and all workers are idle. Never call
+  /// from a pool worker (it would wait for itself).
+  void WaitIdle() INDBML_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Convenience: run `fn(i)` for i in [0, n) across the pool and wait.
-  void ParallelFor(int n, const std::function<void(int)>& fn);
+  void ParallelFor(int n, const std::function<void(int)>& fn)
+      INDBML_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop(int worker_index);
+  void WorkerLoop(int worker_index) INDBML_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  int active_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::deque<std::function<void()>> queue_ INDBML_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  ///< set in ctor, joined in dtor only
+  int active_ INDBML_GUARDED_BY(mu_) = 0;
+  bool shutdown_ INDBML_GUARDED_BY(mu_) = false;
 };
 
 /// Reusable rendezvous point: every participating thread calls Wait() and
@@ -58,24 +62,24 @@ class Barrier {
  public:
   explicit Barrier(int count) : threshold_(count), count_(count) {}
 
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
+  void Wait() INDBML_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     int gen = generation_;
     if (--count_ == 0) {
       ++generation_;
       count_ = threshold_;
-      cv_.notify_all();
+      cv_.NotifyAll();
       return;
     }
-    cv_.wait(lock, [&] { return gen != generation_; });
+    while (gen == generation_) cv_.Wait(mu_);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_;
+  CondVar cv_;
   const int threshold_;
-  int count_;
-  int generation_ = 0;
+  int count_ INDBML_GUARDED_BY(mu_);
+  int generation_ INDBML_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace indbml

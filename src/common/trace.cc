@@ -4,10 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/string_util.h"
 
 namespace indbml::trace {
@@ -27,16 +28,18 @@ struct SpanEvent {
 /// One per thread that ever recorded a span; owned by the global list so
 /// events survive thread exit (pool workers finish before export).
 struct ThreadBuffer {
-  uint32_t tid;
-  std::string thread_name;
-  std::mutex mu;  ///< guards events/name against a concurrent export
-  std::vector<SpanEvent> events;
+  uint32_t tid;  ///< assigned once under GlobalState::mu, read-only after
+  Mutex mu;      ///< guards events/name against a concurrent export
+  std::string thread_name INDBML_GUARDED_BY(mu);
+  std::vector<SpanEvent> events INDBML_GUARDED_BY(mu);
 };
 
+// Lock order: GlobalState::mu before any ThreadBuffer::mu (Clear holds
+// both); never the reverse.
 struct GlobalState {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadBuffer>> threads;
-  uint32_t next_tid = 1;
+  Mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> threads INDBML_GUARDED_BY(mu);
+  uint32_t next_tid INDBML_GUARDED_BY(mu) = 1;
   std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
 };
 
@@ -49,7 +52,7 @@ ThreadBuffer* LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> local = [] {
     auto buffer = std::make_shared<ThreadBuffer>();
     GlobalState& g = Global();
-    std::lock_guard<std::mutex> lock(g.mu);
+    MutexLock lock(g.mu);
     buffer->tid = g.next_tid++;
     g.threads.push_back(buffer);
     return buffer;
@@ -89,7 +92,7 @@ int64_t NowMicros() {
 
 void RecordSpan(std::string name, int64_t start_micros, int64_t end_micros) {
   ThreadBuffer* buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buffer->mu);
+  MutexLock lock(buffer->mu);
   buffer->events.push_back(SpanEvent{std::move(name), start_micros, end_micros});
 }
 
@@ -110,15 +113,15 @@ void Stop() { internal::g_enabled.store(false, std::memory_order_relaxed); }
 
 void SetThreadName(const std::string& name) {
   ThreadBuffer* buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buffer->mu);
+  MutexLock lock(buffer->mu);
   buffer->thread_name = name;
 }
 
 void Clear() {
   GlobalState& g = Global();
-  std::lock_guard<std::mutex> lock(g.mu);
+  MutexLock lock(g.mu);
   for (auto& t : g.threads) {
-    std::lock_guard<std::mutex> tlock(t->mu);
+    MutexLock tlock(t->mu);
     t->events.clear();
   }
 }
@@ -127,13 +130,13 @@ std::string ToJson() {
   GlobalState& g = Global();
   std::vector<std::shared_ptr<ThreadBuffer>> threads;
   {
-    std::lock_guard<std::mutex> lock(g.mu);
+    MutexLock lock(g.mu);
     threads = g.threads;
   }
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const auto& t : threads) {
-    std::lock_guard<std::mutex> tlock(t->mu);
+    MutexLock tlock(t->mu);
     if (!t->thread_name.empty()) {
       out += first ? "" : ",";
       first = false;

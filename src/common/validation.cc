@@ -16,6 +16,9 @@ bool EnvEnabled() {
   return enabled;
 }
 
+/// lock-free: relaxed flag; -1 defers to the (immutable once computed)
+/// environment value. Tests toggle it between queries, never concurrently
+/// with execution, so no ordering is needed.
 std::atomic<int> g_override{-1};
 
 }  // namespace

@@ -3,9 +3,10 @@
 #include <time.h>
 
 #include <cstring>
-#include <mutex>
 
 #include "common/memory_tracker.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/stopwatch.h"
 #include "nn/blas.h"
 
@@ -160,17 +161,17 @@ class SimGpuDevice final : public Device {
   }
 
   DeviceStats stats() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
   }
   void ResetStats() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_ = {};
   }
 
  private:
   void AccrueKernel(double real_seconds) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.real_seconds += real_seconds;
     stats_.modeled_seconds +=
         real_seconds / options_.compute_speedup + options_.kernel_launch_seconds;
@@ -182,7 +183,7 @@ class SimGpuDevice final : public Device {
     std::memcpy(dst, src, static_cast<size_t>(count) * sizeof(float));
     double real = ThreadCpuSeconds() - t0;
     int64_t bytes = count * 4;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.real_seconds += real;
     stats_.modeled_seconds += options_.transfer_latency_seconds +
                               static_cast<double>(bytes) / options_.transfer_bandwidth;
@@ -195,8 +196,8 @@ class SimGpuDevice final : public Device {
   }
 
   const SimGpuOptions options_;
-  mutable std::mutex mu_;
-  DeviceStats stats_;
+  mutable Mutex mu_;
+  DeviceStats stats_ INDBML_GUARDED_BY(mu_);
 };
 
 }  // namespace

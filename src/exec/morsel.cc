@@ -46,13 +46,11 @@ Result<QueryResult> ExecutePipeline(const WorkerPlanFactory& factory,
                                     storage::Catalog* catalog, ThreadPool* pool) {
   if (num_workers <= 0) num_workers = 1;
   ResultCollector collector(source->num_morsels());
-  std::mutex error_mu;
-  Status first_error = Status::OK();
+  FirstError first_error;
 
   auto record_error = [&](const Status& s) {
     source->Abort();
-    std::lock_guard<std::mutex> lock(error_mu);
-    if (first_error.ok()) first_error = s;
+    first_error.Record(s);
   };
 
   auto run_worker = [&](int w) {
@@ -106,10 +104,8 @@ Result<QueryResult> ExecutePipeline(const WorkerPlanFactory& factory,
     for (int w = 0; w < num_workers; ++w) run_worker(w);
   }
 
-  {
-    std::lock_guard<std::mutex> lock(error_mu);
-    if (!first_error.ok()) return first_error;
-  }
+  Status first = first_error.Get();
+  if (!first.ok()) return first;
   return collector.Assemble();
 }
 

@@ -3,9 +3,10 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "exec/operator.h"
 #include "storage/table.h"
@@ -66,7 +67,11 @@ class MorselSource {
   int64_t num_morsels() const { return static_cast<int64_t>(morsels_.size()); }
 
  private:
-  std::vector<storage::PartitionRange> morsels_;
+  std::vector<storage::PartitionRange> morsels_;  ///< immutable after ctor
+  /// lock-free: cursor_ hands out each index exactly once via relaxed
+  /// fetch_add (morsels_ is immutable, so no ordering is needed for the
+  /// read). aborted_ uses release/acquire so whatever the aborting worker
+  /// wrote before Abort() is visible to workers that observe the stop.
   std::atomic<int64_t> cursor_{0};
   std::atomic<bool> aborted_{false};
 };
@@ -83,8 +88,8 @@ class ResultCollector {
       : batches_(static_cast<size_t>(num_morsels)) {}
 
   void SetSchema(const std::vector<std::string>& names,
-                 const std::vector<DataType>& types) {
-    std::lock_guard<std::mutex> lock(mu_);
+                 const std::vector<DataType>& types) INDBML_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (have_schema_) return;
     names_ = names;
     types_ = types;
@@ -100,10 +105,10 @@ class ResultCollector {
 
   /// Concatenates all batches in morsel order. Call only after all workers
   /// finished (consumes the batches).
-  QueryResult Assemble() {
+  QueryResult Assemble() INDBML_EXCLUDES(mu_) {
     QueryResult merged;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       merged.names = names_;
       merged.types = types_;
     }
@@ -121,11 +126,40 @@ class ResultCollector {
     int64_t rows = 0;
   };
 
+  /// Deliberately *not* guarded: slot `i` is written only by the single
+  /// worker that claimed morsel `i` (slots are disjoint), and Assemble runs
+  /// after the executor's WaitIdle, which provides the happens-before edge.
   std::vector<Batch> batches_;
-  std::mutex mu_;
-  bool have_schema_ = false;
-  std::vector<std::string> names_;
-  std::vector<DataType> types_;
+  Mutex mu_;
+  bool have_schema_ INDBML_GUARDED_BY(mu_) = false;
+  std::vector<std::string> names_ INDBML_GUARDED_BY(mu_);
+  std::vector<DataType> types_ INDBML_GUARDED_BY(mu_);
+};
+
+/// \brief First-error-wins sink shared by concurrent pipeline workers.
+///
+/// Local `std::mutex` + `Status` pairs cannot carry thread-safety
+/// annotations (only members can be GUARDED_BY), so the executors share
+/// this small annotated class instead.
+class FirstError {
+ public:
+  /// Records `s` if it is the first non-OK status seen.
+  void Record(const Status& s) INDBML_EXCLUDES(mu_) {
+    if (s.ok()) return;
+    MutexLock lock(mu_);
+    if (first_.ok()) first_ = s;
+  }
+
+  /// The first recorded error, or OK. Call after workers are joined for an
+  /// authoritative answer.
+  Status Get() const INDBML_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return first_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  Status first_ INDBML_GUARDED_BY(mu_);
 };
 
 /// Creates the private operator-tree instance for one pipeline worker.

@@ -1,6 +1,5 @@
 #include "exec/parallel.h"
 
-#include <mutex>
 #include <string>
 
 #include "common/trace.h"
@@ -15,8 +14,7 @@ Result<QueryResult> ExecuteParallel(const OperatorFactory& factory, int num_part
   // them through the collector (one slot per partition) preserves the global
   // row order, exactly as it does for morsels.
   ResultCollector collector(num_partitions);
-  std::mutex error_mu;
-  Status first_error = Status::OK();
+  FirstError first_error;
 
   auto run_one = [&](int p) {
     trace::Span span("partition " + std::to_string(p));
@@ -25,14 +23,12 @@ Result<QueryResult> ExecuteParallel(const OperatorFactory& factory, int num_part
     ctx.worker_id = p;
     Result<OperatorPtr> op = factory(p);
     if (!op.ok()) {
-      std::lock_guard<std::mutex> lock(error_mu);
-      if (first_error.ok()) first_error = op.status();
+      first_error.Record(op.status());
       return;
     }
     Result<QueryResult> result = DrainOperator(op.ValueOrDie().get(), &ctx);
     if (!result.ok()) {
-      std::lock_guard<std::mutex> lock(error_mu);
-      if (first_error.ok()) first_error = result.status();
+      first_error.Record(result.status());
       return;
     }
     QueryResult& qr = result.ValueOrDie();
@@ -46,10 +42,8 @@ Result<QueryResult> ExecuteParallel(const OperatorFactory& factory, int num_part
     for (int p = 0; p < num_partitions; ++p) run_one(p);
   }
 
-  {
-    std::lock_guard<std::mutex> lock(error_mu);
-    if (!first_error.ok()) return first_error;
-  }
+  Status first = first_error.Get();
+  if (!first.ok()) return first;
   return collector.Assemble();
 }
 

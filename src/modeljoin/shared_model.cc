@@ -240,38 +240,41 @@ Status SharedModel::BuildPartition(const storage::Table& model_table, int worker
     storage::PartitionRange range{begin, std::min(begin + step, n)};
     Status status = ParsePartition(model_table, range);
     if (!status.ok()) {
-      failed_.store(true);
-      std::lock_guard<std::mutex> lock(failure_mu_);
-      failure_message_ = status.ToString();
+      RecordFailure(status);
       break;
     }
   }
   // All participants must reach the barrier even on failure, or the others
   // would deadlock (paper §5.2: single synchronisation point).
   build_barrier_.Wait();
-  if (failed_.load()) {
-    std::lock_guard<std::mutex> lock(failure_mu_);
-    return Status::ExecutionError("ModelJoin build failed: " + failure_message_);
-  }
+  if (failed_.load()) return FailureStatus();
   // One thread moves the finished model to the device (§5.2 optimisation:
   // build on host memory, upload once at the end).
   if (worker == 0) {
     UploadToDevice();
     if (validation::Enabled()) {
       Status shape = ValidateSharedModelShape(*this);
-      if (!shape.ok()) {
-        failed_.store(true);
-        std::lock_guard<std::mutex> lock(failure_mu_);
-        failure_message_ = shape.ToString();
-      }
+      if (!shape.ok()) RecordFailure(shape);
     }
   }
   upload_barrier_.Wait();
-  if (failed_.load()) {
-    std::lock_guard<std::mutex> lock(failure_mu_);
-    return Status::ExecutionError("ModelJoin build failed: " + failure_message_);
-  }
+  if (failed_.load()) return FailureStatus();
   return Status::OK();
+}
+
+void SharedModel::RecordFailure(const Status& status) {
+  {
+    MutexLock lock(failure_mu_);
+    // First failure wins: a second worker failing concurrently must not
+    // overwrite the root-cause message the first one recorded.
+    if (failure_message_.empty()) failure_message_ = status.ToString();
+  }
+  failed_.store(true);
+}
+
+Status SharedModel::FailureStatus() const {
+  MutexLock lock(failure_mu_);
+  return Status::ExecutionError("ModelJoin build failed: " + failure_message_);
 }
 
 Status ValidateSharedModelShape(const SharedModel& model) {

@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "device/device.h"
 #include "nn/model_meta.h"
@@ -95,6 +97,11 @@ class SharedModel {
                         storage::PartitionRange range);
   void UploadToDevice();
 
+  /// Marks the build failed, keeping the first recorded message.
+  void RecordFailure(const Status& status) INDBML_EXCLUDES(failure_mu_);
+  /// The build-failed status carrying the first failure's message.
+  Status FailureStatus() const INDBML_EXCLUDES(failure_mu_);
+
   nn::ModelMeta meta_;
   device::Device* device_;
   int num_workers_;
@@ -108,12 +115,18 @@ class SharedModel {
   int64_t device_bytes_ = 0;
 
   /// Next unclaimed model-table row of the work-stealing build phase.
+  /// lock-free: relaxed-equivalent fetch_add hands each row range to exactly
+  /// one worker; the parsed weights become visible to every worker through
+  /// the build barrier, not through this cursor.
   std::atomic<int64_t> build_cursor_{0};
   Barrier build_barrier_;
   Barrier upload_barrier_;
+  /// lock-free: sticky failure flag; workers poll it to stop claiming work
+  /// early. The barrier orders it before the post-build checks.
   std::atomic<bool> failed_{false};
-  std::string failure_message_;
-  std::mutex failure_mu_;
+  mutable Mutex failure_mu_;
+  /// First failure wins; later failures keep the original message.
+  std::string failure_message_ INDBML_GUARDED_BY(failure_mu_);
 };
 
 }  // namespace indbml::modeljoin

@@ -148,7 +148,7 @@ int64_t Table::MemoryBytes() const {
 }
 
 Status Catalog::CreateTable(TablePtr table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string key = ToLower(table->name());
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table '" + table->name() + "' already exists");
@@ -158,19 +158,19 @@ Status Catalog::CreateTable(TablePtr table) {
 }
 
 void Catalog::CreateOrReplaceTable(TablePtr table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   tables_[ToLower(table->name())] = std::move(table);
 }
 
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) return Status::NotFound("table '" + name + "' not found");
   return it->second;
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (tables_.erase(ToLower(name)) == 0) {
     return Status::NotFound("table '" + name + "' not found");
   }
@@ -178,7 +178,7 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 std::vector<std::string> Catalog::ListTables() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [k, v] : tables_) names.push_back(v->name());

@@ -2,14 +2,15 @@
 #define INDBML_STORAGE_TABLE_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/config.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/column.h"
 #include "storage/types.h"
 
@@ -106,21 +107,25 @@ class Table {
 using TablePtr = std::shared_ptr<Table>;
 
 /// \brief Thread-safe name → table registry (the database catalog).
+///
+/// The map is guarded; the Table objects handed out are shared_ptrs whose
+/// contents are frozen by Finalize() before registration, so readers never
+/// race table mutation through the catalog.
 class Catalog {
  public:
   /// Registers a table; fails if the name exists.
-  Status CreateTable(TablePtr table);
+  Status CreateTable(TablePtr table) INDBML_EXCLUDES(mu_);
 
   /// Replaces or registers a table.
-  void CreateOrReplaceTable(TablePtr table);
+  void CreateOrReplaceTable(TablePtr table) INDBML_EXCLUDES(mu_);
 
-  Result<TablePtr> GetTable(const std::string& name) const;
-  Status DropTable(const std::string& name);
-  std::vector<std::string> ListTables() const;
+  Result<TablePtr> GetTable(const std::string& name) const INDBML_EXCLUDES(mu_);
+  Status DropTable(const std::string& name) INDBML_EXCLUDES(mu_);
+  std::vector<std::string> ListTables() const INDBML_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, TablePtr> tables_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, TablePtr> tables_ INDBML_GUARDED_BY(mu_);
 };
 
 }  // namespace indbml::storage

@@ -1,0 +1,11 @@
+// Fixture: two endl findings absorbed by this fixture's baseline file; a
+// third identical finding must still gate (each baseline line absorbs one).
+#include <iostream>
+
+namespace indbml {
+
+void Old1() { std::cerr << std::endl; }
+void Old2() { std::cerr << std::endl; }
+void New3() { std::cerr << std::endl; }
+
+}  // namespace indbml

@@ -1,0 +1,10 @@
+// Fixture: per-row Value boxing inside an inference hot path.
+namespace indbml {
+
+void FillMatrix(const Batch& batch, float* out) {
+  for (int r = 0; r < batch.rows(); ++r) {
+    out[r] = batch.GetValue(r, 0).AsFloat();  // ^find
+  }
+}
+
+}  // namespace indbml

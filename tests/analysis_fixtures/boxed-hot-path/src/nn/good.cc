@@ -1,0 +1,8 @@
+// Fixture: typed gather through exec/gather.h — the sanctioned boundary.
+namespace indbml {
+
+void FillMatrix(const Batch& batch, float* out) {
+  GatherFloats(batch.column(0), batch.selection(), out);
+}
+
+}  // namespace indbml

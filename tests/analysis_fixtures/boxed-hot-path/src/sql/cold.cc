@@ -1,0 +1,6 @@
+// Fixture: boxing outside the hot paths (planner diagnostics) is allowed.
+namespace indbml {
+
+void Describe(const Batch& batch) { Print(batch.GetValue(0, 0)); }
+
+}  // namespace indbml

@@ -1,0 +1,10 @@
+// Fixture: std::endl outside the logging sink flushes on every use.
+#include <iostream>
+
+namespace indbml {
+
+void Report(int n) {
+  std::cerr << "rows=" << n << std::endl;  // ^find
+}
+
+}  // namespace indbml

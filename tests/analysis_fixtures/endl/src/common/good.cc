@@ -1,0 +1,12 @@
+// Fixture: '\n' does not flush and must not be flagged; neither may the
+// token std::endl inside a comment or string: std::endl.
+#include <iostream>
+
+namespace indbml {
+
+void Report(int n) {
+  std::cerr << "rows=" << n << "\n";
+  std::cerr << "literal: std::endl\n";  // inside a string: not a use
+}
+
+}  // namespace indbml

@@ -1,0 +1,8 @@
+// Fixture: the logging sink is allowlisted — it flushes deliberately.
+#include <iostream>
+
+namespace indbml {
+
+void Flush() { std::cerr << std::endl; }
+
+}  // namespace indbml

@@ -1,0 +1,7 @@
+// Fixture: wrong include guard; header-guard reports at line 1.  ^find@1
+#ifndef WRONG_GUARD_H_
+#define WRONG_GUARD_H_
+
+namespace indbml {}
+
+#endif  // WRONG_GUARD_H_

@@ -1,0 +1,7 @@
+// Fixture: canonical INDBML_<PATH>_H_ guard.
+#ifndef INDBML_EXEC_GOOD_H_
+#define INDBML_EXEC_GOOD_H_
+
+namespace indbml {}
+
+#endif  // INDBML_EXEC_GOOD_H_

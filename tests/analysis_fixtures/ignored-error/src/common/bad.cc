@@ -1,0 +1,11 @@
+// Fixture: IgnoreError() without a justification comment.
+#include "common/status.h"
+
+namespace indbml {
+
+void Close(Status s, Status* ptr) {
+  s.IgnoreError();  // ^find
+  ptr->IgnoreError();  // ^find
+}
+
+}  // namespace indbml

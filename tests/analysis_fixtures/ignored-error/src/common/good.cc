@@ -1,0 +1,12 @@
+// Fixture: justified IgnoreError() calls — same line or the line above.
+#include "common/status.h"
+
+namespace indbml {
+
+void Close(Status s, Status* ptr) {
+  s.IgnoreError();  // best-effort cleanup: the file is already gone
+  // Shutdown path: the sink this error would be reported to is destroyed.
+  ptr->IgnoreError();
+}
+
+}  // namespace indbml

@@ -1,0 +1,6 @@
+// Fixture: common is the bottom layer; reaching up is a violation.
+#include "common/status.h"
+#include "exec/vector.h"  // ^find
+#include <vector>
+
+namespace indbml {}

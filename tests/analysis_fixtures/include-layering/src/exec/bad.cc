@@ -1,0 +1,5 @@
+// Fixture: the execution layer must not depend on the SQL front-end.
+#include "exec/vector.h"
+#include "sql/planner.h"  // ^find
+
+namespace indbml {}

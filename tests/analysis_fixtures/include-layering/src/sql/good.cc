@@ -1,0 +1,10 @@
+// Fixture: sql sits above exec/storage/nn/common — all allowed, as are
+// system headers and non-layer includes.
+#include "sql/planner.h"
+#include "exec/vector.h"
+#include "storage/table.h"
+#include "nn/model.h"
+#include "common/status.h"
+#include <memory>
+
+namespace indbml {}

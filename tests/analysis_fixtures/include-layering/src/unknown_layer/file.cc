@@ -1,0 +1,5 @@
+// Fixture: a directory missing from ALLOWED_DEPS fails loudly at line 1
+// rather than silently passing.  ^find@1
+#include "common/status.h"
+
+namespace indbml {}

@@ -1,0 +1,21 @@
+// Fixture: heavy or blocking work inside a critical section.
+#include "common/mutex.h"
+
+namespace indbml {
+
+void ExecuteUnderLock(ThreadPool& pool) {
+  MutexLock lock(mu_);
+  pool.WaitIdle();  // ^find
+}
+
+void InferUnderStdLock(Session* s) {
+  std::lock_guard<std::mutex> lock(raw_mu_);
+  RunInference(s);  // ^find
+}
+
+void BarrierUnderLock(Barrier& barrier) {
+  MutexLock lock(mu_);
+  barrier.Wait();  // ^find
+}
+
+}  // namespace indbml

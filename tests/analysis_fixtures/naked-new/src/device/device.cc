@@ -1,0 +1,7 @@
+// Fixture: src/device/device.cc is allowlisted (device memory arena), and
+// static leaky singletons / same-line smart wraps are allowed anywhere.
+namespace indbml {
+
+char* ArenaAlloc(int n) { return new char[n]; }
+
+}  // namespace indbml

@@ -1,0 +1,13 @@
+// Fixture: naked-new must flag unowned allocations outside allocator files.
+namespace indbml {
+
+int* LeakyAlloc(int n) {
+  int* scratch = new int[n];  // ^find
+  return scratch;
+}
+
+void LeakyFree(int* p) {
+  delete[] p;  // ^find
+}
+
+}  // namespace indbml

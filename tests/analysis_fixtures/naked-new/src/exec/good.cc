@@ -1,0 +1,21 @@
+// Fixture: owned allocations that naked-new must NOT flag.
+#include <memory>
+
+namespace indbml {
+
+struct Registry {};
+
+Registry& Global() {
+  static Registry* r = new Registry();  // leaky singleton: static exempts
+  return *r;
+}
+
+std::unique_ptr<Registry> Make() {
+  return std::unique_ptr<Registry>(new Registry());  // same-line smart wrap
+}
+
+std::unique_ptr<Registry> MakeIdiomatic() {
+  return std::make_unique<Registry>();
+}
+
+}  // namespace indbml

@@ -1,0 +1,11 @@
+// Fixture: the pool implementation itself is allowlisted.
+#include <thread>
+
+namespace indbml {
+
+void PoolSpawn() {
+  std::thread t([] {});
+  t.join();
+}
+
+}  // namespace indbml

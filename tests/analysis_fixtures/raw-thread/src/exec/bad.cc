@@ -1,0 +1,11 @@
+// Fixture: direct std::thread outside the pool breaks WaitIdle/shutdown.
+#include <thread>
+
+namespace indbml {
+
+void Spawn() {
+  std::thread t([] {});  // ^find
+  t.join();
+}
+
+}  // namespace indbml

@@ -1,0 +1,15 @@
+// Fixture: NOLINT suppression semantics, exercised through the endl pass.
+#include <iostream>
+
+namespace indbml {
+
+void Report() {
+  std::cerr << "a" << std::endl;  // NOLINT(indbml-endl) fixture: suppressed
+  // NOLINTNEXTLINE(indbml-endl)
+  std::cerr << "b" << std::endl;
+  std::cerr << "c" << std::endl;  // NOLINT(indbml-*) wildcard: suppressed
+  std::cerr << "d" << std::endl;  // NOLINT without a category: ^find
+  std::cerr << "e" << std::endl;  // ^find
+}
+
+}  // namespace indbml

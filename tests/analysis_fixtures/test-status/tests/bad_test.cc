@@ -1,0 +1,9 @@
+// Fixture: bare-statement calls that silently discard a Status in tests.
+namespace indbml {
+
+void TestBody(Engine& engine, Table& table) {
+  engine.ExecuteQuery("SELECT 1");  // ^find
+  table.AppendRow(row);  // ^find
+}
+
+}  // namespace indbml

@@ -1,0 +1,11 @@
+// Fixture: consumed Status values that test-status must NOT flag.
+namespace indbml {
+
+void TestBody(Engine& engine, Table& table) {
+  auto result = engine.ExecuteQuery("SELECT 1");
+  ASSERT_TRUE(table.AppendRow(row).ok());
+  Status s = engine.PlanQuery("SELECT 2");
+  engine.Describe("t");  // not a Status-returning method
+}
+
+}  // namespace indbml

@@ -1,0 +1,22 @@
+// Fixture: raw pointers returned into function-local owning buffers.
+#include <string>
+#include <vector>
+
+namespace indbml {
+
+const float* DanglingData() {
+  std::vector<float> staging(16, 0.0f);
+  return staging.data();  // ^find
+}
+
+const char* DanglingCStr(std::string name) {  // by-value param dies too
+  return name.c_str();  // ^find
+}
+
+const int* DanglingAddr() {
+  std::vector<int> ids;
+  ids.push_back(7);
+  return &ids[0];  // ^find
+}
+
+}  // namespace indbml

@@ -1,0 +1,34 @@
+// Fixture: borrows that are safe and must NOT be flagged.
+#include <string>
+#include <vector>
+
+namespace indbml {
+
+// Member accessor: the owner outlives the call (the Vector::BaseFloats
+// pattern itself).
+class Holder {
+ public:
+  const float* Floats() const { return storage_.data(); }
+
+ private:
+  std::vector<float> storage_;
+};
+
+// Borrowed parameter: the caller owns the buffer.
+const float* First(const std::vector<float>& v) { return v.data(); }
+
+// Returning the owning value itself moves ownership out — safe.
+std::vector<float> MakeBuffer() {
+  std::vector<float> staging(16, 0.0f);
+  return staging;
+}
+
+// A local consumed before return is fine.
+float Sum(int n) {
+  std::vector<float> scratch(n, 1.0f);
+  float total = 0.0f;
+  for (float f : scratch) total += f;
+  return total;
+}
+
+}  // namespace indbml
