@@ -2,13 +2,34 @@
 // kernels: GEMM, activations, expression evaluation, hash join and the two
 // aggregation strategies. These are the building blocks whose relative
 // costs explain the figure-level results.
+//
+// `--roofline` switches to a scalar-vs-SIMD roofline report instead: every
+// vectorized kernel timed in both modes (simd::SetEnabled), with achieved
+// GB/s and GFLOP/s per mode and the speedup, printed as a table, mirrored
+// to $RESULTS_DIR/bench_microkernels_roofline.csv, and — with `--json` —
+// dumped as JSON next to it.
 
 #include <benchmark/benchmark.h>
 
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "benchlib/report.h"
 #include "benchlib/workloads.h"
 #include "common/config.h"
+#include "common/random.h"
+#include "common/simd.h"
+#include "common/string_util.h"
 #include "exec/aggregate.h"
 #include "exec/basic_operators.h"
+#include "exec/expression.h"
+#include "exec/gather.h"
 #include "exec/join.h"
 #include "exec/scan.h"
 #include "nn/blas.h"
@@ -115,7 +136,197 @@ void BM_SqlLayerForward(benchmark::State& state) {
 }
 BENCHMARK(BM_SqlLayerForward);
 
+// ---------------------------------------------------------------------------
+// Roofline report (--roofline [--json])
+
+/// One kernel in the roofline sweep: `run` executes the kernel once over its
+/// whole working set; `flops`/`bytes` are the per-run totals used to derive
+/// GFLOP/s (arithmetic ops for non-FP kernels) and GB/s.
+struct RooflineKernel {
+  std::string name;
+  double flops;
+  double bytes;
+  std::function<void()> run;
+};
+
+/// Median-of-repetitions seconds per run: warm up, then time batches until
+/// the budget is spent and keep the fastest batch (steadiest estimate on a
+/// noisy machine).
+double TimeKernel(const std::function<void()>& run) {
+  using clock = std::chrono::steady_clock;
+  run();  // warm-up / page-in
+  double best = 1e30;
+  const double budget_s = 0.15;
+  auto start_all = clock::now();
+  int reps = 1;
+  for (;;) {
+    auto t0 = clock::now();
+    for (int r = 0; r < reps; ++r) run();
+    auto t1 = clock::now();
+    double secs = std::chrono::duration<double>(t1 - t0).count() / reps;
+    if (secs < best) best = secs;
+    if (std::chrono::duration<double>(t1 - start_all).count() > budget_s) break;
+    if (secs * reps < 0.01) reps *= 2;  // amortise timer overhead
+  }
+  return best;
+}
+
+int RunRoofline(bool emit_json) {
+  const int64_t kVec = 1 << 16;
+  const int64_t kGemmN = 256;
+  Random rng(17);
+
+  std::vector<float> fa(static_cast<size_t>(kVec)), fb(fa.size()), fc(fa.size());
+  for (auto& v : fa) v = rng.NextFloat(-8, 8);
+  for (auto& v : fb) v = rng.NextFloat(-8, 8);
+  std::vector<float> ga(static_cast<size_t>(kGemmN * kGemmN)), gb(ga.size()),
+      gc(ga.size());
+  for (auto& v : ga) v = rng.NextFloat(-1, 1);
+  for (auto& v : gb) v = rng.NextFloat(-1, 1);
+  std::vector<int64_t> ia(static_cast<size_t>(kVec));
+  for (auto& v : ia) v = static_cast<int64_t>(rng.NextUint64(1000));
+  std::vector<uint8_t> mask(static_cast<size_t>(kVec));
+  std::vector<int32_t> idx(static_cast<size_t>(kVec));
+  for (int64_t i = 0; i < kVec; ++i) {
+    idx[static_cast<size_t>(i)] =
+        static_cast<int32_t>(rng.NextUint64(static_cast<uint64_t>(kVec)));
+  }
+  auto sel = std::make_shared<const exec::SelectionVector>(idx);
+  exec::Vector gather_src(exec::DataType::kFloat);
+  gather_src.Resize(kVec);
+  std::memcpy(gather_src.floats(), fa.data(), fa.size() * sizeof(float));
+  exec::Vector gather_in = gather_src.WithSelection(sel);
+  std::vector<int32_t> passing;
+  passing.reserve(static_cast<size_t>(kVec));
+
+  const double vec_f = static_cast<double>(kVec);
+  const double gemm_flops = 2.0 * kGemmN * kGemmN * kGemmN;
+  std::vector<RooflineKernel> kernels;
+  kernels.push_back({"sgemm_256", gemm_flops, 4.0 * 4 * kGemmN * kGemmN, [&] {
+                       blas::SgemmTight(false, false, kGemmN, kGemmN, kGemmN,
+                                        1.0f, ga.data(), gb.data(), 0.0f,
+                                        gc.data());
+                     }});
+  kernels.push_back({"vs_add", vec_f, 12.0 * vec_f, [&] {
+                       blas::VsAdd(kVec, fa.data(), fb.data(), fc.data());
+                     }});
+  kernels.push_back({"vs_mul", vec_f, 12.0 * vec_f, [&] {
+                       blas::VsMul(kVec, fa.data(), fb.data(), fc.data());
+                     }});
+  kernels.push_back({"saxpy", 2.0 * vec_f, 12.0 * vec_f, [&] {
+                       blas::Saxpy(kVec, 1.0009f, fa.data(), fc.data());
+                     }});
+  kernels.push_back({"vs_relu", vec_f, 8.0 * vec_f, [&] {
+                       std::memcpy(fc.data(), fa.data(),
+                                   fa.size() * sizeof(float));
+                       blas::VsRelu(kVec, fc.data());
+                     }});
+  kernels.push_back({"cmp_const_f32", vec_f, 6.0 * vec_f, [&] {
+                       std::memset(mask.data(), 1, mask.size());
+                       exec::AndMaskCompareConstFloat(exec::BinaryOp::kGt,
+                                                      fa.data(), 0.0f, kVec,
+                                                      mask.data());
+                     }});
+  kernels.push_back({"cmp_const_i64", vec_f, 10.0 * vec_f, [&] {
+                       std::memset(mask.data(), 1, mask.size());
+                       exec::AndMaskCompareConstInt64(exec::BinaryOp::kLt,
+                                                      ia.data(), 500, kVec,
+                                                      mask.data());
+                     }});
+  kernels.push_back({"mask_to_indices", vec_f, 6.0 * vec_f, [&] {
+                       passing.clear();
+                       exec::AppendMaskIndices(mask.data(), kVec, 0, &passing);
+                     }});
+  kernels.push_back({"gather_f32_sel", vec_f, 12.0 * vec_f, [&] {
+                       exec::GatherToFloat(gather_in, fc.data());
+                     }});
+
+  benchlib::ReportTable table(
+      "bench_microkernels_roofline",
+      {"kernel", "scalar_s", "simd_s", "scalar_gflops", "simd_gflops",
+       "scalar_gbps", "simd_gbps", "speedup"});
+  struct Row {
+    std::string kernel;
+    double scalar_s, simd_s, scalar_gflops, simd_gflops, scalar_gbps,
+        simd_gbps, speedup;
+  };
+  std::vector<Row> rows;
+  for (const RooflineKernel& k : kernels) {
+    double scalar_s, simd_s;
+    {
+      simd::ScopedEnable off(false);
+      scalar_s = TimeKernel(k.run);
+    }
+    {
+      simd::ScopedEnable on(true);
+      simd_s = TimeKernel(k.run);
+    }
+    Row row{k.name,
+            scalar_s,
+            simd_s,
+            k.flops / scalar_s / 1e9,
+            k.flops / simd_s / 1e9,
+            k.bytes / scalar_s / 1e9,
+            k.bytes / simd_s / 1e9,
+            scalar_s / simd_s};
+    rows.push_back(row);
+    table.AddRow({row.kernel, StrFormat("%.3g", row.scalar_s),
+                  StrFormat("%.3g", row.simd_s),
+                  StrFormat("%.2f", row.scalar_gflops),
+                  StrFormat("%.2f", row.simd_gflops),
+                  StrFormat("%.2f", row.scalar_gbps),
+                  StrFormat("%.2f", row.simd_gbps),
+                  StrFormat("%.2fx", row.speedup)});
+  }
+  std::printf("simd backend: %s (compiled %s, runtime toggle via "
+              "simd::SetEnabled)\n",
+              simd::kBackend, simd::kCompiled ? "in" : "out");
+  table.Finish();
+
+  if (emit_json) {
+    const char* dir = std::getenv("RESULTS_DIR");
+    std::string results_dir = dir != nullptr ? dir : "results";
+    ::mkdir(results_dir.c_str(), 0755);
+    std::string path = results_dir + "/bench_microkernels_roofline.json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"backend\": \"%s\",\n  \"kernels\": [\n",
+                 simd::kBackend);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(
+          f,
+          "    {\"kernel\": \"%s\", \"scalar_s\": %.6g, \"simd_s\": %.6g, "
+          "\"scalar_gflops\": %.4g, \"simd_gflops\": %.4g, "
+          "\"scalar_gbps\": %.4g, \"simd_gbps\": %.4g, \"speedup\": %.4g}%s\n",
+          r.kernel.c_str(), r.scalar_s, r.simd_s, r.scalar_gflops,
+          r.simd_gflops, r.scalar_gbps, r.simd_gbps, r.speedup,
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("(json: %s)\n", path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace indbml
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool roofline = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--roofline") == 0) roofline = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  if (roofline) return indbml::RunRoofline(json);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

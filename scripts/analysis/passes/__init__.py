@@ -10,6 +10,7 @@ from . import (
     include_layering,
     lock_scope,
     naked_new,
+    raw_intrinsics,
     raw_thread,
     test_status,
     view_escape,
@@ -19,6 +20,7 @@ _MODULES = (
     naked_new,
     endl,
     header_guard,
+    raw_intrinsics,
     raw_thread,
     test_status,
     boxed_hot_path,

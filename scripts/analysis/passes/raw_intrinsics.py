@@ -1,0 +1,46 @@
+"""raw-intrinsics: vendor SIMD intrinsics only inside common/simd.h.
+
+The portable SIMD layer exists so every kernel is written once against
+F32x8/I64x8/Mask8 and compiles to AVX2, NEON or scalar from one source.
+A raw `_mm*`/`v*q`-style intrinsic anywhere else silently breaks the
+scalar and NEON builds and bypasses the runtime scalar ablation toggle.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core import Finding, Pass
+
+ALLOWED_FILES = {"src/common/simd.h"}  # the one place intrinsics may live
+
+# x86 (`_mm...`, `_mm256...`) and ARM NEON (`vld1q_f32`, `vaddq_f32`,
+# `vst1q...`, ...) intrinsic calls, plus the headers that provide them.
+INTRINSIC_RE = re.compile(
+    r"\b_mm\w*\s*\("
+    r"|\bv(?:ld|st)\d\w*\s*\("
+    r"|\bv(?:add|sub|mul|div|max|min|neg|abs|ceq|cgt|cge|clt|cle|bsl|dup|mov"
+    r"|reinterpret|get|set|cvt|and|orr|eor|mvn|addv)q?\w*_[fsu]\d+\s*\(")
+INTRINSIC_HEADER_RE = re.compile(
+    r'#\s*include\s*[<"](?:immintrin|x86intrin|emmintrin|smmintrin|'
+    r'avxintrin|arm_neon)\.h[>"]')
+
+
+class RawIntrinsicsPass(Pass):
+    name = "raw-intrinsics"
+    roots = ("src", "tests", "bench", "examples")
+
+    def check_file(self, sf, ctx):
+        if sf.rel in ALLOWED_FILES:
+            return []
+        findings = []
+        for lineno, line in sf.iter_code():
+            if INTRINSIC_RE.search(line) or INTRINSIC_HEADER_RE.search(line):
+                findings.append(
+                    Finding(sf.rel, lineno, self.name,
+                            "raw SIMD intrinsic outside common/simd.h; use "
+                            "the F32x8/I64x8/Mask8 wrappers"))
+        return findings
+
+
+PASS = RawIntrinsicsPass

@@ -24,9 +24,8 @@ Status FilterOperator::Next(ExecContext* ctx, DataChunk* out, bool* eof) {
       mask.Flatten();
       const uint8_t* m = std::as_const(mask).bools();
       std::vector<int32_t> passing;
-      for (int64_t r = 0; r < in_.size; ++r) {
-        if (m[r]) passing.push_back(static_cast<int32_t>(r));
-      }
+      passing.reserve(static_cast<size_t>(in_.size));
+      AppendMaskIndices(m, in_.size, 0, &passing);
       // Survivors become a selection over the input's views — no row data
       // moves; WithSelection composes with any selection already present.
       if (!passing.empty()) {

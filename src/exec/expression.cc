@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/simd.h"
 #include "common/string_util.h"
 #include "nn/blas.h"
 
@@ -210,19 +211,157 @@ DataType BinaryResultType(BinaryOp op, DataType lhs, DataType rhs) {
 
 namespace {
 
+using simd::F32x8;
+using simd::I64x8;
+using simd::Mask8;
+
 /// Promotes a vector to float in place of `tmp` if needed; returns a pointer
-/// to float data covering all rows.
+/// to float data covering all rows. Writes go through a raw typed pointer
+/// (the gather-kernel idiom), not per-row indexed vector accesses.
 const float* AsFloats(const Vector& v, std::vector<float>* tmp) {
   if (v.type() == DataType::kFloat) return v.floats();
   tmp->resize(static_cast<size_t>(v.size()));
+  float* o = tmp->data();
+  const int64_t n = v.size();
   if (v.type() == DataType::kInt64) {
     const int64_t* in = v.ints();
-    for (int64_t i = 0; i < v.size(); ++i) (*tmp)[static_cast<size_t>(i)] = in[i];
+    for (int64_t i = 0; i < n; ++i) o[i] = static_cast<float>(in[i]);
   } else {
     const uint8_t* in = v.bools();
-    for (int64_t i = 0; i < v.size(); ++i) (*tmp)[static_cast<size_t>(i)] = in[i];
+    for (int64_t i = 0; i < n; ++i) o[i] = in[i];
   }
-  return tmp->data();
+  return o;
+}
+
+/// Columnwise comparison writing 0/1 bytes: o[i] = a[i] op b[i]. One kernel
+/// per (op, type) pair; the vector loop emits 8-lane bitmasks that are
+/// expanded to bytes, the scalar tail finishes the odd lanes with the same
+/// per-element semantics (including NaN: only Ne is true on unordered).
+template <typename T, typename V>
+void CompareColumns(BinaryOp op, const T* a, const T* b, int64_t n, uint8_t* o) {
+  int64_t i = 0;
+  if (simd::UseSimd()) {
+    const int64_t vend = n - (n % simd::kWidth);
+    switch (op) {
+      case BinaryOp::kEq:
+        for (; i < vend; i += simd::kWidth)
+          V::Eq(V::Load(a + i), V::Load(b + i)).StoreBytes(o + i);
+        break;
+      case BinaryOp::kNe:
+        for (; i < vend; i += simd::kWidth)
+          V::Ne(V::Load(a + i), V::Load(b + i)).StoreBytes(o + i);
+        break;
+      case BinaryOp::kLt:
+        for (; i < vend; i += simd::kWidth)
+          V::Lt(V::Load(a + i), V::Load(b + i)).StoreBytes(o + i);
+        break;
+      case BinaryOp::kLe:
+        for (; i < vend; i += simd::kWidth)
+          V::Le(V::Load(a + i), V::Load(b + i)).StoreBytes(o + i);
+        break;
+      case BinaryOp::kGt:
+        for (; i < vend; i += simd::kWidth)
+          V::Gt(V::Load(a + i), V::Load(b + i)).StoreBytes(o + i);
+        break;
+      case BinaryOp::kGe:
+        for (; i < vend; i += simd::kWidth)
+          V::Ge(V::Load(a + i), V::Load(b + i)).StoreBytes(o + i);
+        break;
+      default:
+        break;
+    }
+  }
+  switch (op) {
+    case BinaryOp::kEq:
+      for (; i < n; ++i) o[i] = a[i] == b[i];
+      break;
+    case BinaryOp::kNe:
+      for (; i < n; ++i) o[i] = a[i] != b[i];
+      break;
+    case BinaryOp::kLt:
+      for (; i < n; ++i) o[i] = a[i] < b[i];
+      break;
+    case BinaryOp::kLe:
+      for (; i < n; ++i) o[i] = a[i] <= b[i];
+      break;
+    case BinaryOp::kGt:
+      for (; i < n; ++i) o[i] = a[i] > b[i];
+      break;
+    case BinaryOp::kGe:
+      for (; i < n; ++i) o[i] = a[i] >= b[i];
+      break;
+    default:
+      break;
+  }
+}
+
+/// mask[i] &= (a[i] op c), same lane semantics as CompareColumns. This is
+/// the fused scan's predicate kernel: it AND-accumulates straight into the
+/// survivor mask instead of materializing a bool vector per predicate.
+template <typename T, typename V>
+void AndMaskCompareConstImpl(BinaryOp op, const T* a, T c, int64_t n,
+                             uint8_t* mask) {
+  int64_t i = 0;
+  if (simd::UseSimd()) {
+    const int64_t vend = n - (n % simd::kWidth);
+    const V cv = V::Broadcast(c);
+    switch (op) {
+      case BinaryOp::kEq:
+        for (; i < vend; i += simd::kWidth)
+          (Mask8::FromBytes(mask + i) & V::Eq(V::Load(a + i), cv))
+              .StoreBytes(mask + i);
+        break;
+      case BinaryOp::kNe:
+        for (; i < vend; i += simd::kWidth)
+          (Mask8::FromBytes(mask + i) & V::Ne(V::Load(a + i), cv))
+              .StoreBytes(mask + i);
+        break;
+      case BinaryOp::kLt:
+        for (; i < vend; i += simd::kWidth)
+          (Mask8::FromBytes(mask + i) & V::Lt(V::Load(a + i), cv))
+              .StoreBytes(mask + i);
+        break;
+      case BinaryOp::kLe:
+        for (; i < vend; i += simd::kWidth)
+          (Mask8::FromBytes(mask + i) & V::Le(V::Load(a + i), cv))
+              .StoreBytes(mask + i);
+        break;
+      case BinaryOp::kGt:
+        for (; i < vend; i += simd::kWidth)
+          (Mask8::FromBytes(mask + i) & V::Gt(V::Load(a + i), cv))
+              .StoreBytes(mask + i);
+        break;
+      case BinaryOp::kGe:
+        for (; i < vend; i += simd::kWidth)
+          (Mask8::FromBytes(mask + i) & V::Ge(V::Load(a + i), cv))
+              .StoreBytes(mask + i);
+        break;
+      default:
+        break;
+    }
+  }
+  switch (op) {
+    case BinaryOp::kEq:
+      for (; i < n; ++i) mask[i] = mask[i] & (a[i] == c ? 1 : 0);
+      break;
+    case BinaryOp::kNe:
+      for (; i < n; ++i) mask[i] = mask[i] & (a[i] != c ? 1 : 0);
+      break;
+    case BinaryOp::kLt:
+      for (; i < n; ++i) mask[i] = mask[i] & (a[i] < c ? 1 : 0);
+      break;
+    case BinaryOp::kLe:
+      for (; i < n; ++i) mask[i] = mask[i] & (a[i] <= c ? 1 : 0);
+      break;
+    case BinaryOp::kGt:
+      for (; i < n; ++i) mask[i] = mask[i] & (a[i] > c ? 1 : 0);
+      break;
+    case BinaryOp::kGe:
+      for (; i < n; ++i) mask[i] = mask[i] & (a[i] >= c ? 1 : 0);
+      break;
+    default:
+      break;
+  }
 }
 
 Status EvalBinary(const Expr& expr, const DataChunk& input, Vector* out) {
@@ -256,83 +395,53 @@ Status EvalBinary(const Expr& expr, const DataChunk& input, Vector* out) {
   if (IsComparison(op)) {
     uint8_t* o = out->bools();
     if (int_math) {
-      const int64_t* a = std::as_const(lhs).ints();
-      const int64_t* b = std::as_const(rhs).ints();
-      switch (op) {
-        case BinaryOp::kEq:
-          for (int64_t i = 0; i < n; ++i) o[i] = a[i] == b[i];
-          break;
-        case BinaryOp::kNe:
-          for (int64_t i = 0; i < n; ++i) o[i] = a[i] != b[i];
-          break;
-        case BinaryOp::kLt:
-          for (int64_t i = 0; i < n; ++i) o[i] = a[i] < b[i];
-          break;
-        case BinaryOp::kLe:
-          for (int64_t i = 0; i < n; ++i) o[i] = a[i] <= b[i];
-          break;
-        case BinaryOp::kGt:
-          for (int64_t i = 0; i < n; ++i) o[i] = a[i] > b[i];
-          break;
-        case BinaryOp::kGe:
-          for (int64_t i = 0; i < n; ++i) o[i] = a[i] >= b[i];
-          break;
-        default:
-          break;
-      }
+      CompareColumns<int64_t, I64x8>(op, std::as_const(lhs).ints(),
+                                     std::as_const(rhs).ints(), n, o);
     } else {
       std::vector<float> ta, tb;
       const float* a = AsFloats(lhs, &ta);
       const float* b = AsFloats(rhs, &tb);
-      switch (op) {
-        case BinaryOp::kEq:
-          for (int64_t i = 0; i < n; ++i) o[i] = a[i] == b[i];
-          break;
-        case BinaryOp::kNe:
-          for (int64_t i = 0; i < n; ++i) o[i] = a[i] != b[i];
-          break;
-        case BinaryOp::kLt:
-          for (int64_t i = 0; i < n; ++i) o[i] = a[i] < b[i];
-          break;
-        case BinaryOp::kLe:
-          for (int64_t i = 0; i < n; ++i) o[i] = a[i] <= b[i];
-          break;
-        case BinaryOp::kGt:
-          for (int64_t i = 0; i < n; ++i) o[i] = a[i] > b[i];
-          break;
-        case BinaryOp::kGe:
-          for (int64_t i = 0; i < n; ++i) o[i] = a[i] >= b[i];
-          break;
-        default:
-          break;
-      }
+      CompareColumns<float, F32x8>(op, a, b, n, o);
     }
     return Status::OK();
   }
 
-  // Arithmetic.
+  // Arithmetic. Int64 add/sub and all float ops vectorize; int64 mul has no
+  // 64-bit lane multiply in AVX2 and div/mod need the per-row zero check, so
+  // those three stay scalar.
   if (expr.type == DataType::kInt64) {
     const int64_t* a = std::as_const(lhs).ints();
     const int64_t* b = std::as_const(rhs).ints();
     int64_t* o = out->ints();
+    int64_t i = 0;
     switch (op) {
       case BinaryOp::kAdd:
-        for (int64_t i = 0; i < n; ++i) o[i] = a[i] + b[i];
+        if (simd::UseSimd()) {
+          for (; i + simd::kWidth <= n; i += simd::kWidth) {
+            (I64x8::Load(a + i) + I64x8::Load(b + i)).Store(o + i);
+          }
+        }
+        for (; i < n; ++i) o[i] = a[i] + b[i];
         break;
       case BinaryOp::kSub:
-        for (int64_t i = 0; i < n; ++i) o[i] = a[i] - b[i];
+        if (simd::UseSimd()) {
+          for (; i + simd::kWidth <= n; i += simd::kWidth) {
+            (I64x8::Load(a + i) - I64x8::Load(b + i)).Store(o + i);
+          }
+        }
+        for (; i < n; ++i) o[i] = a[i] - b[i];
         break;
       case BinaryOp::kMul:
-        for (int64_t i = 0; i < n; ++i) o[i] = a[i] * b[i];
+        for (; i < n; ++i) o[i] = a[i] * b[i];
         break;
       case BinaryOp::kDiv:
-        for (int64_t i = 0; i < n; ++i) {
+        for (; i < n; ++i) {
           if (b[i] == 0) return Status::ExecutionError("division by zero");
           o[i] = a[i] / b[i];
         }
         break;
       case BinaryOp::kMod:
-        for (int64_t i = 0; i < n; ++i) {
+        for (; i < n; ++i) {
           if (b[i] == 0) return Status::ExecutionError("modulo by zero");
           o[i] = a[i] % b[i];
         }
@@ -345,18 +454,39 @@ Status EvalBinary(const Expr& expr, const DataChunk& input, Vector* out) {
     const float* a = AsFloats(lhs, &ta);
     const float* b = AsFloats(rhs, &tb);
     float* o = out->floats();
+    int64_t i = 0;
     switch (op) {
       case BinaryOp::kAdd:
-        for (int64_t i = 0; i < n; ++i) o[i] = a[i] + b[i];
+        if (simd::UseSimd()) {
+          for (; i + simd::kWidth <= n; i += simd::kWidth) {
+            (F32x8::Load(a + i) + F32x8::Load(b + i)).Store(o + i);
+          }
+        }
+        for (; i < n; ++i) o[i] = a[i] + b[i];
         break;
       case BinaryOp::kSub:
-        for (int64_t i = 0; i < n; ++i) o[i] = a[i] - b[i];
+        if (simd::UseSimd()) {
+          for (; i + simd::kWidth <= n; i += simd::kWidth) {
+            (F32x8::Load(a + i) - F32x8::Load(b + i)).Store(o + i);
+          }
+        }
+        for (; i < n; ++i) o[i] = a[i] - b[i];
         break;
       case BinaryOp::kMul:
-        for (int64_t i = 0; i < n; ++i) o[i] = a[i] * b[i];
+        if (simd::UseSimd()) {
+          for (; i + simd::kWidth <= n; i += simd::kWidth) {
+            (F32x8::Load(a + i) * F32x8::Load(b + i)).Store(o + i);
+          }
+        }
+        for (; i < n; ++i) o[i] = a[i] * b[i];
         break;
       case BinaryOp::kDiv:
-        for (int64_t i = 0; i < n; ++i) o[i] = a[i] / b[i];
+        if (simd::UseSimd()) {
+          for (; i + simd::kWidth <= n; i += simd::kWidth) {
+            (F32x8::Load(a + i) / F32x8::Load(b + i)).Store(o + i);
+          }
+        }
+        for (; i < n; ++i) o[i] = a[i] / b[i];
         break;
       default:
         return Status::Internal("bad float arithmetic op");
@@ -375,6 +505,51 @@ void MergeCaseBranch(const Vector& src, const uint8_t* cond,
   auto pending = [&](int64_t r) {
     return !(*decided)[static_cast<size_t>(r)] && (cond == nullptr || cond[r]);
   };
+  // Vector path: flat same-typed branch (the common shape — branches are
+  // constants or expression results). Builds the take-mask from the cond and
+  // decided byte vectors, blends 8 rows at a time, and ORs the mask back
+  // into `decided`. Selected views and type mismatches fall through to the
+  // per-row readers below, which apply the same row-local rule.
+  if (src.type() == out->type() && src.selection() == nullptr &&
+      src.size() >= n && simd::UseSimd() && out->type() != DataType::kBool) {
+    uint8_t* dec = decided->data();
+    int64_t i = 0;
+    const int64_t vend = n - (n % simd::kWidth);
+    if (out->type() == DataType::kFloat) {
+      const float* s = std::as_const(src).floats();
+      float* o = out->floats();
+      for (; i < vend; i += simd::kWidth) {
+        Mask8 take = ~Mask8::FromBytes(dec + i);
+        if (cond != nullptr) take = take & Mask8::FromBytes(cond + i);
+        if (!take.AnyTrue()) continue;
+        F32x8::Select(take, F32x8::Load(s + i), F32x8::Load(o + i)).Store(o + i);
+        take.OrIntoBytes(dec + i);
+      }
+      for (; i < n; ++i) {
+        if (!dec[i] && (cond == nullptr || cond[i])) {
+          o[i] = s[i];
+          dec[i] = 1;
+        }
+      }
+    } else {
+      const int64_t* s = std::as_const(src).ints();
+      int64_t* o = out->ints();
+      for (; i < vend; i += simd::kWidth) {
+        Mask8 take = ~Mask8::FromBytes(dec + i);
+        if (cond != nullptr) take = take & Mask8::FromBytes(cond + i);
+        if (!take.AnyTrue()) continue;
+        I64x8::Select(take, I64x8::Load(s + i), I64x8::Load(o + i)).Store(o + i);
+        take.OrIntoBytes(dec + i);
+      }
+      for (; i < n; ++i) {
+        if (!dec[i] && (cond == nullptr || cond[i])) {
+          o[i] = s[i];
+          dec[i] = 1;
+        }
+      }
+    }
+    return;
+  }
   if (src.type() != out->type()) {
     for (int64_t r = 0; r < n; ++r) {
       if (!pending(r)) continue;
@@ -595,6 +770,34 @@ Status EvaluateExpr(const Expr& expr, const DataChunk& input, Vector* out) {
     }
   }
   return Status::Internal("unhandled expression kind");
+}
+
+void AndMaskCompareConstFloat(BinaryOp op, const float* a, float c, int64_t n,
+                              uint8_t* mask) {
+  AndMaskCompareConstImpl<float, F32x8>(op, a, c, n, mask);
+}
+
+void AndMaskCompareConstInt64(BinaryOp op, const int64_t* a, int64_t c,
+                              int64_t n, uint8_t* mask) {
+  AndMaskCompareConstImpl<int64_t, I64x8>(op, a, c, n, mask);
+}
+
+void AppendMaskIndices(const uint8_t* mask, int64_t n, int32_t base,
+                       std::vector<int32_t>* out) {
+  int64_t i = 0;
+  if (simd::UseSimd()) {
+    for (; i + simd::kWidth <= n; i += simd::kWidth) {
+      unsigned bits = Mask8::FromBytes(mask + i).bits;
+      while (bits != 0) {
+        const int j = __builtin_ctz(bits);
+        out->push_back(base + static_cast<int32_t>(i) + j);
+        bits &= bits - 1;
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    if (mask[i] != 0) out->push_back(base + static_cast<int32_t>(i));
+  }
 }
 
 void CollectColumnIds(const Expr& expr, std::vector<int64_t>* ids) {

@@ -88,6 +88,27 @@ bool IsComparison(BinaryOp op);
 /// Column references must have been resolved to chunk indexes.
 Status EvaluateExpr(const Expr& expr, const DataChunk& input, Vector* out);
 
+/// \name Selection-mask kernels
+/// The vectorized comparison kernels represent row survival as a byte mask
+/// (one 0/1 byte per row, produced 8 lanes at a time — see common/simd.h)
+/// instead of branching per row. These entry points let operators compose
+/// masks and turn them into selection vectors.
+/// @{
+
+/// mask[i] &= (a[i] op c) for i in [0, n). `op` must be a comparison; NaN
+/// semantics match the scalar expression evaluator (only kNe is true).
+void AndMaskCompareConstFloat(BinaryOp op, const float* a, float c, int64_t n,
+                              uint8_t* mask);
+void AndMaskCompareConstInt64(BinaryOp op, const int64_t* a, int64_t c,
+                              int64_t n, uint8_t* mask);
+
+/// Appends `base + i` to `out` for every nonzero `mask[i]`, in row order.
+/// This is the mask → selection-vector boundary used by Filter and the
+/// fused scan; callers reserve capacity.
+void AppendMaskIndices(const uint8_t* mask, int64_t n, int32_t base,
+                       std::vector<int32_t>* out);
+/// @}
+
 /// Collects the binding/column ids referenced anywhere in the tree.
 void CollectColumnIds(const Expr& expr, std::vector<int64_t>* ids);
 

@@ -5,17 +5,150 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace indbml::blas {
 
 namespace {
 
-// Block size for the cache-blocked GEMM kernel. 64x64 float blocks fit
-// comfortably in L1/L2 on commodity hardware.
+using simd::F32x8;
+
+// Cache block size for the blocked GEMM. 64x64 float blocks fit comfortably
+// in L1/L2 on commodity hardware.
 constexpr int64_t kBlock = 64;
+
+// Register tile of the SIMD microkernel: kMr rows x (2 * kWidth) columns of
+// C held in accumulator registers across a whole k-block.
+constexpr int64_t kMr = 4;
+constexpr int64_t kNr = 2 * simd::kWidth;  // 16
 
 inline float Fetch(const float* a, int64_t ld, bool trans, int64_t r, int64_t c) {
   return trans ? a[c * ld + r] : a[r * ld + c];
+}
+
+// Both block kernels below compute the identical i-k-j update sequence for
+// every C element: av = alpha * A[i][p] (one rounding), then
+// C[i][j] += av * B[p][j] (mul then add, two roundings), for p ascending.
+// The SIMD kernel only changes *where* the partial sums live (registers
+// instead of a memory round-trip per p), not the value sequence, so the two
+// paths are bit-identical. Keeping them identical is load-bearing: the
+// bit-identity suite diffs their raw output bytes, and all four inference
+// approaches must agree exactly regardless of build flags.
+
+void SgemmBlockScalar(int64_t ii, int64_t imax, int64_t kk, int64_t kmax,
+                      int64_t n, float alpha, const float* a, int64_t lda,
+                      const float* b, int64_t ldb, float* c, int64_t ldc) {
+  for (int64_t i = ii; i < imax; ++i) {
+    float* crow = c + i * ldc;
+    const float* arow = a + i * lda;
+    for (int64_t p = kk; p < kmax; ++p) {
+      // No skip on av == 0.0f: skipping would drop -0.0/NaN propagation and
+      // diverge from the SIMD lanes, which never branch per element.
+      const float av = alpha * arow[p];
+      const float* brow = b + p * ldb;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// Tail columns [j0, n) of rows [i0, i0+rows): same i-p-j scalar order.
+void SgemmColumnTail(int64_t i0, int64_t rows, int64_t kk, int64_t kmax,
+                     int64_t j0, int64_t n, float alpha, const float* a,
+                     int64_t lda, const float* b, int64_t ldb, float* c,
+                     int64_t ldc) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* arow = a + (i0 + r) * lda;
+    float* crow = c + (i0 + r) * ldc;
+    for (int64_t p = kk; p < kmax; ++p) {
+      const float av = alpha * arow[p];
+      const float* brow = b + p * ldb;
+      for (int64_t j = j0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void SgemmBlockSimd(int64_t ii, int64_t imax, int64_t kk, int64_t kmax,
+                    int64_t n, float alpha, const float* a, int64_t lda,
+                    const float* b, int64_t ldb, float* c, int64_t ldc) {
+  int64_t i = ii;
+  for (; i + kMr <= imax; i += kMr) {
+    const float* arow0 = a + (i + 0) * lda;
+    const float* arow1 = a + (i + 1) * lda;
+    const float* arow2 = a + (i + 2) * lda;
+    const float* arow3 = a + (i + 3) * lda;
+    float* crow0 = c + (i + 0) * ldc;
+    float* crow1 = c + (i + 1) * ldc;
+    float* crow2 = c + (i + 2) * ldc;
+    float* crow3 = c + (i + 3) * ldc;
+    int64_t j = 0;
+    for (; j + kNr <= n; j += kNr) {
+      F32x8 c00 = F32x8::Load(crow0 + j), c01 = F32x8::Load(crow0 + j + 8);
+      F32x8 c10 = F32x8::Load(crow1 + j), c11 = F32x8::Load(crow1 + j + 8);
+      F32x8 c20 = F32x8::Load(crow2 + j), c21 = F32x8::Load(crow2 + j + 8);
+      F32x8 c30 = F32x8::Load(crow3 + j), c31 = F32x8::Load(crow3 + j + 8);
+      for (int64_t p = kk; p < kmax; ++p) {
+        const float* brow = b + p * ldb;
+        const F32x8 b0 = F32x8::Load(brow + j);
+        const F32x8 b1 = F32x8::Load(brow + j + 8);
+        const F32x8 a0 = F32x8::Broadcast(alpha * arow0[p]);
+        c00 = c00 + a0 * b0;
+        c01 = c01 + a0 * b1;
+        const F32x8 a1 = F32x8::Broadcast(alpha * arow1[p]);
+        c10 = c10 + a1 * b0;
+        c11 = c11 + a1 * b1;
+        const F32x8 a2 = F32x8::Broadcast(alpha * arow2[p]);
+        c20 = c20 + a2 * b0;
+        c21 = c21 + a2 * b1;
+        const F32x8 a3 = F32x8::Broadcast(alpha * arow3[p]);
+        c30 = c30 + a3 * b0;
+        c31 = c31 + a3 * b1;
+      }
+      c00.Store(crow0 + j);
+      c01.Store(crow0 + j + 8);
+      c10.Store(crow1 + j);
+      c11.Store(crow1 + j + 8);
+      c20.Store(crow2 + j);
+      c21.Store(crow2 + j + 8);
+      c30.Store(crow3 + j);
+      c31.Store(crow3 + j + 8);
+    }
+    for (; j + simd::kWidth <= n; j += simd::kWidth) {
+      F32x8 c0 = F32x8::Load(crow0 + j);
+      F32x8 c1 = F32x8::Load(crow1 + j);
+      F32x8 c2 = F32x8::Load(crow2 + j);
+      F32x8 c3 = F32x8::Load(crow3 + j);
+      for (int64_t p = kk; p < kmax; ++p) {
+        const F32x8 b0 = F32x8::Load(b + p * ldb + j);
+        c0 = c0 + F32x8::Broadcast(alpha * arow0[p]) * b0;
+        c1 = c1 + F32x8::Broadcast(alpha * arow1[p]) * b0;
+        c2 = c2 + F32x8::Broadcast(alpha * arow2[p]) * b0;
+        c3 = c3 + F32x8::Broadcast(alpha * arow3[p]) * b0;
+      }
+      c0.Store(crow0 + j);
+      c1.Store(crow1 + j);
+      c2.Store(crow2 + j);
+      c3.Store(crow3 + j);
+    }
+    if (j < n) {
+      SgemmColumnTail(i, kMr, kk, kmax, j, n, alpha, a, lda, b, ldb, c, ldc);
+    }
+  }
+  // Leftover rows, one at a time.
+  for (; i < imax; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    int64_t j = 0;
+    for (; j + simd::kWidth <= n; j += simd::kWidth) {
+      F32x8 acc = F32x8::Load(crow + j);
+      for (int64_t p = kk; p < kmax; ++p) {
+        acc = acc + F32x8::Broadcast(alpha * arow[p]) * F32x8::Load(b + p * ldb + j);
+      }
+      acc.Store(crow + j);
+    }
+    if (j < n) {
+      SgemmColumnTail(i, 1, kk, kmax, j, n, alpha, a, lda, b, ldb, c, ldc);
+    }
+  }
 }
 
 }  // namespace
@@ -24,39 +157,44 @@ void Sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float al
            const float* a, int64_t lda, const float* b, int64_t ldb, float beta,
            float* c, int64_t ldc) {
   // Scale C by beta first.
+  const bool use_simd = simd::UseSimd();
   for (int64_t i = 0; i < m; ++i) {
     float* crow = c + i * ldc;
     if (beta == 0.0f) {
       std::memset(crow, 0, static_cast<size_t>(n) * sizeof(float));
     } else if (beta != 1.0f) {
-      for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
+      int64_t j = 0;
+      if (use_simd) {
+        const F32x8 bv = F32x8::Broadcast(beta);
+        for (; j + simd::kWidth <= n; j += simd::kWidth) {
+          (F32x8::Load(crow + j) * bv).Store(crow + j);
+        }
+      }
+      for (; j < n; ++j) crow[j] *= beta;
     }
   }
   if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
 
   if (!trans_a && !trans_b) {
     // Fast path: row-major A (m x k) times row-major B (k x n), i-k-j loop
-    // order with blocking, which keeps B rows streaming through cache.
+    // order with blocking, which keeps B rows streaming through cache. The
+    // SIMD kernel additionally register-blocks a kMr x kNr tile of C.
     for (int64_t ii = 0; ii < m; ii += kBlock) {
       int64_t imax = std::min(ii + kBlock, m);
       for (int64_t kk = 0; kk < k; kk += kBlock) {
         int64_t kmax = std::min(kk + kBlock, k);
-        for (int64_t i = ii; i < imax; ++i) {
-          float* crow = c + i * ldc;
-          const float* arow = a + i * lda;
-          for (int64_t p = kk; p < kmax; ++p) {
-            float av = alpha * arow[p];
-            if (av == 0.0f) continue;
-            const float* brow = b + p * ldb;
-            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-          }
+        if (use_simd) {
+          SgemmBlockSimd(ii, imax, kk, kmax, n, alpha, a, lda, b, ldb, c, ldc);
+        } else {
+          SgemmBlockScalar(ii, imax, kk, kmax, n, alpha, a, lda, b, ldb, c, ldc);
         }
       }
     }
     return;
   }
 
-  // Generic path for transposed operands.
+  // Generic path for transposed operands (cold: only training-style calls
+  // use it, inference GEMMs are all non-transposed).
   for (int64_t i = 0; i < m; ++i) {
     float* crow = c + i * ldc;
     for (int64_t j = 0; j < n; ++j) {
@@ -77,29 +215,61 @@ void SgemmTight(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
 }
 
 void Saxpy(int64_t n, float alpha, const float* x, float* y) {
-  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  int64_t i = 0;
+  if (simd::UseSimd()) {
+    const F32x8 av = F32x8::Broadcast(alpha);
+    for (; i + simd::kWidth <= n; i += simd::kWidth) {
+      (F32x8::Load(y + i) + av * F32x8::Load(x + i)).Store(y + i);
+    }
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
 }
 
 void Sger(int64_t m, int64_t n, float alpha, const float* x, const float* y, float* a,
           int64_t lda) {
+  const bool use_simd = simd::UseSimd();
   for (int64_t i = 0; i < m; ++i) {
     float av = alpha * x[i];
     float* arow = a + i * lda;
-    for (int64_t j = 0; j < n; ++j) arow[j] += av * y[j];
+    int64_t j = 0;
+    if (use_simd) {
+      const F32x8 avv = F32x8::Broadcast(av);
+      for (; j + simd::kWidth <= n; j += simd::kWidth) {
+        (F32x8::Load(arow + j) + avv * F32x8::Load(y + j)).Store(arow + j);
+      }
+    }
+    for (; j < n; ++j) arow[j] += av * y[j];
   }
 }
 
 void VsMul(int64_t n, const float* x, const float* y, float* z) {
-  for (int64_t i = 0; i < n; ++i) z[i] = x[i] * y[i];
+  int64_t i = 0;
+  if (simd::UseSimd()) {
+    for (; i + simd::kWidth <= n; i += simd::kWidth) {
+      (F32x8::Load(x + i) * F32x8::Load(y + i)).Store(z + i);
+    }
+  }
+  for (; i < n; ++i) z[i] = x[i] * y[i];
 }
 
 void VsAdd(int64_t n, const float* x, const float* y, float* z) {
-  for (int64_t i = 0; i < n; ++i) z[i] = x[i] + y[i];
+  int64_t i = 0;
+  if (simd::UseSimd()) {
+    for (; i + simd::kWidth <= n; i += simd::kWidth) {
+      (F32x8::Load(x + i) + F32x8::Load(y + i)).Store(z + i);
+    }
+  }
+  for (; i < n; ++i) z[i] = x[i] + y[i];
 }
 
 float ScalarSigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 float ScalarTanh(float x) { return std::tanh(x); }
 float ScalarRelu(float x) { return x > 0.0f ? x : 0.0f; }
+
+// Sigmoid/tanh stay scalar-per-element even in SIMD builds: they bottom out
+// in libm's exp/tanh, and no vector polynomial approximation reproduces
+// libm bit-for-bit, which would break the cross-approach identity checks.
+// The win is captured elsewhere (GEMM dominates dense inference).
 
 void VsSigmoid(int64_t n, float* x) {
   for (int64_t i = 0; i < n; ++i) x[i] = ScalarSigmoid(x[i]);
@@ -110,7 +280,16 @@ void VsTanh(int64_t n, float* x) {
 }
 
 void VsRelu(int64_t n, float* x) {
-  for (int64_t i = 0; i < n; ++i) x[i] = ScalarRelu(x[i]);
+  int64_t i = 0;
+  if (simd::UseSimd()) {
+    // max(x, +0) matches `x > 0 ? x : 0` exactly, including NaN -> 0 and
+    // -0 -> +0 (the second operand wins on ties/unordered in every backend).
+    const F32x8 zero = F32x8::Zero();
+    for (; i + simd::kWidth <= n; i += simd::kWidth) {
+      F32x8::Max(F32x8::Load(x + i), zero).Store(x + i);
+    }
+  }
+  for (; i < n; ++i) x[i] = ScalarRelu(x[i]);
 }
 
 }  // namespace indbml::blas

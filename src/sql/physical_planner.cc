@@ -6,6 +6,7 @@
 #include "common/validation.h"
 #include "exec/aggregate.h"
 #include "exec/basic_operators.h"
+#include "exec/fused_scan.h"
 #include "exec/join.h"
 #include "exec/scan.h"
 #include "exec/validate.h"
@@ -37,6 +38,20 @@ Result<ExprPtr> Remap(const exec::Expr& expr,
   return clone;
 }
 
+/// Division and modulo can fail per row (divide by zero). The fused scan
+/// evaluates residual conditions over all window rows, not just prior
+/// survivors, so only conditions that cannot fail row-wise are fusable.
+bool ExprHasDivOrMod(const exec::Expr& e) {
+  if (e.kind == exec::ExprKind::kBinary &&
+      (e.bin_op == exec::BinaryOp::kDiv || e.bin_op == exec::BinaryOp::kMod)) {
+    return true;
+  }
+  for (const auto& c : e.children) {
+    if (ExprHasDivOrMod(*c)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 PhysicalPlanner::PhysicalPlanner(const LogicalOp* plan, const PlanAnalysis& analysis,
@@ -44,13 +59,14 @@ PhysicalPlanner::PhysicalPlanner(const LogicalOp* plan, const PlanAnalysis& anal
                                  ModelJoinStateFactory state_factory,
                                  ModelJoinOperatorFactory operator_factory,
                                  exec::QueryProfile* profile, bool morsel_driven,
-                                 bool zero_copy_scan)
+                                 bool zero_copy_scan, bool fused_pipeline)
     : plan_(plan),
       analysis_(analysis),
       num_workers_(analysis.parallel_safe ? std::max(1, requested_workers) : 1),
       morsel_driven_(morsel_driven && analysis.parallel_safe &&
                      analysis.partitioned_table != nullptr),
       zero_copy_scan_(zero_copy_scan),
+      fused_pipeline_(fused_pipeline),
       state_factory_(std::move(state_factory)),
       operator_factory_(std::move(operator_factory)),
       profile_(profile) {}
@@ -112,9 +128,80 @@ Result<OperatorPtr> PhysicalPlanner::Build(const LogicalOp& node, int worker) {
   return op;
 }
 
+Result<OperatorPtr> PhysicalPlanner::TryBuildFused(const LogicalOp& node,
+                                                   int worker) {
+  // Fusion rides on the zero-copy substrate (it emits selection vectors over
+  // table storage). Profiled plans keep the discrete operators so EXPLAIN
+  // ANALYZE reports true per-operator row counts and timings.
+  if (!zero_copy_scan_ || !fused_pipeline_ || profile_ != nullptr) {
+    return OperatorPtr();
+  }
+  const LogicalOp* cur = &node;
+  const LogicalOp* project = nullptr;
+  if (cur->kind == LogicalKind::kProject) {
+    // Only pure column-selection projects fuse; computed expressions keep
+    // the discrete ProjectOperator.
+    for (const auto& e : cur->exprs) {
+      if (e->kind != exec::ExprKind::kColumnRef) return OperatorPtr();
+    }
+    project = cur;
+    cur = cur->children[0].get();
+  }
+  std::vector<const LogicalOp*> filters;  // chain root first
+  while (cur->kind == LogicalKind::kFilter) {
+    if (ExprHasDivOrMod(*cur->condition)) return OperatorPtr();
+    filters.push_back(cur);
+    cur = cur->children[0].get();
+  }
+  if (cur->kind != LogicalKind::kScan) return OperatorPtr();
+  const LogicalOp& scan = *cur;
+  // A bare scan with no predicates gains nothing from fusion.
+  if (filters.empty() && scan.pushed.empty()) return OperatorPtr();
+
+  // Filter conditions and the projection both reference the scan's outputs
+  // (filters preserve their child's columns), so one map serves all.
+  auto scan_map = PositionMap(scan.outputs);
+  std::vector<ExprPtr> residuals;
+  for (auto it = filters.rbegin(); it != filters.rend(); ++it) {
+    INDBML_ASSIGN_OR_RETURN(auto cond, Remap(*(*it)->condition, scan_map));
+    residuals.push_back(std::move(cond));
+  }
+  std::vector<int> projection;
+  std::vector<std::string> names;
+  if (project != nullptr) {
+    for (size_t i = 0; i < project->exprs.size(); ++i) {
+      auto it = scan_map.find(project->exprs[i]->column_id);
+      if (it == scan_map.end()) return OperatorPtr();
+      projection.push_back(static_cast<int>(it->second));
+      names.push_back(project->outputs[i].name);
+    }
+  } else {
+    for (size_t i = 0; i < scan.outputs.size(); ++i) {
+      projection.push_back(static_cast<int>(i));
+      names.push_back(scan.outputs[i].name);
+    }
+  }
+
+  if (morsel_driven_ && scan.table.get() == analysis_.partitioned_table) {
+    return OperatorPtr(std::make_unique<exec::FusedTableScanOperator>(
+        exec::FusedTableScanOperator::MorselBound{}, scan.table,
+        scan.scan_columns, scan.pushed, std::move(residuals),
+        std::move(projection), std::move(names)));
+  }
+  storage::PartitionRange range{0, scan.table->num_rows()};
+  if (scan.table.get() == analysis_.partitioned_table && num_workers_ > 1) {
+    range = scan.table->MakePartitions(num_workers_)[static_cast<size_t>(worker)];
+  }
+  return OperatorPtr(std::make_unique<exec::FusedTableScanOperator>(
+      scan.table, range, scan.scan_columns, scan.pushed, std::move(residuals),
+      std::move(projection), std::move(names)));
+}
+
 Result<OperatorPtr> PhysicalPlanner::BuildNode(const LogicalOp& node, int worker) {
   switch (node.kind) {
     case LogicalKind::kScan: {
+      INDBML_ASSIGN_OR_RETURN(auto fused, TryBuildFused(node, worker));
+      if (fused != nullptr) return fused;
       if (morsel_driven_ && node.table.get() == analysis_.partitioned_table) {
         // Morsel-bound: starts empty; the pipeline executor re-targets the
         // scan's row range per claimed morsel via Rewind.
@@ -130,6 +217,8 @@ Result<OperatorPtr> PhysicalPlanner::BuildNode(const LogicalOp& node, int worker
           node.table, range, node.scan_columns, node.pushed, zero_copy_scan_));
     }
     case LogicalKind::kFilter: {
+      INDBML_ASSIGN_OR_RETURN(auto fused, TryBuildFused(node, worker));
+      if (fused != nullptr) return fused;
       INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], worker));
       auto mapping = PositionMap(node.children[0]->outputs);
       INDBML_ASSIGN_OR_RETURN(auto cond, Remap(*node.condition, mapping));
@@ -137,6 +226,8 @@ Result<OperatorPtr> PhysicalPlanner::BuildNode(const LogicalOp& node, int worker
           std::make_unique<exec::FilterOperator>(std::move(child), std::move(cond)));
     }
     case LogicalKind::kProject: {
+      INDBML_ASSIGN_OR_RETURN(auto fused, TryBuildFused(node, worker));
+      if (fused != nullptr) return fused;
       INDBML_ASSIGN_OR_RETURN(auto child, Build(*node.children[0], worker));
       auto mapping = PositionMap(node.children[0]->outputs);
       std::vector<ExprPtr> exprs;

@@ -57,7 +57,8 @@ class PhysicalPlanner {
                   int requested_workers, ModelJoinStateFactory state_factory,
                   ModelJoinOperatorFactory operator_factory,
                   exec::QueryProfile* profile = nullptr,
-                  bool morsel_driven = false, bool zero_copy_scan = true);
+                  bool morsel_driven = false, bool zero_copy_scan = true,
+                  bool fused_pipeline = true);
 
   /// Effective worker count (1 if the plan is not parallel-safe).
   int num_workers() const { return num_workers_; }
@@ -73,6 +74,10 @@ class PhysicalPlanner {
  private:
   Result<exec::OperatorPtr> Build(const LogicalOp& node, int worker);
   Result<exec::OperatorPtr> BuildNode(const LogicalOp& node, int worker);
+  /// Fuses a [Project(column refs)] [Filter]* Scan chain rooted at `node`
+  /// into one FusedTableScanOperator. Returns nullptr (OK) when the chain
+  /// does not qualify; the caller falls through to discrete operators.
+  Result<exec::OperatorPtr> TryBuildFused(const LogicalOp& node, int worker);
   void RegisterProfileNodes(const LogicalOp& node, int depth);
 
   const LogicalOp* plan_;
@@ -80,6 +85,7 @@ class PhysicalPlanner {
   int num_workers_;
   bool morsel_driven_;
   bool zero_copy_scan_;
+  bool fused_pipeline_;
   ModelJoinStateFactory state_factory_;
   ModelJoinOperatorFactory operator_factory_;
   exec::QueryProfile* profile_;

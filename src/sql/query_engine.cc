@@ -62,7 +62,7 @@ Result<exec::QueryResult> QueryEngine::ExecutePlan(const LogicalOp& plan,
                              : (options_.parallel ? options_.partitions : 1);
   PhysicalPlanner planner(&plan, analysis, requested, modeljoin_state_factory_,
                           modeljoin_operator_factory_, profile, use_morsel,
-                          options_.zero_copy_scan);
+                          options_.zero_copy_scan, options_.fused_pipeline);
   INDBML_RETURN_NOT_OK(planner.Prepare());
   if (use_morsel && validation::Enabled()) {
     INDBML_RETURN_NOT_OK(ValidateMorselSafety(plan, analysis));

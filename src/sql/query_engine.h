@@ -37,6 +37,12 @@ class QueryEngine {
     /// selection vectors instead of copying survivors (default); false =
     /// the legacy per-row materialising scan (conversion ablation).
     bool zero_copy_scan = true;
+    /// Fuse [Project][Filter*]Scan chains into one operator that computes
+    /// the survivor mask with the vectorized compare kernels and emits one
+    /// selection vector over table storage (default); false = discrete
+    /// Scan/Filter/Project operators (fusion ablation). Requires
+    /// `zero_copy_scan`.
+    bool fused_pipeline = true;
     OptimizerOptions optimizer;
   };
 

@@ -1,0 +1,15 @@
+// Fixture: common/simd.h is the one allowed home for raw intrinsics; none
+// of these may be flagged.
+#ifndef FIXTURE_COMMON_SIMD_H_
+#define FIXTURE_COMMON_SIMD_H_
+
+#include <immintrin.h>
+
+namespace indbml::simd {
+
+inline __m256 Add(__m256 a, __m256 b) { return _mm256_add_ps(a, b); }
+inline __m256 Load(const float* p) { return _mm256_loadu_ps(p); }
+
+}  // namespace indbml::simd
+
+#endif  // FIXTURE_COMMON_SIMD_H_

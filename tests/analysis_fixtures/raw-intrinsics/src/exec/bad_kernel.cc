@@ -1,0 +1,19 @@
+// Fixture: raw vendor intrinsics outside common/simd.h must be flagged —
+// they break the scalar/NEON builds and skip the runtime ablation toggle.
+#include <immintrin.h>  // ^find
+
+namespace indbml {
+
+void AddEight(const float* a, const float* b, float* out) {
+  __m256 va = _mm256_loadu_ps(a);  // ^find
+  __m256 vb = _mm256_loadu_ps(b);  // ^find
+  _mm256_storeu_ps(out, _mm256_add_ps(va, vb));  // ^find
+}
+
+void NeonAdd(const float* a, const float* b, float* out) {
+  float32x4_t va = vld1q_f32(a);  // ^find
+  float32x4_t vb = vld1q_f32(b);  // ^find
+  vst1q_f32(out, vaddq_f32(va, vb));  // ^find
+}
+
+}  // namespace indbml

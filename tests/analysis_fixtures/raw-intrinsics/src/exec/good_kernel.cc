@@ -1,0 +1,16 @@
+// Fixture: kernels written against the portable wrappers are clean, and
+// identifiers that merely resemble intrinsics (vstart, mm_total) are not
+// false-positived.
+#include "common/simd.h"
+
+namespace indbml {
+
+void AddEight(const float* a, const float* b, float* out) {
+  simd::F32x8 va = simd::F32x8::Load(a);
+  simd::F32x8 vb = simd::F32x8::Load(b);
+  (va + vb).Store(out);
+}
+
+int Vstart(int vstart, int mm_total) { return vstart + mm_total; }
+
+}  // namespace indbml

@@ -13,7 +13,9 @@
 
 #include "benchlib/workloads.h"
 #include "common/config.h"
+#include "common/metrics.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "exec/vector.h"
 #include "mltosql/mltosql.h"
@@ -404,6 +406,103 @@ TEST(MorselSafetyValidationTest, AcceptsParallelSafeRejectsSerialOnly) {
   sql::PlanAnalysis limit_analysis = optimizer.Analyze(*limit_plan);
   ASSERT_FALSE(limit_analysis.parallel_safe);
   EXPECT_FALSE(sql::ValidateMorselSafety(*limit_plan, limit_analysis).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Fused scan→filter→project pipeline (exec/fused_scan.h)
+
+/// Queries that exercise the fusable chain shapes: pushed predicates only,
+/// residual float/int conditions, multi-conjunct filters, pure-column
+/// projects, and expression projects (which keep the discrete operators but
+/// may still fuse the scan+filter below them).
+const char* const kFusionQueries[] = {
+    "SELECT f.id, f.a, f.b FROM fact f WHERE f.a >= 0.0",
+    "SELECT f.id FROM fact f WHERE f.k = 2 AND f.a >= 0.0",
+    "SELECT f.b, f.id FROM fact f WHERE f.a > 0.25 AND f.b < 3.5",
+    "SELECT f.id, f.a * 2.0 AS a2 FROM fact f WHERE f.k >= 3",
+    "SELECT f.id, f.a FROM fact f",
+    "SELECT f.id AS g, SUM(f.a) AS s FROM fact f WHERE f.b >= -5.0 GROUP BY f.id",
+};
+
+/// Fused and unfused pipelines must produce row-for-row bit-identical
+/// results, serially and morsel-driven, and the fused engine must actually
+/// build FusedTableScanOperator instances (observed via the
+/// "exec.fused_scans" metrics counter).
+TEST_F(MorselDeterminismTest, FusedPipelineBitIdenticalToUnfused) {
+  sql::QueryEngine::Options unfused;
+  unfused.parallel = false;
+  unfused.fused_pipeline = false;
+  sql::QueryEngine unfused_engine(unfused);
+  ASSERT_OK(unfused_engine.catalog()->CreateTable(fact_));
+
+  metrics::Counter* fused_scans =
+      metrics::Registry::Global().counter("exec.fused_scans");
+  for (const char* query : kFusionQueries) {
+    SCOPED_TRACE(query);
+    int64_t before = fused_scans->value();
+    ASSERT_OK_AND_ASSIGN(auto unfused_result, unfused_engine.ExecuteQuery(query));
+    EXPECT_EQ(fused_scans->value(), before)
+        << "fused_pipeline=false must not build fused scans";
+    // serial_ and morsel_ run with the default fused_pipeline=true.
+    ASSERT_OK_AND_ASSIGN(auto fused_result, serial_->ExecuteQuery(query));
+    ExpectRowIdentical(fused_result, unfused_result);
+    ASSERT_OK_AND_ASSIGN(auto morsel_result, morsel_->ExecuteQuery(query));
+    ExpectRowIdentical(morsel_result, unfused_result);
+  }
+  // At least the predicate-bearing queries fused on the default engines.
+  EXPECT_GT(fused_scans->value(), 0);
+}
+
+/// Division in a filter condition can fault on rows that would never reach
+/// it in the discrete pipeline, so such chains must not fuse — and must
+/// still compute the same result through the discrete operators. The
+/// condition is the *only* predicate so nothing is pushed into the scan
+/// (a pushed conjunct would legitimately fuse as a predicate-only scan).
+TEST_F(MorselDeterminismTest, DivisionFilterStaysUnfusedAndCorrect) {
+  const std::string query =
+      "SELECT f.id FROM fact f WHERE 10.0 / (f.a + 11.0) < 8.0";
+  metrics::Counter* fused_scans =
+      metrics::Registry::Global().counter("exec.fused_scans");
+  int64_t before = fused_scans->value();
+  ASSERT_OK_AND_ASSIGN(auto serial_result, serial_->ExecuteQuery(query));
+  EXPECT_EQ(fused_scans->value(), before)
+      << "conditions containing division must not fuse";
+  ASSERT_GT(serial_result.num_rows, 0);
+  ASSERT_OK_AND_ASSIGN(auto morsel_result, morsel_->ExecuteQuery(query));
+  ExpectRowIdentical(morsel_result, serial_result);
+}
+
+/// The fused path rides on zero-copy scans: with zero_copy_scan=false the
+/// planner must fall back to the discrete operators even when
+/// fused_pipeline=true, and results stay identical.
+TEST_F(MorselDeterminismTest, FusionRequiresZeroCopyScan) {
+  sql::QueryEngine::Options legacy;
+  legacy.parallel = false;
+  legacy.zero_copy_scan = false;
+  legacy.fused_pipeline = true;
+  sql::QueryEngine legacy_engine(legacy);
+  ASSERT_OK(legacy_engine.catalog()->CreateTable(fact_));
+
+  const std::string query = "SELECT f.id, f.a FROM fact f WHERE f.a >= 0.0";
+  metrics::Counter* fused_scans =
+      metrics::Registry::Global().counter("exec.fused_scans");
+  int64_t before = fused_scans->value();
+  ASSERT_OK_AND_ASSIGN(auto legacy_result, legacy_engine.ExecuteQuery(query));
+  EXPECT_EQ(fused_scans->value(), before);
+  ASSERT_OK_AND_ASSIGN(auto fused_result, serial_->ExecuteQuery(query));
+  ExpectRowIdentical(fused_result, legacy_result);
+}
+
+/// SIMD off at runtime (the scalar ablation) must not change a single bit of
+/// a fused, selection-heavy query's output.
+TEST_F(MorselDeterminismTest, ScalarAblationBitIdentical) {
+  const std::string query =
+      "SELECT f.id, f.a * 2.0 AS a2, f.b FROM fact f "
+      "WHERE f.k = 2 AND f.a >= 0.0";
+  ASSERT_OK_AND_ASSIGN(auto simd_result, serial_->ExecuteQuery(query));
+  simd::ScopedEnable off(false);
+  ASSERT_OK_AND_ASSIGN(auto scalar_result, serial_->ExecuteQuery(query));
+  ExpectRowIdentical(scalar_result, simd_result);
 }
 
 }  // namespace
