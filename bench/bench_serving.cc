@@ -1,0 +1,218 @@
+// Serving benchmark (ISSUE 9): closed-loop QPS and tail latency of the
+// session → shared-executor stack under concurrent sessions, on the
+// Figure-8 dense ModelJoin workload.
+//
+// Each cell runs a fixed total number of queries split across N client
+// sessions (N in {1, 8, 64, 256}), with the plan cache and shared-model
+// registry toggled, plus the pre-serving baseline: the same total run
+// back-to-back through a bare QueryEngine (one query at a time, per-query
+// model build). Reported: QPS, p50/p95/p99 latency. REPRO_SCALE=paper
+// enlarges the fact table and query count.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchlib/report.h"
+#include "benchlib/workloads.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "modeljoin/model_registry.h"
+#include "modeljoin/register.h"
+#include "mltosql/mltosql.h"
+#include "nn/model.h"
+#include "nn/model_meta.h"
+#include "server/server.h"
+#include "sql/query_engine.h"
+
+namespace indbml::benchlib {
+namespace {
+
+constexpr int64_t kModelWidth = 32;
+constexpr int64_t kModelDepth = 3;
+
+struct Latencies {
+  std::vector<int64_t> micros;
+
+  double Percentile(double p) const {
+    if (micros.empty()) return 0;
+    size_t idx = static_cast<size_t>(p * static_cast<double>(micros.size() - 1));
+    return static_cast<double>(micros[idx]) / 1000.0;  // ms
+  }
+};
+
+std::string DenseQuery() {
+  return "SELECT id, prediction FROM fact MODEL JOIN m USING MODEL 'dense' "
+         "DEVICE 'cpu' PREDICT (sepal_length, sepal_width, petal_length, "
+         "petal_width)";
+}
+
+void DeployModel(sql::QueryEngine* engine) {
+  auto model_or = nn::MakeDenseBenchmarkModel(kModelWidth, kModelDepth);
+  INDBML_CHECK(model_or.ok()) << model_or.status().ToString();
+  nn::Model model = std::move(model_or).ValueOrDie();
+  mltosql::MlToSql framework(&model, "m");
+  INDBML_CHECK(framework.Deploy(engine).ok());
+  engine->models()->Register(nn::MetaOf(model, "dense"));
+}
+
+struct CellResult {
+  double wall_seconds = 0;
+  int64_t queries = 0;
+  Latencies latencies;
+
+  double qps() const {
+    return wall_seconds > 0 ? static_cast<double>(queries) / wall_seconds : 0;
+  }
+};
+
+/// Back-to-back baseline: the pre-serving model — one bare engine, queries
+/// strictly sequential, per-query model build.
+CellResult RunBackToBack(int64_t fact_rows, int64_t total_queries) {
+  sql::QueryEngine engine;
+  modeljoin::RegisterNativeModelJoin(&engine);
+  engine.catalog()->CreateOrReplaceTable(MakeIrisTable("fact", fact_rows));
+  DeployModel(&engine);
+  const std::string query = DenseQuery();
+
+  CellResult cell;
+  cell.queries = total_queries;
+  cell.latencies.micros.reserve(static_cast<size_t>(total_queries));
+  Stopwatch wall;
+  for (int64_t q = 0; q < total_queries; ++q) {
+    Stopwatch latency;
+    auto result = engine.ExecuteQuery(query);
+    INDBML_CHECK(result.ok()) << result.status().ToString();
+    INDBML_CHECK(result.ValueOrDie().num_rows == fact_rows);
+    cell.latencies.micros.push_back(latency.ElapsedMicros());
+  }
+  cell.wall_seconds = static_cast<double>(wall.ElapsedMicros()) / 1e6;
+  std::sort(cell.latencies.micros.begin(), cell.latencies.micros.end());
+  return cell;
+}
+
+/// Closed-loop serving cell: `sessions` client threads, each draining its
+/// share of `total_queries` against one QueryServer.
+CellResult RunServing(int64_t fact_rows, int sessions, int64_t total_queries,
+                      bool plan_cache, bool shared_models) {
+  modeljoin::SharedModelRegistry::Global().Clear();
+  server::QueryServer::Options options;
+  options.engine.shared_models = shared_models;
+  options.enable_plan_cache = plan_cache;
+  options.max_inflight_queries = 16;
+  // The bench measures executor throughput, not admission pushback: size the
+  // wait queue so no closed-loop client is ever rejected.
+  options.max_queued_queries = static_cast<int>(total_queries) + sessions;
+  server::QueryServer srv(options);
+  modeljoin::RegisterNativeModelJoin(srv.engine());
+  srv.catalog()->CreateOrReplaceTable(MakeIrisTable("fact", fact_rows));
+  DeployModel(srv.engine());
+  const std::string query = DenseQuery();
+
+  {  // Warm-up (untimed): first build + first plan.
+    auto warm = srv.CreateSession();
+    auto result = warm->ExecuteQuery(query);
+    INDBML_CHECK(result.ok()) << result.status().ToString();
+  }
+
+  std::vector<std::vector<int64_t>> per_client(static_cast<size_t>(sessions));
+  std::atomic<int64_t> remaining{total_queries};
+  CellResult cell;
+  Stopwatch wall;
+  {
+    ThreadPool clients(sessions);
+    clients.ParallelFor(sessions, [&](int client) {
+      auto session = srv.CreateSession();
+      auto& lat = per_client[static_cast<size_t>(client)];
+      while (remaining.fetch_sub(1) > 0) {
+        Stopwatch latency;
+        auto result = session->ExecuteQuery(query);
+        INDBML_CHECK(result.ok()) << result.status().ToString();
+        INDBML_CHECK(result.ValueOrDie().num_rows == fact_rows);
+        lat.push_back(latency.ElapsedMicros());
+      }
+    });
+  }
+  cell.wall_seconds = static_cast<double>(wall.ElapsedMicros()) / 1e6;
+  for (auto& lat : per_client) {
+    cell.latencies.micros.insert(cell.latencies.micros.end(), lat.begin(),
+                                 lat.end());
+  }
+  cell.queries = static_cast<int64_t>(cell.latencies.micros.size());
+  std::sort(cell.latencies.micros.begin(), cell.latencies.micros.end());
+  return cell;
+}
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+void AddRow(ReportTable* table, const std::string& mode, int sessions,
+            bool plan_cache, bool shared_models, const CellResult& cell) {
+  table->AddRow({mode, std::to_string(sessions), plan_cache ? "on" : "off",
+                 shared_models ? "on" : "off", std::to_string(cell.queries),
+                 FormatSeconds(cell.wall_seconds), Fmt(cell.qps()),
+                 Fmt(cell.latencies.Percentile(0.50)),
+                 Fmt(cell.latencies.Percentile(0.95)),
+                 Fmt(cell.latencies.Percentile(0.99))});
+  std::printf(
+      "[serving] %-11s sessions=%-4d cache=%-3s shared=%-3s qps=%9.2f "
+      "p50=%8.2fms p95=%8.2fms p99=%8.2fms\n",
+      mode.c_str(), sessions, plan_cache ? "on" : "off",
+      shared_models ? "on" : "off", cell.qps(), cell.latencies.Percentile(0.50),
+      cell.latencies.Percentile(0.95), cell.latencies.Percentile(0.99));
+  std::fflush(stdout);
+}
+
+int Run() {
+  ScaleConfig scale = ScaleConfig::FromEnv();
+  // Serving workload: many small inference queries. Per-query fixed costs
+  // (parse/bind/optimize + ModelJoin build) are comparable to execution, so
+  // the plan cache and shared-model registry — not raw scan speed — decide
+  // throughput. That is the regime the serving stack exists for.
+  const int64_t fact_rows = scale.paper_scale ? 10000 : 1000;
+  const int64_t total_queries = scale.paper_scale ? 512 : 96;
+
+  ReportTable table("serving_throughput",
+                    {"mode", "sessions", "plan_cache", "shared_models",
+                     "queries", "wall_seconds", "qps", "p50_ms", "p95_ms",
+                     "p99_ms"});
+
+  CellResult baseline = RunBackToBack(fact_rows, total_queries);
+  AddRow(&table, "backtoback", 1, false, false, baseline);
+
+  double qps_8_sessions = 0;
+  for (int sessions : {1, 8, 64, 256}) {
+    // Full serving stack, then the two ablations (no plan cache; no shared
+    // models — per-query build forces single-instance ModelJoin jobs).
+    CellResult full =
+        RunServing(fact_rows, sessions, total_queries, true, true);
+    AddRow(&table, "serving", sessions, true, true, full);
+    if (sessions == 8) qps_8_sessions = full.qps();
+
+    CellResult no_cache =
+        RunServing(fact_rows, sessions, total_queries, false, true);
+    AddRow(&table, "serving", sessions, false, true, no_cache);
+
+    CellResult no_shared =
+        RunServing(fact_rows, sessions, total_queries, true, false);
+    AddRow(&table, "serving", sessions, true, false, no_shared);
+  }
+
+  table.Finish();
+  std::printf("[serving] 8-session speedup over back-to-back: %.2fx\n",
+              baseline.qps() > 0 ? qps_8_sessions / baseline.qps() : 0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace indbml::benchlib
+
+int main() { return indbml::benchlib::Run(); }

@@ -31,6 +31,7 @@ ALLOWED_DEPS = {
     "mltosql": {"mltosql", "sql", "exec", "storage", "nn", "common"},
     "modeljoin": {"modeljoin", "sql", "exec", "device", "storage", "nn",
                   "common"},
+    "server": {"server", "sql", "exec", "storage", "nn", "common"},
     "integration": {"integration", "sql", "mlruntime", "exec", "device",
                     "storage", "nn", "common"},
     "benchlib": {"benchlib", "integration", "modeljoin", "mltosql", "sql",

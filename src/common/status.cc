@@ -28,6 +28,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "ExecutionError";
     case StatusCode::kDeviceError:
       return "DeviceError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

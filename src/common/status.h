@@ -23,6 +23,8 @@ enum class StatusCode {
   kBindError,
   kExecutionError,
   kDeviceError,
+  kCancelled,
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -74,6 +76,12 @@ class [[nodiscard]] Status {
   }
   static Status DeviceError(std::string msg) {
     return Status(StatusCode::kDeviceError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -41,6 +41,19 @@ std::vector<storage::PartitionRange> MakeMorsels(const storage::Table& table,
   return morsels;
 }
 
+Status RunMorsel(Operator* root, ExecContext* ctx, const Morsel& morsel,
+                 ResultCollector* collector) {
+  ctx->morsel_begin = morsel.begin;
+  ctx->morsel_end = morsel.end;
+  ctx->morsel_index = morsel.index;
+  INDBML_RETURN_NOT_OK(root->Rewind(ctx));
+  QueryResult batch;
+  batch.types = root->output_types();
+  INDBML_RETURN_NOT_OK(DrainAppend(root, ctx, &batch));
+  collector->Add(morsel.index, std::move(batch.chunks), batch.num_rows);
+  return Status::OK();
+}
+
 Result<QueryResult> ExecutePipeline(const WorkerPlanFactory& factory,
                                     MorselSource* source, int num_workers,
                                     storage::Catalog* catalog, ThreadPool* pool) {
@@ -72,18 +85,7 @@ Result<QueryResult> ExecutePipeline(const WorkerPlanFactory& factory,
       collector.SetSchema(root->output_names(), root->output_types());
       Morsel m;
       while (source->Next(&m)) {
-        ctx.morsel_begin = m.begin;
-        ctx.morsel_end = m.end;
-        ctx.morsel_index = m.index;
-        status = root->Rewind(&ctx);
-        if (status.ok()) {
-          QueryResult batch;
-          batch.types = root->output_types();
-          status = DrainAppend(root, &ctx, &batch);
-          if (status.ok()) {
-            collector.Add(m.index, std::move(batch.chunks), batch.num_rows);
-          }
-        }
+        status = RunMorsel(root, &ctx, m, &collector);
         if (!status.ok()) {
           record_error(status);
           break;

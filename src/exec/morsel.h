@@ -162,6 +162,14 @@ class FirstError {
   Status first_ INDBML_GUARDED_BY(mu_);
 };
 
+/// Runs one claimed morsel on an *open* operator tree: publishes the row
+/// range via `ctx`, Rewinds the plan, drains it, and records the tagged
+/// batch in the collector. Shared by the per-query pipeline executor below
+/// and the multi-query shared executor (server/executor.h), so both
+/// schedule the identical unit of work.
+Status RunMorsel(Operator* root, ExecContext* ctx, const Morsel& morsel,
+                 ResultCollector* collector);
+
 /// Creates the private operator-tree instance for one pipeline worker.
 /// Shared state (the ModelJoin's shared model, the morsel source binding)
 /// is captured inside the factory.

@@ -79,8 +79,12 @@ Status ModelJoinOperator::Open(exec::ExecContext* ctx) {
   INDBML_RETURN_NOT_OK(child_->Open(ctx));
 
   // Build phase: claim and parse model-table rows into the shared model,
-  // synchronising with the other workers.
-  {
+  // synchronising with the other workers. A registry-shared model
+  // (modeljoin/model_registry.h) arrives already built — the build was paid
+  // once by the first query over this (model, device) pair — so Open is
+  // barrier-free and this operator can be instantiated lazily by a shared
+  // executor without deadlocking on absent build partners.
+  if (!model_->built()) {
     trace::Span span("modeljoin.build");
     Stopwatch build_watch;
     INDBML_RETURN_NOT_OK(model_->BuildPartition(*model_table_, worker_));

@@ -1,6 +1,7 @@
 #include "modeljoin/register.h"
 
 #include "common/config.h"
+#include "modeljoin/model_registry.h"
 #include "modeljoin/modeljoin_operator.h"
 
 namespace indbml::modeljoin {
@@ -16,14 +17,24 @@ void RegisterNativeModelJoin(sql::QueryEngine* engine, DeviceProvider provider) 
   }
 
   sql::ModelJoinStateFactory state_factory =
-      [provider](const nn::ModelMeta& meta, const std::string& device_name,
-                 int num_workers) -> Result<std::shared_ptr<void>> {
-    device::Device* device = provider(device_name);
+      [provider](const sql::ModelJoinStateArgs& args)
+      -> Result<std::shared_ptr<void>> {
+    device::Device* device = provider(args.device);
     if (device == nullptr) {
-      return Status::InvalidArgument("unknown ModelJoin device: " + device_name);
+      return Status::InvalidArgument("unknown ModelJoin device: " + args.device);
+    }
+    if (args.shared) {
+      // Serving path: resolve through the process-wide registry so
+      // concurrent queries over the same (model, device) build once and the
+      // operator's Open is barrier-free.
+      INDBML_ASSIGN_OR_RETURN(
+          auto model, SharedModelRegistry::Global().GetOrBuild(
+                          args.meta, device, args.device, args.model_table,
+                          kDefaultVectorSize));
+      return std::shared_ptr<void>(std::move(model));
     }
     return std::shared_ptr<void>(std::make_shared<SharedModel>(
-        meta, device, num_workers, kDefaultVectorSize));
+        args.meta, device, args.num_workers, kDefaultVectorSize));
   };
 
   sql::ModelJoinOperatorFactory operator_factory =

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/config.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "common/validation.h"
 #include "modeljoin/validate.h"
@@ -259,6 +260,20 @@ Status SharedModel::BuildPartition(const storage::Table& model_table, int worker
   }
   upload_barrier_.Wait();
   if (failed_.load()) return FailureStatus();
+  return Status::OK();
+}
+
+Status SharedModel::BuildSerial(const storage::Table& model_table) {
+  INDBML_CHECK(num_workers_ == 1)
+      << "BuildSerial is the registry's single-builder path; barrier-built "
+         "models must use BuildPartition";
+  INDBML_RETURN_NOT_OK(
+      ParsePartition(model_table, {0, model_table.num_rows()}));
+  UploadToDevice();
+  if (validation::Enabled()) {
+    INDBML_RETURN_NOT_OK(ValidateSharedModelShape(*this));
+  }
+  built_.store(true, std::memory_order_release);
   return Status::OK();
 }
 

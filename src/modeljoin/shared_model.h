@@ -48,6 +48,19 @@ class SharedModel {
   /// device). `worker` identifies the caller; worker 0 performs the upload.
   Status BuildPartition(const storage::Table& model_table, int worker);
 
+  /// Builds the whole model on the calling thread — the registry path
+  /// (model_registry.h): the first query to need a (model, device) pair
+  /// builds it once, every later query block-shares the finished weights.
+  /// No barrier is involved, so the instance must have been constructed
+  /// with `num_workers` == 1. Marks the model built; after an OK return,
+  /// ModelJoinOperator::Open skips its build phase entirely.
+  Status BuildSerial(const storage::Table& model_table);
+
+  /// True once the weights (and device upload) are complete and immutable.
+  /// Release/acquire-paired with the end of BuildSerial, so an operator
+  /// observing true also observes the finished weights.
+  bool built() const { return built_.load(std::memory_order_acquire); }
+
   const nn::ModelMeta& meta() const { return meta_; }
   device::Device* device() const { return device_; }
   int vector_size() const { return vector_size_; }
@@ -124,6 +137,9 @@ class SharedModel {
   /// lock-free: sticky failure flag; workers poll it to stop claiming work
   /// early. The barrier orders it before the post-build checks.
   std::atomic<bool> failed_{false};
+  /// lock-free: set (release) once by BuildSerial after upload + validation;
+  /// read (acquire) by every operator Open deciding whether to build.
+  std::atomic<bool> built_{false};
   mutable Mutex failure_mu_;
   /// First failure wins; later failures keep the original message.
   std::string failure_message_ INDBML_GUARDED_BY(failure_mu_);

@@ -1,0 +1,30 @@
+#include "server/server.h"
+
+namespace indbml::server {
+
+namespace {
+
+SharedExecutor::Options ExecutorOptions(const QueryServer::Options& options) {
+  SharedExecutor::Options out;
+  out.worker_threads = options.worker_threads;
+  out.max_inflight = options.max_inflight_queries;
+  out.max_queued = options.max_queued_queries;
+  return out;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(const Options& options)
+    : options_(options),
+      engine_(options.engine),
+      executor_(ExecutorOptions(options)) {
+  if (options_.enable_plan_cache && options_.plan_cache_capacity > 0) {
+    plan_cache_ = std::make_unique<PlanCache>(options_.plan_cache_capacity);
+  }
+}
+
+std::unique_ptr<Session> QueryServer::CreateSession() {
+  return std::unique_ptr<Session>(new Session(this, engine_.options()));
+}
+
+}  // namespace indbml::server

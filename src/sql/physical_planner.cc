@@ -59,7 +59,8 @@ PhysicalPlanner::PhysicalPlanner(const LogicalOp* plan, const PlanAnalysis& anal
                                  ModelJoinStateFactory state_factory,
                                  ModelJoinOperatorFactory operator_factory,
                                  exec::QueryProfile* profile, bool morsel_driven,
-                                 bool zero_copy_scan, bool fused_pipeline)
+                                 bool zero_copy_scan, bool fused_pipeline,
+                                 bool shared_models)
     : plan_(plan),
       analysis_(analysis),
       num_workers_(analysis.parallel_safe ? std::max(1, requested_workers) : 1),
@@ -67,6 +68,7 @@ PhysicalPlanner::PhysicalPlanner(const LogicalOp* plan, const PlanAnalysis& anal
                      analysis.partitioned_table != nullptr),
       zero_copy_scan_(zero_copy_scan),
       fused_pipeline_(fused_pipeline),
+      shared_models_(shared_models),
       state_factory_(std::move(state_factory)),
       operator_factory_(std::move(operator_factory)),
       profile_(profile) {}
@@ -95,10 +97,14 @@ Status PhysicalPlanner::Prepare() {
           return Status::NotImplemented(
               "no native ModelJoin implementation registered with this engine");
         }
-        INDBML_ASSIGN_OR_RETURN(
-            auto state,
-            planner->state_factory_(node.modeljoin.meta, node.modeljoin.device,
-                                    planner->num_workers_));
+        ModelJoinStateArgs state_args;
+        state_args.meta = node.modeljoin.meta;
+        state_args.device = node.modeljoin.device;
+        state_args.num_workers = planner->num_workers_;
+        state_args.model_table = node.modeljoin.model_table;
+        state_args.shared = planner->shared_models_;
+        INDBML_ASSIGN_OR_RETURN(auto state,
+                                planner->state_factory_(state_args));
         planner->modeljoin_states_[&node] = std::move(state);
       }
       return Status::OK();

@@ -31,9 +31,29 @@ struct ModelJoinPhysicalArgs {
   int num_workers = 1;
 };
 
-/// Creates the per-query shared state of the native ModelJoin.
-using ModelJoinStateFactory = std::function<Result<std::shared_ptr<void>>(
-    const nn::ModelMeta& meta, const std::string& device, int num_workers)>;
+/// Everything the ModelJoin state factory needs to create (or look up) the
+/// shared model of one ModelJoin node.
+struct ModelJoinStateArgs {
+  nn::ModelMeta meta;
+  std::string device;
+  /// Build participants of the per-query barrier build (ignored when
+  /// `shared` — the registry builds with a single builder).
+  int num_workers = 1;
+  /// The deployed relational model representation (registry identity: a
+  /// replaced model table invalidates the cached model).
+  storage::TablePtr model_table;
+  /// True = resolve through the process-wide SharedModelRegistry so
+  /// concurrent queries over the same (model, device) build it once and the
+  /// state arrives pre-built (barrier-free Open — required by the shared
+  /// executor's lazy per-instance opens). False = the classic per-query
+  /// state whose build runs cooperatively inside the workers' Open calls.
+  bool shared = false;
+};
+
+/// Creates the per-query (or registry-shared, see ModelJoinStateArgs::shared)
+/// state of the native ModelJoin.
+using ModelJoinStateFactory =
+    std::function<Result<std::shared_ptr<void>>(const ModelJoinStateArgs&)>;
 
 /// Creates the per-worker native ModelJoin operator.
 using ModelJoinOperatorFactory =
@@ -58,7 +78,7 @@ class PhysicalPlanner {
                   ModelJoinOperatorFactory operator_factory,
                   exec::QueryProfile* profile = nullptr,
                   bool morsel_driven = false, bool zero_copy_scan = true,
-                  bool fused_pipeline = true);
+                  bool fused_pipeline = true, bool shared_models = false);
 
   /// Effective worker count (1 if the plan is not parallel-safe).
   int num_workers() const { return num_workers_; }
@@ -86,6 +106,7 @@ class PhysicalPlanner {
   bool morsel_driven_;
   bool zero_copy_scan_;
   bool fused_pipeline_;
+  bool shared_models_;
   ModelJoinStateFactory state_factory_;
   ModelJoinOperatorFactory operator_factory_;
   exec::QueryProfile* profile_;

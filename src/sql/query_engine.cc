@@ -12,61 +12,101 @@
 
 namespace indbml::sql {
 
+namespace {
+
+int WorkersFor(const QueryEngine::Options& opts) {
+  return opts.worker_threads > 0 ? opts.worker_threads : HardwareConcurrency();
+}
+
+}  // namespace
+
 QueryEngine::QueryEngine() : QueryEngine(Options()) {}
 
 QueryEngine::QueryEngine(Options options) : options_(options) {}
 
 QueryEngine::~QueryEngine() = default;
 
-int QueryEngine::EffectiveWorkers() const {
-  return options_.worker_threads > 0 ? options_.worker_threads
-                                     : HardwareConcurrency();
+QueryEngine::Options QueryEngine::options() const {
+  MutexLock lock(options_mu_);
+  return options_;
 }
 
-ThreadPool* QueryEngine::pool() {
-  int want = EffectiveWorkers();
+void QueryEngine::set_options(const Options& options) {
+  MutexLock lock(options_mu_);
+  options_ = options;
+}
+
+int QueryEngine::EffectiveWorkers() const { return WorkersFor(options()); }
+
+std::shared_ptr<ThreadPool> QueryEngine::SharedPool(int want) {
+  MutexLock lock(pool_mu_);
   if (pool_ == nullptr || pool_->num_threads() != want) {
-    pool_ = std::make_unique<ThreadPool>(want);
+    pool_ = std::make_shared<ThreadPool>(want);
   }
-  return pool_.get();
+  return pool_;
 }
 
-Result<LogicalOpPtr> QueryEngine::PlanQuery(const std::string& sql) {
+ThreadPool* QueryEngine::pool() { return SharedPool(EffectiveWorkers()).get(); }
+
+Result<LogicalOpPtr> QueryEngine::PlanQuery(const std::string& sql,
+                                            const Options& opts) {
   INDBML_ASSIGN_OR_RETURN(auto stmt, ParseSelect(sql));
   Binder binder(&catalog_, &models_);
   INDBML_ASSIGN_OR_RETURN(auto plan, binder.Bind(*stmt));
-  Optimizer optimizer(options_.optimizer);
+  Optimizer optimizer(opts.optimizer);
   return optimizer.Optimize(std::move(plan));
+}
+
+Result<LogicalOpPtr> QueryEngine::PlanQuery(const std::string& sql) {
+  return PlanQuery(sql, options());
 }
 
 Result<exec::QueryResult> QueryEngine::ExecuteQuery(const std::string& sql,
                                                     exec::QueryProfile* profile) {
-  INDBML_ASSIGN_OR_RETURN(auto plan, PlanQuery(sql));
-  return ExecutePlan(*plan, profile);
+  const Options opts = options();
+  INDBML_ASSIGN_OR_RETURN(auto plan, PlanQuery(sql, opts));
+  return ExecutePlan(*plan, opts, profile);
+}
+
+Result<QueryEngine::PhysicalPrep> QueryEngine::PreparePhysical(
+    const LogicalOp& plan, const Options& opts, int max_workers,
+    exec::QueryProfile* profile) {
+  PhysicalPrep prep;
+  Optimizer optimizer(opts.optimizer);
+  prep.analysis = optimizer.Analyze(plan);
+  prep.use_morsel = opts.morsel_driven && opts.parallel &&
+                    prep.analysis.parallel_safe &&
+                    prep.analysis.partitioned_table != nullptr &&
+                    max_workers > 1;
+  // Serial mode must plan one worker: multi-worker plans synchronise inside
+  // operators (ModelJoin build barrier) and require all worker trees to run
+  // concurrently.
+  int requested =
+      prep.use_morsel ? max_workers : (opts.parallel ? opts.partitions : 1);
+  prep.planner = std::make_unique<PhysicalPlanner>(
+      &plan, prep.analysis, requested, modeljoin_state_factory_,
+      modeljoin_operator_factory_, profile, prep.use_morsel,
+      opts.zero_copy_scan, opts.fused_pipeline, opts.shared_models);
+  INDBML_RETURN_NOT_OK(prep.planner->Prepare());
+  if (prep.use_morsel && validation::Enabled()) {
+    INDBML_RETURN_NOT_OK(ValidateMorselSafety(plan, prep.analysis));
+  }
+  return prep;
 }
 
 Result<exec::QueryResult> QueryEngine::ExecutePlan(const LogicalOp& plan,
                                                    exec::QueryProfile* profile) {
+  return ExecutePlan(plan, options(), profile);
+}
+
+Result<exec::QueryResult> QueryEngine::ExecutePlan(const LogicalOp& plan,
+                                                   const Options& opts,
+                                                   exec::QueryProfile* profile) {
   trace::Span query_span("query");
-  Optimizer optimizer(options_.optimizer);
-  PlanAnalysis analysis = optimizer.Analyze(plan);
-  const int pipeline_workers = EffectiveWorkers();
-  const bool use_morsel = options_.morsel_driven && options_.parallel &&
-                          analysis.parallel_safe &&
-                          analysis.partitioned_table != nullptr &&
-                          pipeline_workers > 1;
-  // Serial mode must plan one worker: multi-worker plans synchronise inside
-  // operators (ModelJoin build barrier) and require all worker trees to run
-  // concurrently.
-  int requested = use_morsel ? pipeline_workers
-                             : (options_.parallel ? options_.partitions : 1);
-  PhysicalPlanner planner(&plan, analysis, requested, modeljoin_state_factory_,
-                          modeljoin_operator_factory_, profile, use_morsel,
-                          options_.zero_copy_scan, options_.fused_pipeline);
-  INDBML_RETURN_NOT_OK(planner.Prepare());
-  if (use_morsel && validation::Enabled()) {
-    INDBML_RETURN_NOT_OK(ValidateMorselSafety(plan, analysis));
-  }
+  const int pipeline_workers = WorkersFor(opts);
+  INDBML_ASSIGN_OR_RETURN(auto prep,
+                          PreparePhysical(plan, opts, pipeline_workers, profile));
+  PhysicalPlanner& planner = *prep.planner;
 
   // Peak tracked memory is process-wide; the reset makes the recorded peak
   // per-query as long as queries don't overlap (Table 3 methodology).
@@ -74,31 +114,34 @@ Result<exec::QueryResult> QueryEngine::ExecutePlan(const LogicalOp& plan,
   Stopwatch stopwatch;
 
   auto run = [&]() -> Result<exec::QueryResult> {
-    if (use_morsel) {
+    if (prep.use_morsel) {
       exec::MorselSource source(
-          exec::MakeMorsels(*analysis.partitioned_table, options_.morsel_rows));
+          exec::MakeMorsels(*prep.analysis.partitioned_table, opts.morsel_rows));
       exec::WorkerPlanFactory factory = [&](int worker) {
         return planner.Instantiate(worker);
       };
+      // Hold the shared_ptr for the query's duration: a concurrent
+      // set_options() resizing the pool must not tear it down under us.
+      std::shared_ptr<ThreadPool> run_pool = SharedPool(pipeline_workers);
       return exec::ExecutePipeline(factory, &source, planner.num_workers(),
-                                   &catalog_, pool());
+                                   &catalog_, run_pool.get());
     }
     exec::OperatorFactory factory = [&](int worker) {
       return planner.Instantiate(worker);
     };
-    ThreadPool* run_pool =
-        options_.parallel && planner.num_workers() > 1 ? pool() : nullptr;
-    // The engine pool is sized for the pipeline executor; a static plan with
-    // more partitions than pool threads would deadlock operators that
-    // barrier across workers (ModelJoin build). Give those queries a
-    // dedicated right-sized pool.
-    std::unique_ptr<ThreadPool> static_pool;
-    if (run_pool != nullptr && planner.num_workers() > run_pool->num_threads()) {
-      static_pool = std::make_unique<ThreadPool>(planner.num_workers());
-      run_pool = static_pool.get();
+    std::shared_ptr<ThreadPool> run_pool;
+    if (opts.parallel && planner.num_workers() > 1) {
+      run_pool = SharedPool(pipeline_workers);
+      // The engine pool is sized for the pipeline executor; a static plan with
+      // more partitions than pool threads would deadlock operators that
+      // barrier across workers (ModelJoin build). Give those queries a
+      // dedicated right-sized pool.
+      if (planner.num_workers() > run_pool->num_threads()) {
+        run_pool = std::make_shared<ThreadPool>(planner.num_workers());
+      }
     }
     return exec::ExecuteParallel(factory, planner.num_workers(), &catalog_,
-                                 run_pool);
+                                 run_pool.get());
   };
   auto result = run();
 
@@ -116,16 +159,18 @@ Result<exec::QueryResult> QueryEngine::ExecutePlan(const LogicalOp& plan,
 }
 
 Result<std::string> QueryEngine::ExplainAnalyze(const std::string& sql) {
-  INDBML_ASSIGN_OR_RETURN(auto plan, PlanQuery(sql));
+  const Options opts = options();
+  INDBML_ASSIGN_OR_RETURN(auto plan, PlanQuery(sql, opts));
   exec::QueryProfile profile;
-  INDBML_ASSIGN_OR_RETURN(auto result, ExecutePlan(*plan, &profile));
+  INDBML_ASSIGN_OR_RETURN(auto result, ExecutePlan(*plan, opts, &profile));
   (void)result;
   return profile.ToString();
 }
 
 Result<std::string> QueryEngine::Explain(const std::string& sql) {
-  INDBML_ASSIGN_OR_RETURN(auto plan, PlanQuery(sql));
-  Optimizer optimizer(options_.optimizer);
+  const Options opts = options();
+  INDBML_ASSIGN_OR_RETURN(auto plan, PlanQuery(sql, opts));
+  Optimizer optimizer(opts.optimizer);
   PlanAnalysis analysis = optimizer.Analyze(*plan);
   std::string out = plan->ToString();
   out += analysis.parallel_safe ? "[parallel-safe]\n" : "[serial]\n";

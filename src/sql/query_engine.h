@@ -5,6 +5,8 @@
 #include <string>
 
 #include "common/config.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "exec/operator.h"
 #include "sql/binder.h"
@@ -16,6 +18,13 @@ namespace indbml::sql {
 /// \brief The database engine facade: catalog + model registry + SQL
 /// execution with morsel-driven parallelism (the stand-in for Actian Vector
 /// in the paper's evaluation, see DESIGN.md §2).
+///
+/// Concurrency contract: the engine is safe to share across threads.
+/// Options are read as an immutable per-query snapshot taken when the query
+/// is submitted — a concurrent set_options() affects later queries, never a
+/// running one. For multi-query *scheduling* (shared executor, admission
+/// control, plan/model caches) use the serving stack in src/server/, which
+/// layers sessions over this engine.
 class QueryEngine {
  public:
   struct Options {
@@ -43,7 +52,23 @@ class QueryEngine {
     /// Scan/Filter/Project operators (fusion ablation). Requires
     /// `zero_copy_scan`.
     bool fused_pipeline = true;
+    /// Resolve ModelJoin models through the process-wide
+    /// SharedModelRegistry: the first query over a (model, device) pair
+    /// builds it once, later and concurrent queries block-share the built
+    /// weights (MorphingDB-style model management). False (default) keeps
+    /// the paper's per-query build — the cost Figures 8/9 measure. Server
+    /// sessions default this to true.
+    bool shared_models = false;
     OptimizerOptions optimizer;
+  };
+
+  /// Physical execution prep shared by the engine's own ExecutePlan and the
+  /// serving layer (server/session.cc): the analyzed plan, the lowered
+  /// per-worker planner, and the morsel-mode decision.
+  struct PhysicalPrep {
+    std::unique_ptr<PhysicalPlanner> planner;
+    PlanAnalysis analysis;
+    bool use_morsel = false;
   };
 
   QueryEngine();
@@ -55,8 +80,11 @@ class QueryEngine {
 
   storage::Catalog* catalog() { return &catalog_; }
   ModelMetaRegistry* models() { return &models_; }
-  const Options& options() const { return options_; }
-  void set_options(const Options& options) { options_ = options; }
+
+  /// Snapshot copy of the current options (thread-safe). Queries already
+  /// running keep the snapshot they were submitted with.
+  Options options() const INDBML_EXCLUDES(options_mu_);
+  void set_options(const Options& options) INDBML_EXCLUDES(options_mu_);
 
   /// Parses, binds, optimizes and runs one SELECT; returns the materialised
   /// result. With a non-null `profile`, per-operator statistics (rows,
@@ -65,8 +93,10 @@ class QueryEngine {
   Result<exec::QueryResult> ExecuteQuery(const std::string& sql,
                                          exec::QueryProfile* profile = nullptr);
 
-  /// Parses/binds/optimizes only (tests and EXPLAIN).
+  /// Parses/binds/optimizes only (tests and EXPLAIN). The no-options
+  /// overload snapshots the engine options.
   Result<LogicalOpPtr> PlanQuery(const std::string& sql);
+  Result<LogicalOpPtr> PlanQuery(const std::string& sql, const Options& opts);
 
   /// Optimized plan rendering ("EXPLAIN").
   Result<std::string> Explain(const std::string& sql);
@@ -79,7 +109,7 @@ class QueryEngine {
   Result<std::string> ExplainAnalyze(const std::string& sql);
 
   /// Registers the native ModelJoin implementation (called by the modeljoin
-  /// module's RegisterModelJoin).
+  /// module's RegisterModelJoin). Call before the first query.
   void SetModelJoinFactories(ModelJoinStateFactory state_factory,
                              ModelJoinOperatorFactory operator_factory) {
     modeljoin_state_factory_ = std::move(state_factory);
@@ -87,24 +117,45 @@ class QueryEngine {
   }
 
   /// Executes a pre-bound plan (used by approach drivers that build plans
-  /// programmatically); `profile` as in ExecuteQuery.
+  /// programmatically); `profile` as in ExecuteQuery. The options overload
+  /// runs under the given immutable snapshot (the serving layer's per-query
+  /// snapshot semantics); the other snapshots the engine options.
   Result<exec::QueryResult> ExecutePlan(const LogicalOp& plan,
                                         exec::QueryProfile* profile = nullptr);
+  Result<exec::QueryResult> ExecutePlan(const LogicalOp& plan, const Options& opts,
+                                        exec::QueryProfile* profile);
+
+  /// Analyzes `plan` and lowers it for up to `max_workers` parallel worker
+  /// instances under the given options snapshot. Used by ExecutePlan and by
+  /// the shared executor path (server/session.cc), which schedules the
+  /// returned planner's instances itself. ModelJoin shared state is created
+  /// here (registry lookup when `opts.shared_models`).
+  Result<PhysicalPrep> PreparePhysical(const LogicalOp& plan, const Options& opts,
+                                       int max_workers,
+                                       exec::QueryProfile* profile);
 
   /// Effective pipeline worker count: `worker_threads` if set, one per
   /// hardware thread otherwise.
   int EffectiveWorkers() const;
 
-  /// The engine's worker pool (shared with the native ModelJoin build).
-  /// Lazily (re)created at EffectiveWorkers() threads, so option changes
-  /// between queries take effect.
+  /// The engine's worker pool (shared with the native ModelJoin build),
+  /// lazily (re)created at EffectiveWorkers() threads. The raw pointer stays
+  /// valid for the engine's lifetime as long as no concurrent caller
+  /// changes `worker_threads`; concurrent callers use SharedPool.
   ThreadPool* pool();
 
+  /// Ref-counted handle on a pool with `want` threads. Re-sizing creates a
+  /// fresh pool while in-flight queries keep their old one alive — the
+  /// thread-safe form of the lazy recreation `pool()` performs.
+  std::shared_ptr<ThreadPool> SharedPool(int want) INDBML_EXCLUDES(pool_mu_);
+
  private:
-  Options options_;
+  mutable Mutex options_mu_;
+  Options options_ INDBML_GUARDED_BY(options_mu_);
   storage::Catalog catalog_;
   ModelMetaRegistry models_;
-  std::unique_ptr<ThreadPool> pool_;
+  mutable Mutex pool_mu_;
+  std::shared_ptr<ThreadPool> pool_ INDBML_GUARDED_BY(pool_mu_);
   ModelJoinStateFactory modeljoin_state_factory_;
   ModelJoinOperatorFactory modeljoin_operator_factory_;
 };

@@ -154,12 +154,14 @@ Status Catalog::CreateTable(TablePtr table) {
     return Status::AlreadyExists("table '" + table->name() + "' already exists");
   }
   tables_[key] = std::move(table);
+  version_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
 void Catalog::CreateOrReplaceTable(TablePtr table) {
   MutexLock lock(mu_);
   tables_[ToLower(table->name())] = std::move(table);
+  version_.fetch_add(1, std::memory_order_release);
 }
 
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {
@@ -174,6 +176,7 @@ Status Catalog::DropTable(const std::string& name) {
   if (tables_.erase(ToLower(name)) == 0) {
     return Status::NotFound("table '" + name + "' not found");
   }
+  version_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 

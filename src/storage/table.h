@@ -1,6 +1,7 @@
 #ifndef INDBML_STORAGE_TABLE_H_
 #define INDBML_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -123,9 +124,19 @@ class Catalog {
   Status DropTable(const std::string& name) INDBML_EXCLUDES(mu_);
   std::vector<std::string> ListTables() const INDBML_EXCLUDES(mu_);
 
+  /// Monotonically increasing schema version, bumped by every DDL mutation
+  /// (create / replace / drop). Cached plans key on it: a plan bound against
+  /// version v is stale once the catalog reports a later version
+  /// (server/plan_cache.h).
+  int64_t version() const { return version_.load(std::memory_order_acquire); }
+
  private:
   mutable Mutex mu_;
   std::unordered_map<std::string, TablePtr> tables_ INDBML_GUARDED_BY(mu_);
+  /// lock-free: release on bump / acquire on read, so a reader that sees the
+  /// new version also sees the table map change that caused it published by
+  /// the mutex release preceding the bump.
+  std::atomic<int64_t> version_{0};
 };
 
 }  // namespace indbml::storage
