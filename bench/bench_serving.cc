@@ -1,17 +1,28 @@
-// Serving benchmark (ISSUE 9): closed-loop QPS and tail latency of the
-// session → shared-executor stack under concurrent sessions, on the
+// Serving benchmark (ISSUES 9 + 10): closed-loop QPS and tail latency of
+// the session → shared-executor stack under concurrent sessions, on the
 // Figure-8 dense ModelJoin workload.
 //
 // Each cell runs a fixed total number of queries split across N client
 // sessions (N in {1, 8, 64, 256}), with the plan cache and shared-model
 // registry toggled, plus the pre-serving baseline: the same total run
 // back-to-back through a bare QueryEngine (one query at a time, per-query
-// model build). Reported: QPS, p50/p95/p99 latency. REPRO_SCALE=paper
-// enlarges the fact table and query count.
+// model build). An ablation block at 8 sessions toggles the inference
+// micro-batcher and result cache independently to isolate what each buys
+// over per-query inference launches (the paper's small-per-query-batch
+// problem); those cells run on the simulated GPU, where every kernel
+// dispatch carries the modeled launch overhead that Figure 8 is about, and
+// report the modeled-adjusted time (wall − real + modeled, DESIGN.md §2).
+// Reported: QPS, p50/p95/p99 latency, coalesced-launch and cache-hit
+// counts. REPRO_SCALE=paper enlarges the fact table and query count;
+// --json mirrors the table to $RESULTS_DIR/bench_serving.json.
+
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +33,8 @@
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "device/device.h"
+#include "inference/cache.h"
 #include "modeljoin/model_registry.h"
 #include "modeljoin/register.h"
 #include "mltosql/mltosql.h"
@@ -46,10 +59,12 @@ struct Latencies {
   }
 };
 
-std::string DenseQuery() {
-  return "SELECT id, prediction FROM fact MODEL JOIN m USING MODEL 'dense' "
-         "DEVICE 'cpu' PREDICT (sepal_length, sepal_width, petal_length, "
-         "petal_width)";
+std::string DenseQuery(bool gpu = false) {
+  return std::string(
+             "SELECT id, prediction FROM fact MODEL JOIN m USING MODEL "
+             "'dense' DEVICE '") +
+         (gpu ? "gpu" : "cpu") +
+         "' PREDICT (sepal_length, sepal_width, petal_length, petal_width)";
 }
 
 void DeployModel(sql::QueryEngine* engine) {
@@ -61,18 +76,53 @@ void DeployModel(sql::QueryEngine* engine) {
   engine->models()->Register(nn::MetaOf(model, "dense"));
 }
 
+int64_t CounterValue(const char* name) {
+  return metrics::Registry::Global().counter(name)->value();
+}
+
+/// Which serving-stack layers a cell runs with. The inference knobs map to
+/// QueryServer defaults (batching: 100 µs window; cache: 32 MB LRU) or a
+/// hard off (window 0 / capacity 0).
+struct Knobs {
+  bool plan_cache = true;
+  bool shared_models = true;
+  bool batching = true;
+  bool inf_cache = true;
+  /// Morsel override (0 = engine default). The inference ablation shrinks
+  /// this to put per-query launches in the paper's small-batch regime:
+  /// with one 16k-row morsel per query, each query is a single inference
+  /// call and there is nothing for the batcher to coalesce.
+  int64_t morsel_rows = 0;
+  /// Run the ModelJoin on the simulated GPU. Coalescing pays off where
+  /// launches carry real fixed cost — on an accelerator (paper Figure 8),
+  /// not on a host CPU whose per-launch overhead is smaller than a context
+  /// switch. GPU cells report modeled-adjusted time (DESIGN.md §2).
+  bool gpu = false;
+};
+
 struct CellResult {
   double wall_seconds = 0;
+  /// GPU cells only: wall − real emulation time + modeled device time
+  /// (the DESIGN.md §2 substitution that makes simulated-GPU results
+  /// deterministic and host-independent). 0 for CPU cells.
+  double adjusted_seconds = 0;
   int64_t queries = 0;
   Latencies latencies;
+  int64_t inf_batches = 0;  ///< coalesced inference launches in the timed loop
+  int64_t cache_hits = 0;   ///< rows served from the inference result cache
+  int64_t kernel_launches = 0;  ///< modeled device kernels (GPU cells only)
 
+  /// Modeled time for GPU cells, wall time otherwise.
+  double seconds() const {
+    return adjusted_seconds > 0 ? adjusted_seconds : wall_seconds;
+  }
   double qps() const {
-    return wall_seconds > 0 ? static_cast<double>(queries) / wall_seconds : 0;
+    return seconds() > 0 ? static_cast<double>(queries) / seconds() : 0;
   }
 };
 
 /// Back-to-back baseline: the pre-serving model — one bare engine, queries
-/// strictly sequential, per-query model build.
+/// strictly sequential, per-query model build, no batching, no cache.
 CellResult RunBackToBack(int64_t fact_rows, int64_t total_queries) {
   sql::QueryEngine engine;
   modeljoin::RegisterNativeModelJoin(&engine);
@@ -97,13 +147,23 @@ CellResult RunBackToBack(int64_t fact_rows, int64_t total_queries) {
 }
 
 /// Closed-loop serving cell: `sessions` client threads, each draining its
-/// share of `total_queries` against one QueryServer.
+/// share of `total_queries` against one QueryServer configured per `knobs`.
 CellResult RunServing(int64_t fact_rows, int sessions, int64_t total_queries,
-                      bool plan_cache, bool shared_models) {
+                      const Knobs& knobs) {
   modeljoin::SharedModelRegistry::Global().Clear();
+  inference::InferenceCache::Global().Clear();
   server::QueryServer::Options options;
-  options.engine.shared_models = shared_models;
-  options.enable_plan_cache = plan_cache;
+  options.engine.shared_models = knobs.shared_models;
+  options.enable_plan_cache = knobs.plan_cache;
+  if (!knobs.batching) options.engine.inference.batch_window_us = 0;
+  options.engine.inference.result_cache = knobs.inf_cache;
+  if (!knobs.inf_cache) options.inference_cache_mb = 0;
+  if (knobs.morsel_rows > 0) options.engine.morsel_rows = knobs.morsel_rows;
+  // Fixed worker pool: the executor otherwise sizes to hardware_concurrency,
+  // and on a 1-core CI box that means one worker — no morsel scheduling, no
+  // concurrent inference calls, nothing for the batcher to coalesce. Eight
+  // workers keep the cells comparable across machines.
+  options.worker_threads = 8;
   options.max_inflight_queries = 16;
   // The bench measures executor throughput, not admission pushback: size the
   // wait queue so no closed-loop client is ever rejected.
@@ -112,13 +172,17 @@ CellResult RunServing(int64_t fact_rows, int sessions, int64_t total_queries,
   modeljoin::RegisterNativeModelJoin(srv.engine());
   srv.catalog()->CreateOrReplaceTable(MakeIrisTable("fact", fact_rows));
   DeployModel(srv.engine());
-  const std::string query = DenseQuery();
+  const std::string query = DenseQuery(knobs.gpu);
 
-  {  // Warm-up (untimed): first build + first plan.
+  {  // Warm-up (untimed): first build + first plan + first cache fill, so
+     // the timed loop measures steady-state hits rather than cold misses.
     auto warm = srv.CreateSession();
     auto result = warm->ExecuteQuery(query);
     INDBML_CHECK(result.ok()) << result.status().ToString();
   }
+  const int64_t batches0 = CounterValue("inference.batches");
+  const int64_t hits0 = CounterValue("inference.cache_hits");
+  const device::DeviceStats gpu0 = device::SharedSimGpuDevice()->stats();
 
   std::vector<std::vector<int64_t>> per_client(static_cast<size_t>(sessions));
   std::atomic<int64_t> remaining{total_queries};
@@ -139,6 +203,15 @@ CellResult RunServing(int64_t fact_rows, int sessions, int64_t total_queries,
     });
   }
   cell.wall_seconds = static_cast<double>(wall.ElapsedMicros()) / 1e6;
+  cell.inf_batches = CounterValue("inference.batches") - batches0;
+  cell.cache_hits = CounterValue("inference.cache_hits") - hits0;
+  if (knobs.gpu) {
+    const device::DeviceStats gpu1 = device::SharedSimGpuDevice()->stats();
+    cell.adjusted_seconds = cell.wall_seconds -
+                            (gpu1.real_seconds - gpu0.real_seconds) +
+                            (gpu1.modeled_seconds - gpu0.modeled_seconds);
+    cell.kernel_launches = gpu1.kernel_launches - gpu0.kernel_launches;
+  }
   for (auto& lat : per_client) {
     cell.latencies.micros.insert(cell.latencies.micros.end(), lat.begin(),
                                  lat.end());
@@ -154,65 +227,209 @@ std::string Fmt(double v) {
   return buf;
 }
 
-void AddRow(ReportTable* table, const std::string& mode, int sessions,
-            bool plan_cache, bool shared_models, const CellResult& cell) {
-  table->AddRow({mode, std::to_string(sessions), plan_cache ? "on" : "off",
-                 shared_models ? "on" : "off", std::to_string(cell.queries),
-                 FormatSeconds(cell.wall_seconds), Fmt(cell.qps()),
-                 Fmt(cell.latencies.Percentile(0.50)),
+/// One reported row, kept structured so the table and the JSON mirror agree.
+struct RowRec {
+  std::string mode;
+  int sessions = 1;
+  Knobs knobs;
+  CellResult cell;
+};
+
+void AddRow(ReportTable* table, std::vector<RowRec>* rows,
+            const std::string& mode, int sessions, const Knobs& knobs,
+            const CellResult& cell) {
+  rows->push_back({mode, sessions, knobs, cell});
+  auto onoff = [](bool b) { return b ? "on" : "off"; };
+  const char* device = knobs.gpu ? "gpu" : "cpu";
+  table->AddRow({mode, std::to_string(sessions), device,
+                 onoff(knobs.plan_cache), onoff(knobs.shared_models),
+                 onoff(knobs.batching), onoff(knobs.inf_cache),
+                 std::to_string(cell.queries), FormatSeconds(cell.seconds()),
+                 Fmt(cell.qps()), Fmt(cell.latencies.Percentile(0.50)),
                  Fmt(cell.latencies.Percentile(0.95)),
-                 Fmt(cell.latencies.Percentile(0.99))});
+                 Fmt(cell.latencies.Percentile(0.99)),
+                 std::to_string(cell.inf_batches),
+                 std::to_string(cell.cache_hits)});
   std::printf(
-      "[serving] %-11s sessions=%-4d cache=%-3s shared=%-3s qps=%9.2f "
-      "p50=%8.2fms p95=%8.2fms p99=%8.2fms\n",
-      mode.c_str(), sessions, plan_cache ? "on" : "off",
-      shared_models ? "on" : "off", cell.qps(), cell.latencies.Percentile(0.50),
-      cell.latencies.Percentile(0.95), cell.latencies.Percentile(0.99));
+      "[serving] %-11s sessions=%-4d dev=%s plan=%-3s shared=%-3s batch=%-3s "
+      "icache=%-3s qps=%9.2f p50=%8.2fms p95=%8.2fms p99=%8.2fms "
+      "batches=%-5lld hits=%lld\n",
+      mode.c_str(), sessions, device, onoff(knobs.plan_cache),
+      onoff(knobs.shared_models), onoff(knobs.batching), onoff(knobs.inf_cache),
+      cell.qps(), cell.latencies.Percentile(0.50),
+      cell.latencies.Percentile(0.95), cell.latencies.Percentile(0.99),
+      static_cast<long long>(cell.inf_batches),
+      static_cast<long long>(cell.cache_hits));
   std::fflush(stdout);
 }
 
-int Run() {
+int WriteJson(const std::vector<RowRec>& rows, int64_t fact_rows,
+              int64_t total_queries, double batching_speedup,
+              double cache_speedup, double serving_speedup) {
+  const char* dir = std::getenv("RESULTS_DIR");
+  std::string results_dir = dir != nullptr ? dir : "results";
+  ::mkdir(results_dir.c_str(), 0755);
+  std::string path = results_dir + "/bench_serving.json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"fact_rows\": %lld,\n  \"total_queries\": %lld,\n"
+               "  \"batching_speedup_8_sessions\": %.4g,\n"
+               "  \"cache_speedup_8_sessions\": %.4g,\n"
+               "  \"serving_speedup_8_sessions\": %.4g,\n  \"cells\": [\n",
+               static_cast<long long>(fact_rows),
+               static_cast<long long>(total_queries), batching_speedup,
+               cache_speedup, serving_speedup);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RowRec& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"mode\": \"%s\", \"sessions\": %d, \"device\": \"%s\", "
+        "\"plan_cache\": %s, "
+        "\"shared_models\": %s, \"batching\": %s, \"inference_cache\": %s, "
+        "\"queries\": %lld, \"wall_seconds\": %.6g, \"seconds\": %.6g, "
+        "\"qps\": %.6g, "
+        "\"p50_ms\": %.6g, \"p95_ms\": %.6g, \"p99_ms\": %.6g, "
+        "\"inference_batches\": %lld, \"cache_hits\": %lld, "
+        "\"kernel_launches\": %lld}%s\n",
+        r.mode.c_str(), r.sessions, r.knobs.gpu ? "gpu" : "cpu",
+        r.knobs.plan_cache ? "true" : "false",
+        r.knobs.shared_models ? "true" : "false",
+        r.knobs.batching ? "true" : "false",
+        r.knobs.inf_cache ? "true" : "false",
+        static_cast<long long>(r.cell.queries), r.cell.wall_seconds,
+        r.cell.seconds(), r.cell.qps(), r.cell.latencies.Percentile(0.50),
+        r.cell.latencies.Percentile(0.95), r.cell.latencies.Percentile(0.99),
+        static_cast<long long>(r.cell.inf_batches),
+        static_cast<long long>(r.cell.cache_hits),
+        static_cast<long long>(r.cell.kernel_launches),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("(json: %s)\n", path.c_str());
+  return 0;
+}
+
+int Run(bool emit_json) {
   ScaleConfig scale = ScaleConfig::FromEnv();
   // Serving workload: many small inference queries. Per-query fixed costs
   // (parse/bind/optimize + ModelJoin build) are comparable to execution, so
-  // the plan cache and shared-model registry — not raw scan speed — decide
-  // throughput. That is the regime the serving stack exists for.
+  // the plan cache, shared-model registry and inference batcher/cache — not
+  // raw scan speed — decide throughput. That is the regime the serving
+  // stack exists for.
   const int64_t fact_rows = scale.paper_scale ? 10000 : 1000;
   const int64_t total_queries = scale.paper_scale ? 512 : 96;
 
   ReportTable table("serving_throughput",
-                    {"mode", "sessions", "plan_cache", "shared_models",
-                     "queries", "wall_seconds", "qps", "p50_ms", "p95_ms",
-                     "p99_ms"});
+                    {"mode", "sessions", "device", "plan_cache",
+                     "shared_models", "batching", "inf_cache", "queries",
+                     "seconds", "qps", "p50_ms", "p95_ms", "p99_ms", "batches",
+                     "cache_hits"});
+  std::vector<RowRec> rows;
 
   CellResult baseline = RunBackToBack(fact_rows, total_queries);
-  AddRow(&table, "backtoback", 1, false, false, baseline);
+  AddRow(&table, &rows, "backtoback", 1, {false, false, false, false},
+         baseline);
 
-  double qps_8_sessions = 0;
+  CellResult full8;
   for (int sessions : {1, 8, 64, 256}) {
-    // Full serving stack, then the two ablations (no plan cache; no shared
-    // models — per-query build forces single-instance ModelJoin jobs).
+    // Full serving stack (all defaults on), then the two ISSUE-9 ablations
+    // (no plan cache; no shared models — per-query build forces
+    // single-instance ModelJoin jobs).
     CellResult full =
-        RunServing(fact_rows, sessions, total_queries, true, true);
-    AddRow(&table, "serving", sessions, true, true, full);
-    if (sessions == 8) qps_8_sessions = full.qps();
+        RunServing(fact_rows, sessions, total_queries, Knobs{});
+    AddRow(&table, &rows, "serving", sessions, Knobs{}, full);
+    if (sessions == 8) full8 = full;
 
-    CellResult no_cache =
-        RunServing(fact_rows, sessions, total_queries, false, true);
-    AddRow(&table, "serving", sessions, false, true, no_cache);
+    Knobs no_plan;
+    no_plan.plan_cache = false;
+    AddRow(&table, &rows, "serving", sessions, no_plan,
+           RunServing(fact_rows, sessions, total_queries, no_plan));
 
-    CellResult no_shared =
-        RunServing(fact_rows, sessions, total_queries, true, false);
-    AddRow(&table, "serving", sessions, true, false, no_shared);
+    Knobs no_shared;
+    no_shared.shared_models = false;
+    AddRow(&table, &rows, "serving", sessions, no_shared,
+           RunServing(fact_rows, sessions, total_queries, no_shared));
   }
 
+  // ISSUE-10 ablation at 8 sessions: toggle the inference micro-batcher and
+  // result cache independently, with the rest of the stack fixed at serving
+  // defaults and morsels shrunk so every query issues many small inference
+  // calls — the paper's small-per-query-batch regime, where coalescing has
+  // something to merge. The cells run the ModelJoin on the simulated GPU:
+  // there every kernel dispatch carries the modeled launch overhead that
+  // makes small per-query batches expensive in the first place (Figure 8),
+  // so QPS is computed over modeled-adjusted time. `batch_only` vs
+  // `neither` isolates cross-query coalescing; `both` vs `batch_only`
+  // isolates memoized repeat traffic skipping the launches entirely.
+  constexpr int kAblateSessions = 8;
+  constexpr int64_t kAblateMorselRows = 128;
+  Knobs both;
+  both.morsel_rows = kAblateMorselRows;
+  both.gpu = true;
+  CellResult both_cell =
+      RunServing(fact_rows, kAblateSessions, total_queries, both);
+  AddRow(&table, &rows, "ablate_inf", kAblateSessions, both, both_cell);
+
+  Knobs batch_only = both;
+  batch_only.inf_cache = false;
+  CellResult batch_cell =
+      RunServing(fact_rows, kAblateSessions, total_queries, batch_only);
+  AddRow(&table, &rows, "ablate_inf", kAblateSessions, batch_only, batch_cell);
+
+  Knobs cache_only = both;
+  cache_only.batching = false;
+  CellResult cache_cell =
+      RunServing(fact_rows, kAblateSessions, total_queries, cache_only);
+  AddRow(&table, &rows, "ablate_inf", kAblateSessions, cache_only, cache_cell);
+
+  Knobs neither = both;
+  neither.batching = false;
+  neither.inf_cache = false;
+  CellResult neither_cell =
+      RunServing(fact_rows, kAblateSessions, total_queries, neither);
+  AddRow(&table, &rows, "ablate_inf", kAblateSessions, neither, neither_cell);
+
   table.Finish();
+  const double serving_speedup =
+      baseline.qps() > 0 ? full8.qps() / baseline.qps() : 0;
+  const double batching_speedup =
+      neither_cell.qps() > 0 ? batch_cell.qps() / neither_cell.qps() : 0;
+  const double cache_speedup =
+      batch_cell.qps() > 0 ? both_cell.qps() / batch_cell.qps() : 0;
   std::printf("[serving] 8-session speedup over back-to-back: %.2fx\n",
-              baseline.qps() > 0 ? qps_8_sessions / baseline.qps() : 0);
+              serving_speedup);
+  std::printf(
+      "[serving] 8-session batching speedup over per-query launches (sim "
+      "GPU, modeled time): %.2fx (%lld coalesced launches vs %lld; %lld "
+      "device kernels vs %lld)\n",
+      batching_speedup, static_cast<long long>(batch_cell.inf_batches),
+      static_cast<long long>(neither_cell.inf_batches),
+      static_cast<long long>(batch_cell.kernel_launches),
+      static_cast<long long>(neither_cell.kernel_launches));
+  std::printf(
+      "[serving] 8-session cache speedup over batching alone: %.2fx "
+      "(%lld rows served without touching the device)\n",
+      cache_speedup, static_cast<long long>(both_cell.cache_hits));
+
+  if (emit_json) {
+    return WriteJson(rows, fact_rows, total_queries, batching_speedup,
+                     cache_speedup, serving_speedup);
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace indbml::benchlib
 
-int main() { return indbml::benchlib::Run(); }
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  return indbml::benchlib::Run(json);
+}

@@ -10,6 +10,7 @@ from . import (
     include_layering,
     lock_scope,
     naked_new,
+    raw_forward_pass,
     raw_intrinsics,
     raw_thread,
     test_status,
@@ -27,6 +28,7 @@ _MODULES = (
     view_escape,
     lock_scope,
     include_layering,
+    raw_forward_pass,
     ignored_error,
 )
 

@@ -26,16 +26,23 @@ ALLOWED_DEPS = {
     "storage": {"storage", "common"},
     "device": {"device", "nn", "common"},
     "exec": {"exec", "storage", "nn", "common"},
-    "mlruntime": {"mlruntime", "device", "nn", "common"},
+    # The shared forward-pass layer: every approach (native ModelJoin, the
+    # C-API operator, mlruntime sessions) runs inference through it. It sits
+    # beside exec — above storage/device, below sql — so the SQL front-end
+    # can never reach into it directly (the planner hands knobs down as a
+    # plain struct, see sql/physical_planner.h).
+    "inference": {"inference", "device", "storage", "nn", "common"},
+    "mlruntime": {"mlruntime", "inference", "device", "nn", "common"},
     "sql": {"sql", "exec", "storage", "nn", "common"},
     "mltosql": {"mltosql", "sql", "exec", "storage", "nn", "common"},
-    "modeljoin": {"modeljoin", "sql", "exec", "device", "storage", "nn",
-                  "common"},
-    "server": {"server", "sql", "exec", "storage", "nn", "common"},
-    "integration": {"integration", "sql", "mlruntime", "exec", "device",
-                    "storage", "nn", "common"},
+    "modeljoin": {"modeljoin", "sql", "exec", "inference", "device", "storage",
+                  "nn", "common"},
+    "server": {"server", "sql", "exec", "inference", "storage", "nn", "common"},
+    "integration": {"integration", "sql", "mlruntime", "exec", "inference",
+                    "device", "storage", "nn", "common"},
     "benchlib": {"benchlib", "integration", "modeljoin", "mltosql", "sql",
-                 "mlruntime", "exec", "device", "storage", "nn", "common"},
+                 "mlruntime", "exec", "inference", "device", "storage", "nn",
+                 "common"},
 }
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')

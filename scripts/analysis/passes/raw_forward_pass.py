@@ -1,0 +1,52 @@
+"""raw-forward-pass: forward-pass math lives only in src/inference/.
+
+The InferenceRuntime refactor pulled the Dense/LSTM/GRU forward passes out
+of the operators so every approach — native ModelJoin, the C-API operator,
+mlruntime sessions — shares one implementation, and so cross-query
+micro-batching and the result cache sit on the single choke point. A GEMM
+issued directly from an operator reintroduces a private forward pass that
+silently bypasses batching, the cache, and the inference metrics.
+
+The training path (`src/nn/`) legitimately multiplies matrices, as do the
+kernel layers themselves (`src/device/`, `src/common/`); everything above
+them must go through `inference::InferenceRuntime::Run`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core import Finding, Pass
+
+# Layers that may issue matrix multiplies directly: the shared runtime, the
+# device/kernel layers it drives, and the nn training/reference code.
+ALLOWED_DIRS = {"inference", "nn", "device", "common"}
+
+# Direct GEMM spellings: the host BLAS entry points and the device method.
+GEMM_RE = re.compile(r"\bblas::Sgemm(?:Tight)?\s*\(|(?:->|\.)Gemm\s*\(")
+
+
+class RawForwardPassPass(Pass):
+    name = "raw-forward-pass"
+    roots = ("src",)
+
+    def check_file(self, sf, ctx):
+        parts = sf.rel.split("/")
+        if len(parts) < 3 or parts[0] != "src":
+            return []
+        if parts[1] in ALLOWED_DIRS:
+            return []
+        findings = []
+        for lineno, line in sf.iter_code():
+            if GEMM_RE.search(line):
+                findings.append(
+                    Finding(sf.rel, lineno, self.name,
+                            "direct GEMM outside src/inference/; run the "
+                            "forward pass through "
+                            "inference::InferenceRuntime::Run so batching, "
+                            "the result cache and the inference metrics "
+                            "all see it"))
+        return findings
+
+
+PASS = RawForwardPassPass

@@ -1,7 +1,9 @@
 #ifndef INDBML_COMMON_MUTEX_H_
 #define INDBML_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "common/thread_annotations.h"
@@ -71,6 +73,18 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// Timed wait: atomically releases `mu`, blocks until notified or
+  /// `timeout_micros` elapsed, re-acquires `mu`. Returns false on timeout.
+  /// Like Wait, callers re-check their predicate in a loop — the inference
+  /// batcher's latency-budget wait is the canonical user.
+  bool WaitFor(Mutex& mu, int64_t timeout_micros) INDBML_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status status =
+        cv_.wait_for(lock, std::chrono::microseconds(timeout_micros));
+    lock.release();  // ownership stays with the caller's MutexLock
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

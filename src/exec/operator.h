@@ -1,6 +1,7 @@
 #ifndef INDBML_EXEC_OPERATOR_H_
 #define INDBML_EXEC_OPERATOR_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +34,11 @@ struct ExecContext {
   /// runs without EXPLAIN ANALYZE). Operator bodies use it to report named
   /// sub-phase timings, see exec/profile.h.
   OperatorStats* active_stats = nullptr;
+  /// Query-level cancellation flag (the serving executor wires it to
+  /// QueryHandle::Cancel; null outside the serving path). Operators that
+  /// block — the inference batcher's latency-budget wait — poll it so
+  /// Cancel returns promptly instead of riding out the wait.
+  const std::atomic<bool>* interrupt = nullptr;
 };
 
 /// \brief Volcano-style vectorized operator (open/next/close, paper §5.1),

@@ -1,0 +1,129 @@
+#include "inference/cache.h"
+
+#include <cstring>
+
+namespace indbml::inference {
+
+InferenceCache& InferenceCache::Global() {
+  static InferenceCache* cache = new InferenceCache();
+  return *cache;
+}
+
+InferenceCache::InferenceCache()
+    : hits_metric_(metrics::Registry::Global().counter("inference.cache_hits")),
+      misses_metric_(
+          metrics::Registry::Global().counter("inference.cache_misses")) {}
+
+void InferenceCache::set_capacity_bytes(int64_t bytes) {
+  MutexLock lock(mu_);
+  capacity_bytes_ = bytes;
+  EvictToCapacity();
+}
+
+int64_t InferenceCache::capacity_bytes() const {
+  MutexLock lock(mu_);
+  return capacity_bytes_;
+}
+
+std::string InferenceCache::MakeKey(int64_t model_id, const float* in,
+                                    int64_t n, int64_t d, int64_t row) {
+  // model id bytes followed by the tuple's d feature floats, byte-exact.
+  // The features sit strided in the feature-major matrix (column `row`).
+  std::string key(sizeof(model_id) + static_cast<size_t>(d) * sizeof(float),
+                  '\0');
+  std::memcpy(key.data(), &model_id, sizeof(model_id));
+  char* p = key.data() + sizeof(model_id);
+  for (int64_t f = 0; f < d; ++f) {
+    std::memcpy(p + f * sizeof(float), in + f * n + row, sizeof(float));
+  }
+  return key;
+}
+
+int64_t InferenceCache::Lookup(int64_t model_id, const float* in, int64_t n,
+                               int64_t d, int64_t o, float* out,
+                               std::vector<char>* hits) {
+  int64_t hit_count = 0;
+  {
+    MutexLock lock(mu_);
+    if (capacity_bytes_ > 0) {
+      for (int64_t j = 0; j < n; ++j) {
+        auto it = index_.find(MakeKey(model_id, in, n, d, j));
+        if (it == index_.end()) continue;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        const std::vector<float>& values = it->second->values;
+        for (int64_t p = 0; p < o; ++p) out[p * n + j] = values[p];
+        (*hits)[j] = 1;
+        ++hit_count;
+      }
+    }
+  }
+  hits_metric_->Increment(hit_count);
+  misses_metric_->Increment(n - hit_count);
+  return hit_count;
+}
+
+void InferenceCache::Insert(int64_t model_id, const float* in, int64_t n,
+                            int64_t d, int64_t o, const float* results) {
+  MutexLock lock(mu_);
+  if (capacity_bytes_ <= 0) return;
+  for (int64_t j = 0; j < n; ++j) {
+    std::string key = MakeKey(model_id, in, n, d, j);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      // Deterministic runtime: the value cannot have changed; refresh LRU.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      continue;
+    }
+    Entry entry;
+    entry.values.resize(static_cast<size_t>(o));
+    for (int64_t p = 0; p < o; ++p) entry.values[p] = results[p * n + j];
+    bytes_ += static_cast<int64_t>(key.size() + entry.values.size() * sizeof(float));
+    entry.key = key;
+    lru_.push_front(std::move(entry));
+    index_.emplace(std::move(key), lru_.begin());
+  }
+  EvictToCapacity();
+}
+
+void InferenceCache::EvictToCapacity() {
+  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= static_cast<int64_t>(victim.key.size() +
+                                   victim.values.size() * sizeof(float));
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+void InferenceCache::InvalidateModel(int64_t model_id) {
+  MutexLock lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    int64_t id;
+    std::memcpy(&id, it->key.data(), sizeof(id));
+    if (id == model_id) {
+      bytes_ -= static_cast<int64_t>(it->key.size() +
+                                     it->values.size() * sizeof(float));
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void InferenceCache::Clear() {
+  MutexLock lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+InferenceCache::Stats InferenceCache::GetStats() const {
+  MutexLock lock(mu_);
+  Stats stats;
+  stats.entries = static_cast<int64_t>(lru_.size());
+  stats.bytes = bytes_;
+  return stats;
+}
+
+}  // namespace indbml::inference

@@ -1,0 +1,97 @@
+#ifndef INDBML_INFERENCE_CACHE_H_
+#define INDBML_INFERENCE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace indbml::inference {
+
+/// \brief Memoizing inference result cache: hot-entity repeat traffic skips
+/// the NN entirely (ISSUE 10 layer 3).
+///
+/// Keys are (model instance id, exact input-tuple bytes): the id is the
+/// process-unique SharedModel::model_id(), so a redeployed model gets a new
+/// id and can never serve a stale cached prediction, and the input floats
+/// are compared byte-exact (no lossy hashing — hash collisions fall back to
+/// a miss-free byte comparison inside the map). Values are the
+/// [output_dim] prediction floats. Eviction is LRU bounded by
+/// `set_capacity_bytes`. Correctness leans on the runtime's determinism: a
+/// cached value is bit-identical to re-running the forward pass.
+///
+/// Thread safe; Lookup/Insert take whole batches so a 1024-row chunk costs
+/// one lock round-trip, not 1024.
+class InferenceCache {
+ public:
+  /// The process-wide cache.
+  static InferenceCache& Global();
+
+  InferenceCache();
+
+  InferenceCache(const InferenceCache&) = delete;
+  InferenceCache& operator=(const InferenceCache&) = delete;
+
+  /// LRU bound in bytes (keys + values). Shrinking evicts immediately.
+  /// A capacity of 0 disables the cache (Lookup misses, Insert drops).
+  void set_capacity_bytes(int64_t bytes) INDBML_EXCLUDES(mu_);
+  int64_t capacity_bytes() const INDBML_EXCLUDES(mu_);
+
+  /// Looks up the `n` input tuples of the feature-major matrix `in`
+  /// ([d x n]: row f holds feature f of every tuple). For each hit row j,
+  /// writes the cached prediction into column j of `out` ([o x n]) and sets
+  /// (*hits)[j] = 1; `hits` must arrive sized n and zeroed. Returns the hit
+  /// count and records the hit/miss metrics.
+  int64_t Lookup(int64_t model_id, const float* in, int64_t n, int64_t d,
+                 int64_t o, float* out, std::vector<char>* hits)
+      INDBML_EXCLUDES(mu_);
+
+  /// Inserts the `n` tuples of `in` ([d x n]) with their predictions from
+  /// `results` ([o x n]). Existing entries are refreshed (moved to the LRU
+  /// front); the deterministic runtime guarantees the value is unchanged.
+  void Insert(int64_t model_id, const float* in, int64_t n, int64_t d,
+              int64_t o, const float* results) INDBML_EXCLUDES(mu_);
+
+  /// Drops every entry of this model instance (redeploy invalidation:
+  /// called when the model registry evicts or replaces the instance).
+  void InvalidateModel(int64_t model_id) INDBML_EXCLUDES(mu_);
+
+  /// Drops everything (tests and registry Clear()).
+  void Clear() INDBML_EXCLUDES(mu_);
+
+  struct Stats {
+    int64_t entries = 0;
+    int64_t bytes = 0;
+  };
+  Stats GetStats() const INDBML_EXCLUDES(mu_);
+
+ private:
+  struct Entry {
+    std::string key;            ///< model id bytes + input-tuple bytes
+    std::vector<float> values;  ///< [output_dim] prediction
+  };
+  using Lru = std::list<Entry>;
+
+  static std::string MakeKey(int64_t model_id, const float* in, int64_t n,
+                             int64_t d, int64_t row);
+
+  void EvictToCapacity() INDBML_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  Lru lru_ INDBML_GUARDED_BY(mu_);  ///< front = most recently used
+  std::unordered_map<std::string, Lru::iterator> index_ INDBML_GUARDED_BY(mu_);
+  int64_t bytes_ INDBML_GUARDED_BY(mu_) = 0;
+  int64_t capacity_bytes_ INDBML_GUARDED_BY(mu_) = 32 << 20;
+
+  metrics::Counter* hits_metric_;    ///< inference.cache_hits
+  metrics::Counter* misses_metric_;  ///< inference.cache_misses
+};
+
+}  // namespace indbml::inference
+
+#endif  // INDBML_INFERENCE_CACHE_H_

@@ -1,4 +1,4 @@
-#include "modeljoin/shared_model.h"
+#include "inference/shared_model.h"
 
 #include <algorithm>
 #include <cstring>
@@ -7,9 +7,9 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/validation.h"
-#include "modeljoin/validate.h"
+#include "inference/validate.h"
 
-namespace indbml::modeljoin {
+namespace indbml::inference {
 
 using nn::LayerKind;
 using nn::LayerMeta;
@@ -49,6 +49,12 @@ Result<ModelTableColumns> ResolveColumns(const storage::Table& table) {
   return cols;
 }
 
+/// Process-unique model-instance ids (cache/batcher keying; see model_id()).
+int64_t NextModelId() {
+  static std::atomic<int64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 }  // namespace
 
 SharedModel::SharedModel(nn::ModelMeta meta, device::Device* device,
@@ -57,6 +63,7 @@ SharedModel::SharedModel(nn::ModelMeta meta, device::Device* device,
       device_(device),
       num_workers_(num_workers),
       vector_size_(vector_size),
+      model_id_(NextModelId()),
       build_barrier_(num_workers),
       upload_barrier_(num_workers) {
   // Unique-node-id layout: input nodes first for dense-input models.
@@ -197,7 +204,6 @@ Status SharedModel::ParsePartition(const storage::Table& model_table,
 
 void SharedModel::UploadToDevice() {
   const bool gpu = device_->is_gpu();
-  std::vector<float> bias_row(static_cast<size_t>(vector_size_));
   for (size_t li = 0; li < meta_.layers.size(); ++li) {
     const LayerMeta& layer = meta_.layers[li];
     int gates = layer.kind == LayerKind::kDense  ? 1
@@ -260,6 +266,9 @@ Status SharedModel::BuildPartition(const storage::Table& model_table, int worker
   }
   upload_barrier_.Wait();
   if (failed_.load()) return FailureStatus();
+  // Idempotent across the workers leaving the barrier: all of them observed
+  // the completed upload, so any of them may publish the model as built.
+  built_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
@@ -269,6 +278,62 @@ Status SharedModel::BuildSerial(const storage::Table& model_table) {
          "models must use BuildPartition";
   INDBML_RETURN_NOT_OK(
       ParsePartition(model_table, {0, model_table.num_rows()}));
+  UploadToDevice();
+  if (validation::Enabled()) {
+    INDBML_RETURN_NOT_OK(ValidateSharedModelShape(*this));
+  }
+  built_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status SharedModel::BuildFromModel(const nn::Model& model) {
+  INDBML_CHECK(num_workers_ == 1)
+      << "BuildFromModel is a single-builder path; barrier-built models must "
+         "use BuildPartition";
+  if (model.layers().size() != meta_.layers.size()) {
+    return Status::InvalidArgument(
+        "model layer count does not match the meta this SharedModel was "
+        "constructed with");
+  }
+  for (size_t li = 0; li < meta_.layers.size(); ++li) {
+    const nn::Layer& src = model.layers()[li];
+    const LayerMeta& layer = meta_.layers[li];
+    if (src.kind != layer.kind || src.units() != layer.units ||
+        src.input_dim() != layer.input_dim) {
+      return Status::InvalidArgument("model layer shape does not match meta");
+    }
+    HostBuffers& h = host_[li];
+    if (layer.kind == LayerKind::kDense) {
+      // nn kernels are row-major [input_dim x units]; the shared layout is
+      // the transposed [units x input_dim].
+      for (int64_t in = 0; in < layer.input_dim; ++in) {
+        for (int64_t u = 0; u < layer.units; ++u) {
+          h.w[0][u * layer.input_dim + in] = src.dense.kernel[in * layer.units + u];
+        }
+      }
+      for (int64_t u = 0; u < layer.units; ++u) h.bias[0][u] = src.dense.bias[u];
+    } else {
+      const bool lstm = layer.kind == LayerKind::kLstm;
+      const int gates = lstm ? nn::kNumGates : nn::kNumGruGates;
+      for (int g = 0; g < gates; ++g) {
+        const nn::Tensor& kernel = lstm ? src.lstm.kernel[g] : src.gru.kernel[g];
+        const nn::Tensor& recurrent =
+            lstm ? src.lstm.recurrent[g] : src.gru.recurrent[g];
+        const nn::Tensor& bias = lstm ? src.lstm.bias[g] : src.gru.bias[g];
+        for (int64_t in = 0; in < layer.input_dim; ++in) {
+          for (int64_t u = 0; u < layer.units; ++u) {
+            h.w[g][u * layer.input_dim + in] = kernel[in * layer.units + u];
+          }
+        }
+        for (int64_t in = 0; in < layer.units; ++in) {
+          for (int64_t u = 0; u < layer.units; ++u) {
+            h.u[g][u * layer.units + in] = recurrent[in * layer.units + u];
+          }
+        }
+        for (int64_t u = 0; u < layer.units; ++u) h.bias[g][u] = bias[u];
+      }
+    }
+  }
   UploadToDevice();
   if (validation::Enabled()) {
     INDBML_RETURN_NOT_OK(ValidateSharedModelShape(*this));
@@ -351,4 +416,4 @@ Status ValidateSharedModelShape(const SharedModel& model) {
   return Status::OK();
 }
 
-}  // namespace indbml::modeljoin
+}  // namespace indbml::inference

@@ -1,0 +1,167 @@
+#ifndef INDBML_INFERENCE_SHARED_MODEL_H_
+#define INDBML_INFERENCE_SHARED_MODEL_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "device/device.h"
+#include "nn/model.h"
+#include "nn/model_meta.h"
+#include "storage/table.h"
+
+namespace indbml::inference {
+
+/// \brief The shared model of the native ModelJoin (paper §5.2), now owned
+/// by the inference layer so every approach runs the same forward pass.
+///
+/// One instance exists per query (or one per (model, device) pair under the
+/// serving registry); all execution workers fill disjoint parts of the
+/// shared weight matrices from the model table and synchronise on a barrier
+/// before inference starts. Build work is claimed morsel-wise from a shared
+/// atomic cursor (mirroring exec/morsel.h), so a worker that finishes its
+/// rows early steals more instead of idling at the barrier.
+/// Weights are stored *transposed* ([units x input] row-major) and biases
+/// replicated into [units x vectorsize] matrices (§5.4) so the per-chunk
+/// inference is plain GEMM + one large addition.
+///
+/// On a GPU device the build writes host staging buffers; after the barrier
+/// one thread uploads the finished model to device memory (the §5.2
+/// optimisation avoiding fine-grained transfers).
+class SharedModel {
+ public:
+  /// `num_workers` build participants will call BuildPartition.
+  SharedModel(nn::ModelMeta meta, device::Device* device, int num_workers,
+              int vector_size);
+  ~SharedModel();
+
+  SharedModel(const SharedModel&) = delete;
+  SharedModel& operator=(const SharedModel&) = delete;
+
+  /// Participates in the parallel build: claims row ranges of `model_table`
+  /// (unique-node-id relational representation, 14 columns) from the shared
+  /// build cursor and parses them into the shared weights, then waits on
+  /// the build barrier. Every worker must call this exactly once; the call
+  /// returns only after the whole model is built (and uploaded to the
+  /// device). `worker` identifies the caller; worker 0 performs the upload.
+  Status BuildPartition(const storage::Table& model_table, int worker);
+
+  /// Builds the whole model on the calling thread — the registry path
+  /// (modeljoin/model_registry.h): the first query to need a (model,
+  /// device) pair builds it once, every later query block-shares the
+  /// finished weights. No barrier is involved, so the instance must have
+  /// been constructed with `num_workers` == 1. Marks the model built; after
+  /// an OK return, ModelJoinOperator::Open skips its build phase entirely.
+  Status BuildSerial(const storage::Table& model_table);
+
+  /// Builds directly from in-memory nn::Model weights (the mlruntime path:
+  /// no relational model table involved). Transposes the row-major kernels
+  /// into the [units x input] layout and replicates biases, then uploads.
+  /// Requires `num_workers` == 1; marks the model built.
+  Status BuildFromModel(const nn::Model& model);
+
+  /// True once the weights (and device upload) are complete and immutable.
+  /// Release/acquire-paired with the end of BuildSerial, so an operator
+  /// observing true also observes the finished weights.
+  bool built() const { return built_.load(std::memory_order_acquire); }
+
+  const nn::ModelMeta& meta() const { return meta_; }
+  device::Device* device() const { return device_; }
+  int vector_size() const { return vector_size_; }
+
+  /// Process-unique id of this built-model instance. Rebuilding a model
+  /// (redeploy) produces a new SharedModel and therefore a new id — the
+  /// InferenceCache and InferenceBatcher key on it, so stale cached results
+  /// can never be served for a replaced model and requests against
+  /// different versions are never coalesced into one batch.
+  int64_t model_id() const { return model_id_; }
+
+  /// Device pointers, valid after BuildPartition returned OK.
+  /// Dense layer li: kernel() is [units x input_dim] (transposed).
+  const float* dense_kernel(size_t li) const { return layers_[li].w[0]; }
+  const float* dense_bias_matrix(size_t li) const { return layers_[li].bias_mat[0]; }
+  /// Recurrent-layer gate weights (LSTM g in [0,4), GRU g in [0,3)):
+  /// kernel [units x input_dim], recurrent [units x units], bias matrix
+  /// [units x vectorsize].
+  const float* lstm_kernel(size_t li, int g) const { return layers_[li].w[g]; }
+  const float* lstm_recurrent(size_t li, int g) const { return layers_[li].u[g]; }
+  const float* lstm_bias_matrix(size_t li, int g) const {
+    return layers_[li].bias_mat[g];
+  }
+
+  /// Bytes of device memory held by the model (Table 3 accounting).
+  int64_t DeviceBytes() const { return device_bytes_; }
+
+ private:
+  struct LayerBuffers {
+    // Device buffers; on CPU w/u point into the host staging vectors.
+    float* w[nn::kNumGates] = {nullptr, nullptr, nullptr, nullptr};
+    float* u[nn::kNumGates] = {nullptr, nullptr, nullptr, nullptr};
+    float* bias_mat[nn::kNumGates] = {nullptr, nullptr, nullptr, nullptr};
+    int64_t w_size = 0;
+    int64_t u_size = 0;
+    int64_t bias_size = 0;
+  };
+
+  /// Host staging buffers the build phase writes into (owned storage;
+  /// uploaded to the device buffers after the build barrier).
+  struct HostBuffers {
+    std::vector<float> w[nn::kNumGates];
+    std::vector<float> u[nn::kNumGates];
+    std::vector<float> bias[nn::kNumGates];
+  };
+
+  /// Shape-invariant check run at build-phase exit under INDBML_VALIDATE=1.
+  friend Status ValidateSharedModelShape(const SharedModel& model);
+
+  /// Locates the layer owning node id `node`; kept in `first_node_` order.
+  Status LocateLayer(int64_t node, size_t* layer_index) const;
+
+  Status ParsePartition(const storage::Table& model_table,
+                        storage::PartitionRange range);
+  void UploadToDevice();
+
+  /// Marks the build failed, keeping the first recorded message.
+  void RecordFailure(const Status& status) INDBML_EXCLUDES(failure_mu_);
+  /// The build-failed status carrying the first failure's message.
+  Status FailureStatus() const INDBML_EXCLUDES(failure_mu_);
+
+  nn::ModelMeta meta_;
+  device::Device* device_;
+  int num_workers_;
+  int vector_size_;
+  int64_t model_id_;
+
+  std::vector<int64_t> first_node_;  ///< unique-id layout per layer
+  int64_t input_nodes_ = 0;          ///< ids reserved for input nodes
+
+  std::vector<HostBuffers> host_;     ///< staging (owned host storage)
+  std::vector<LayerBuffers> layers_;  ///< device buffers (== host on CPU)
+  int64_t device_bytes_ = 0;
+
+  /// Next unclaimed model-table row of the work-stealing build phase.
+  /// lock-free: relaxed-equivalent fetch_add hands each row range to exactly
+  /// one worker; the parsed weights become visible to every worker through
+  /// the build barrier, not through this cursor.
+  std::atomic<int64_t> build_cursor_{0};
+  Barrier build_barrier_;
+  Barrier upload_barrier_;
+  /// lock-free: sticky failure flag; workers poll it to stop claiming work
+  /// early. The barrier orders it before the post-build checks.
+  std::atomic<bool> failed_{false};
+  /// lock-free: set (release) once by BuildSerial after upload + validation;
+  /// read (acquire) by every operator Open deciding whether to build.
+  std::atomic<bool> built_{false};
+  mutable Mutex failure_mu_;
+  /// First failure wins; later failures keep the original message.
+  std::string failure_message_ INDBML_GUARDED_BY(failure_mu_);
+};
+
+}  // namespace indbml::inference
+
+#endif  // INDBML_INFERENCE_SHARED_MODEL_H_

@@ -1,4 +1,4 @@
-#include "modeljoin/validate.h"
+#include "inference/validate.h"
 
 #include <cmath>
 #include <limits>
@@ -7,7 +7,7 @@
 
 #include "common/string_util.h"
 
-namespace indbml::modeljoin {
+namespace indbml::inference {
 
 using nn::LayerKind;
 using nn::LayerMeta;
@@ -152,4 +152,4 @@ Result<ModelTableReport> ValidateModelTable(const storage::Table& table,
   return report;
 }
 
-}  // namespace indbml::modeljoin
+}  // namespace indbml::inference

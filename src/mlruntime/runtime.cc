@@ -1,13 +1,14 @@
 #include "mlruntime/runtime.h"
 
-#include "nn/model_meta.h"
-
 #include <algorithm>
 #include <cstring>
+#include <vector>
+
+#include "common/config.h"
+#include "inference/runtime.h"
+#include "nn/model_meta.h"
 
 namespace indbml::mlruntime {
-
-using nn::LayerKind;
 
 namespace {
 
@@ -18,85 +19,20 @@ device::Device* DefaultRuntimeDevice(const std::string& name) {
 
 }  // namespace
 
-/// Weights live on the runtime's device in ROW-MAJOR [input x units] layout
-/// (the runtime's native format). Scratch grows to the largest batch seen.
+/// The session compiles the model into an inference::SharedModel and runs
+/// it through the shared InferenceRuntime — the same forward pass the
+/// native ModelJoin uses, so the approaches differ only in how data reaches
+/// it. The runtime's interface stays deliberately ROW-MAJOR: every Run
+/// transposes the batch into the engine's feature-major layout and the
+/// results back, which is exactly the conversion cost the paper's C-API
+/// measurements include.
 struct Session::Impl {
   device::Device* device = nullptr;
   nn::ModelMeta meta;
-
-  struct LayerW {
-    float* w[nn::kNumGates] = {nullptr, nullptr, nullptr, nullptr};
-    float* u[nn::kNumGates] = {nullptr, nullptr, nullptr, nullptr};
-    float* bias[nn::kNumGates] = {nullptr, nullptr, nullptr, nullptr};
-    int64_t w_size = 0;
-    int64_t u_size = 0;
-    int64_t bias_size = 0;
-  };
-  std::vector<LayerW> layers;
-
-  int64_t max_units = 1;
-  int64_t capacity = 0;  ///< rows of scratch currently allocated
-  float* ping = nullptr;
-  float* pong = nullptr;
-  float* x_dev = nullptr;  ///< device copy of the caller's input
-  int64_t x_capacity = 0;
-  float* z[nn::kNumGates] = {nullptr, nullptr, nullptr, nullptr};
-  float* h = nullptr;
-  float* c = nullptr;
-  float* tmp = nullptr;
-  bool has_lstm = false;
-  int64_t weight_bytes = 0;
-
-  ~Impl() {
-    for (auto& layer : layers) {
-      for (int g = 0; g < nn::kNumGates; ++g) {
-        if (layer.w[g]) device->Free(layer.w[g], layer.w_size);
-        if (layer.u[g]) device->Free(layer.u[g], layer.u_size);
-        if (layer.bias[g]) device->Free(layer.bias[g], layer.bias_size);
-      }
-    }
-    FreeScratch();
-  }
-
-  void FreeScratch() {
-    if (capacity > 0) {
-      device->Free(ping, capacity * max_units);
-      device->Free(pong, capacity * max_units);
-      if (has_lstm) {
-        for (auto& g : z) device->Free(g, capacity * max_units);
-        device->Free(h, capacity * max_units);
-        device->Free(c, capacity * max_units);
-        device->Free(tmp, capacity * max_units);
-      }
-      capacity = 0;
-    }
-    if (x_capacity > 0) {
-      device->Free(x_dev, x_capacity);
-      x_capacity = 0;
-    }
-  }
-
-  void EnsureCapacity(int64_t n) {
-    if (n <= capacity) return;
-    FreeScratch();
-    capacity = std::max<int64_t>(n, 1024);
-    ping = device->Allocate(capacity * max_units);
-    pong = device->Allocate(capacity * max_units);
-    if (has_lstm) {
-      for (auto& g : z) g = device->Allocate(capacity * max_units);
-      h = device->Allocate(capacity * max_units);
-      c = device->Allocate(capacity * max_units);
-      tmp = device->Allocate(capacity * max_units);
-    }
-  }
-
-  void EnsureInputCapacity(int64_t count) {
-    if (count <= x_capacity) return;
-    if (x_capacity > 0) device->Free(x_dev, x_capacity);
-    x_capacity = count;
-    x_dev = device->Allocate(x_capacity);
-  }
-
+  std::shared_ptr<inference::SharedModel> model;
+  /// Host transpose staging, grown to the largest batch seen.
+  std::vector<float> input_t;   ///< feature-major [input_width x n]
+  std::vector<float> output_t;  ///< feature-major [output_dim x n]
 };
 
 Session::Session() : impl_(std::make_unique<Impl>()) {}
@@ -109,52 +45,9 @@ Result<std::unique_ptr<Session>> Session::Create(const nn::Model& model,
   Impl& impl = *session->impl_;
   impl.device = device != nullptr ? device : DefaultRuntimeDevice(device_name);
   impl.meta = nn::MetaOf(model, "session");
-
-  for (const nn::Layer& layer : model.layers()) {
-    Impl::LayerW w;
-    impl.max_units = std::max(impl.max_units, layer.units());
-    if (layer.kind == LayerKind::kDense) {
-      w.w_size = layer.dense.kernel.size();
-      w.w[0] = impl.device->Allocate(w.w_size);
-      impl.device->CopyToDevice(w.w[0], layer.dense.kernel.data(), w.w_size);
-      w.bias_size = layer.dense.bias.size();
-      w.bias[0] = impl.device->Allocate(w.bias_size);
-      impl.device->CopyToDevice(w.bias[0], layer.dense.bias.data(), w.bias_size);
-      impl.weight_bytes += (w.w_size + w.bias_size) * 4;
-    } else if (layer.kind == LayerKind::kLstm) {
-      impl.has_lstm = true;
-      if (layer.lstm.input_dim < 1) {
-        return Status::InvalidArgument("LSTM layer without input features");
-      }
-      w.w_size = layer.lstm.kernel[0].size();
-      w.u_size = layer.lstm.recurrent[0].size();
-      for (int g = 0; g < nn::kNumGates; ++g) {
-        w.w[g] = impl.device->Allocate(w.w_size);
-        impl.device->CopyToDevice(w.w[g], layer.lstm.kernel[g].data(), w.w_size);
-        w.u[g] = impl.device->Allocate(w.u_size);
-        impl.device->CopyToDevice(w.u[g], layer.lstm.recurrent[g].data(), w.u_size);
-        w.bias_size = layer.lstm.bias[g].size();
-        w.bias[g] = impl.device->Allocate(w.bias_size);
-        impl.device->CopyToDevice(w.bias[g], layer.lstm.bias[g].data(), w.bias_size);
-        impl.weight_bytes += (w.w_size + w.u_size + w.bias_size) * 4;
-      }
-    } else {
-      impl.has_lstm = true;  // GRU reuses the recurrent scratch buffers
-      w.w_size = layer.gru.kernel[0].size();
-      w.u_size = layer.gru.recurrent[0].size();
-      for (int g = 0; g < nn::kNumGruGates; ++g) {
-        w.w[g] = impl.device->Allocate(w.w_size);
-        impl.device->CopyToDevice(w.w[g], layer.gru.kernel[g].data(), w.w_size);
-        w.u[g] = impl.device->Allocate(w.u_size);
-        impl.device->CopyToDevice(w.u[g], layer.gru.recurrent[g].data(), w.u_size);
-        w.bias_size = layer.gru.bias[g].size();
-        w.bias[g] = impl.device->Allocate(w.bias_size);
-        impl.device->CopyToDevice(w.bias[g], layer.gru.bias[g].data(), w.bias_size);
-        impl.weight_bytes += (w.w_size + w.u_size + w.bias_size) * 4;
-      }
-    }
-    impl.layers.push_back(std::move(w));
-  }
+  impl.model = std::make_shared<inference::SharedModel>(
+      impl.meta, impl.device, /*num_workers=*/1, kDefaultVectorSize);
+  INDBML_RETURN_NOT_OK(impl.model->BuildFromModel(model));
   return session;
 }
 
@@ -163,107 +56,37 @@ int64_t Session::output_dim() const { return impl_->meta.output_dim(); }
 device::Device* Session::device() const { return impl_->device; }
 
 int64_t Session::MemoryBytes() const {
-  return impl_->weight_bytes +
-         (impl_->capacity * impl_->max_units * (impl_->has_lstm ? 10 : 3) +
-          impl_->x_capacity) *
-             4;
+  return impl_->model->DeviceBytes() +
+         static_cast<int64_t>((impl_->input_t.capacity() +
+                               impl_->output_t.capacity()) *
+                              sizeof(float));
 }
 
 Status Session::Run(const float* input, int64_t n, float* output) {
   Impl& impl = *impl_;
   const nn::ModelMeta& meta = impl.meta;
   if (n <= 0) return Status::OK();
-  impl.EnsureCapacity(n);
-  impl.EnsureInputCapacity(n * meta.input_width());
-  impl.device->CopyToDevice(impl.x_dev, input, n * meta.input_width());
+  const int64_t d = meta.input_width();
+  const int64_t o = meta.output_dim();
 
-  const float* current = impl.x_dev;
-  int64_t current_dim = meta.input_width();
-  float* front = impl.ping;
-  float* back = impl.pong;
-
-  for (size_t li = 0; li < meta.layers.size(); ++li) {
-    const nn::LayerMeta& layer = meta.layers[li];
-    if (layer.kind == LayerKind::kDense) {
-      // out[n x u] = in[n x d] * W[d x u] + broadcast bias
-      impl.device->Gemm(false, false, n, layer.units, current_dim, 1.0f, current,
-                        current_dim, impl.layers[li].w[0], layer.units, 0.0f, front,
-                        layer.units);
-      impl.device->BiasRowAdd(n, layer.units, impl.layers[li].bias[0], front);
-      impl.device->Activate(layer.activation, n * layer.units, front);
-    } else if (layer.kind == LayerKind::kGru) {
-      const int64_t units = layer.units;
-      const int64_t f = layer.input_dim;
-      const int64_t m = n * units;
-      for (int64_t t = 0; t < meta.timesteps; ++t) {
-        const float* x_t = current + t * f;
-        for (int g = 0; g < nn::kNumGruGates; ++g) {
-          impl.device->Gemm(false, false, n, units, f, 1.0f, x_t, current_dim,
-                            impl.layers[li].w[g], units, 0.0f, impl.z[g], units);
-          impl.device->BiasRowAdd(n, units, impl.layers[li].bias[g], impl.z[g]);
-        }
-        if (t > 0) {
-          impl.device->Gemm(false, false, n, units, units, 1.0f, impl.h, units,
-                            impl.layers[li].u[nn::kGruZ], units, 1.0f,
-                            impl.z[nn::kGruZ], units);
-          impl.device->Gemm(false, false, n, units, units, 1.0f, impl.h, units,
-                            impl.layers[li].u[nn::kGruR], units, 1.0f,
-                            impl.z[nn::kGruR], units);
-        }
-        impl.device->Activate(nn::Activation::kSigmoid, m, impl.z[nn::kGruZ]);
-        impl.device->Activate(nn::Activation::kSigmoid, m, impl.z[nn::kGruR]);
-        if (t > 0) {
-          // candidate input: (r * h_prev) U_h
-          impl.device->EwMul(m, impl.z[nn::kGruR], impl.h, impl.tmp);
-          impl.device->Gemm(false, false, n, units, units, 1.0f, impl.tmp, units,
-                            impl.layers[li].u[nn::kGruH], units, 1.0f,
-                            impl.z[nn::kGruH], units);
-        }
-        impl.device->Activate(nn::Activation::kTanh, m, impl.z[nn::kGruH]);
-        // h' = z * h_prev + (1 - z) * h~ (handcrafted combine kernel).
-        impl.device->GruCombine(m, impl.z[nn::kGruZ], t > 0 ? impl.h : nullptr,
-                                impl.z[nn::kGruH], impl.h);
-      }
-      impl.device->CopyOnDevice(front, impl.h, m);
-    } else {
-      const int64_t units = layer.units;
-      const int64_t f = layer.input_dim;
-      const int64_t m = n * units;
-      for (int64_t t = 0; t < meta.timesteps; ++t) {
-        // x_t: columns [t*f, (t+1)*f) of the row-major input.
-        const float* x_t = current + t * f;
-        for (int g = 0; g < nn::kNumGates; ++g) {
-          impl.device->Gemm(false, false, n, units, f, 1.0f, x_t, current_dim,
-                            impl.layers[li].w[g], units, 0.0f, impl.z[g], units);
-          impl.device->BiasRowAdd(n, units, impl.layers[li].bias[g], impl.z[g]);
-          if (t > 0) {
-            impl.device->Gemm(false, false, n, units, units, 1.0f, impl.h, units,
-                              impl.layers[li].u[g], units, 1.0f, impl.z[g], units);
-          }
-        }
-        impl.device->Activate(nn::Activation::kSigmoid, m, impl.z[nn::kGateI]);
-        impl.device->Activate(nn::Activation::kSigmoid, m, impl.z[nn::kGateF]);
-        impl.device->Activate(nn::Activation::kTanh, m, impl.z[nn::kGateC]);
-        impl.device->Activate(nn::Activation::kSigmoid, m, impl.z[nn::kGateO]);
-        impl.device->EwMul(m, impl.z[nn::kGateI], impl.z[nn::kGateC], impl.tmp);
-        if (t > 0) {
-          impl.device->EwMul(m, impl.z[nn::kGateF], impl.c, impl.c);
-          impl.device->EwAdd(m, impl.c, impl.tmp, impl.c);
-        } else {
-          impl.device->CopyOnDevice(impl.c, impl.tmp, m);
-        }
-        impl.device->CopyOnDevice(impl.h, impl.c, m);
-        impl.device->Activate(nn::Activation::kTanh, m, impl.h);
-        impl.device->EwMul(m, impl.z[nn::kGateO], impl.h, impl.h);
-      }
-      impl.device->CopyOnDevice(front, impl.h, m);
+  // Layout tax in: row-major [n x d] → feature-major [d x n].
+  impl.input_t.resize(static_cast<size_t>(d * n));
+  impl.output_t.resize(static_cast<size_t>(o * n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t f = 0; f < d; ++f) {
+      impl.input_t[static_cast<size_t>(f * n + i)] = input[i * d + f];
     }
-    current = front;
-    current_dim = layer.units;
-    std::swap(front, back);
   }
 
-  impl.device->CopyToHost(output, current, n * meta.output_dim());
+  INDBML_RETURN_NOT_OK(inference::InferenceRuntime::Global().Run(
+      *impl.model, impl.input_t.data(), n, impl.output_t.data()));
+
+  // Layout tax out: feature-major [o x n] → row-major [n x o].
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t p = 0; p < o; ++p) {
+      output[i * o + p] = impl.output_t[static_cast<size_t>(p * n + i)];
+    }
+  }
   return Status::OK();
 }
 

@@ -11,53 +11,19 @@
 
 namespace indbml::modeljoin {
 
-using nn::LayerKind;
-using nn::LayerMeta;
-
-/// Device buffers reused across Next() calls: the input matrix, two
-/// ping-pong activation buffers sized for the widest layer, and the LSTM
-/// gate/state buffers.
-struct ModelJoinOperator::Scratch {
-  device::Device* device = nullptr;
-  int64_t vs = 0;
-  int64_t input_width = 0;
-  int64_t max_units = 0;
-  bool has_lstm = false;
-
-  float* x = nullptr;        ///< [input_width x vs]
-  float* a = nullptr;        ///< [max_units x vs]
-  float* b = nullptr;        ///< [max_units x vs]
-  float* z[nn::kNumGates] = {nullptr, nullptr, nullptr, nullptr};
-  float* h = nullptr;
-  float* c = nullptr;
-  float* tmp = nullptr;
-  std::vector<float> host_staging;  ///< column gather/scatter buffer
-
-  ~Scratch() {
-    if (device == nullptr) return;
-    device->Free(x, input_width * vs);
-    device->Free(a, max_units * vs);
-    device->Free(b, max_units * vs);
-    if (has_lstm) {
-      for (auto& g : z) device->Free(g, max_units * vs);
-      device->Free(h, max_units * vs);
-      device->Free(c, max_units * vs);
-      device->Free(tmp, max_units * vs);
-    }
-  }
-};
-
 ModelJoinOperator::ModelJoinOperator(exec::OperatorPtr child,
                                      std::shared_ptr<SharedModel> model,
                                      storage::TablePtr model_table,
                                      std::vector<int> input_column_indexes,
                                      std::vector<std::string> prediction_names,
-                                     int worker)
+                                     int worker,
+                                     inference::InferenceOptions inference)
     : child_(std::move(child)),
       model_(std::move(model)),
       model_table_(std::move(model_table)),
       input_columns_(std::move(input_column_indexes)),
       worker_(worker),
+      inference_(inference),
       rows_metric_(metrics::Registry::Global().counter("modeljoin.rows")),
       build_micros_metric_(
           metrics::Registry::Global().histogram("modeljoin.build_micros")),
@@ -93,178 +59,13 @@ Status ModelJoinOperator::Open(exec::ExecContext* ctx) {
     if (ctx->active_stats != nullptr) ctx->active_stats->AddPhase("build", nanos);
   }
 
-  // Allocate inference scratch.
+  // Host staging for one vector of rows.
   const nn::ModelMeta& meta = model_->meta();
-  scratch_ = std::make_unique<Scratch>();
-  scratch_->device = model_->device();
-  scratch_->vs = model_->vector_size();
-  scratch_->input_width = std::max<int64_t>(1, meta.input_width());
-  int64_t max_units = 1;
-  for (const LayerMeta& layer : meta.layers) {
-    max_units = std::max(max_units, layer.units);
-    if (layer.kind != LayerKind::kDense) scratch_->has_lstm = true;
-  }
-  scratch_->max_units = max_units;
-  device::Device* device = scratch_->device;
-  scratch_->x = device->Allocate(scratch_->input_width * scratch_->vs);
-  scratch_->a = device->Allocate(max_units * scratch_->vs);
-  scratch_->b = device->Allocate(max_units * scratch_->vs);
-  if (scratch_->has_lstm) {
-    for (auto& g : scratch_->z) g = device->Allocate(max_units * scratch_->vs);
-    scratch_->h = device->Allocate(max_units * scratch_->vs);
-    scratch_->c = device->Allocate(max_units * scratch_->vs);
-    scratch_->tmp = device->Allocate(max_units * scratch_->vs);
-  }
-  scratch_->host_staging.resize(static_cast<size_t>(scratch_->vs));
+  const int64_t vs = model_->vector_size();
+  input_staging_.resize(
+      static_cast<size_t>(std::max<int64_t>(1, meta.input_width()) * vs));
+  output_staging_.resize(static_cast<size_t>(meta.output_dim() * vs));
   opened_ = true;
-  return Status::OK();
-}
-
-void ModelJoinOperator::DenseForward(size_t li, const float* x, int64_t in_dim,
-                                     int64_t n, float* z) {
-  const LayerMeta& layer = model_->meta().layers[li];
-  device::Device* device = scratch_->device;
-  // Bias first (the replicated bias matrix is [units x vectorsize]; copy
-  // the first n columns of each row).
-  if (n == scratch_->vs) {
-    device->CopyOnDevice(z, model_->dense_bias_matrix(li), layer.units * n);
-  } else {
-    for (int64_t u = 0; u < layer.units; ++u) {
-      device->CopyOnDevice(z + u * n,
-                           model_->dense_bias_matrix(li) + u * scratch_->vs, n);
-    }
-  }
-  // z += W[units x in] * x[in x n]
-  device->Gemm(false, false, layer.units, n, in_dim, 1.0f, model_->dense_kernel(li),
-               in_dim, x, n, 1.0f, z, n);
-  device->Activate(layer.activation, layer.units * n, z);
-}
-
-void ModelJoinOperator::LstmForward(size_t li, const float* x, int64_t n,
-                                    float* h_out) {
-  const LayerMeta& layer = model_->meta().layers[li];
-  const nn::ModelMeta& meta = model_->meta();
-  device::Device* device = scratch_->device;
-  const int64_t units = layer.units;
-  const int64_t f = layer.input_dim;  // 1 (univariate)
-  const int64_t m = units * n;
-  float* h = scratch_->h;
-  float* c = scratch_->c;
-  float* tmp = scratch_->tmp;
-
-  for (int64_t t = 0; t < meta.timesteps; ++t) {
-    const float* x_t = x + t * f * n;  // rows [t*f, (t+1)*f) of the input
-    for (int g = 0; g < nn::kNumGates; ++g) {
-      float* z = scratch_->z[g];
-      // z = bias matrix
-      if (n == scratch_->vs) {
-        device->CopyOnDevice(z, model_->lstm_bias_matrix(li, g), m);
-      } else {
-        for (int64_t u = 0; u < units; ++u) {
-          device->CopyOnDevice(z + u * n,
-                               model_->lstm_bias_matrix(li, g) + u * scratch_->vs, n);
-        }
-      }
-      // z += W_g[units x f] * x_t[f x n]
-      device->Gemm(false, false, units, n, f, 1.0f, model_->lstm_kernel(li, g), f,
-                   x_t, n, 1.0f, z, n);
-      if (t > 0) {
-        // z += U_g[units x units] * h[units x n]
-        device->Gemm(false, false, units, n, units, 1.0f,
-                     model_->lstm_recurrent(li, g), units, h, n, 1.0f, z, n);
-      }
-    }
-    device->Activate(nn::Activation::kSigmoid, m, scratch_->z[nn::kGateI]);
-    device->Activate(nn::Activation::kSigmoid, m, scratch_->z[nn::kGateF]);
-    device->Activate(nn::Activation::kTanh, m, scratch_->z[nn::kGateC]);
-    device->Activate(nn::Activation::kSigmoid, m, scratch_->z[nn::kGateO]);
-
-    // c = (t > 0 ? f_gate * c : 0) + i_gate * c~
-    device->EwMul(m, scratch_->z[nn::kGateI], scratch_->z[nn::kGateC], tmp);
-    if (t > 0) {
-      device->EwMul(m, scratch_->z[nn::kGateF], c, c);
-      device->EwAdd(m, c, tmp, c);
-    } else {
-      device->CopyOnDevice(c, tmp, m);
-    }
-    // h = o_gate * tanh(c)
-    device->CopyOnDevice(h, c, m);
-    device->Activate(nn::Activation::kTanh, m, h);
-    device->EwMul(m, scratch_->z[nn::kGateO], h, h);
-  }
-  if (h_out != h) device->CopyOnDevice(h_out, h, m);
-}
-
-void ModelJoinOperator::GruForward(size_t li, const float* x, int64_t n,
-                                   float* h_out) {
-  const LayerMeta& layer = model_->meta().layers[li];
-  const nn::ModelMeta& meta = model_->meta();
-  device::Device* device = scratch_->device;
-  const int64_t units = layer.units;
-  const int64_t f = layer.input_dim;  // 1 (univariate)
-  const int64_t m = units * n;
-  float* h = scratch_->h;
-  float* tmp = scratch_->tmp;
-
-  for (int64_t t = 0; t < meta.timesteps; ++t) {
-    const float* x_t = x + t * f * n;
-    for (int g = 0; g < nn::kNumGruGates; ++g) {
-      float* z = scratch_->z[g];
-      if (n == scratch_->vs) {
-        device->CopyOnDevice(z, model_->lstm_bias_matrix(li, g), m);
-      } else {
-        for (int64_t u = 0; u < units; ++u) {
-          device->CopyOnDevice(z + u * n,
-                               model_->lstm_bias_matrix(li, g) + u * scratch_->vs, n);
-        }
-      }
-      device->Gemm(false, false, units, n, f, 1.0f, model_->lstm_kernel(li, g), f,
-                   x_t, n, 1.0f, z, n);
-    }
-    if (t > 0) {
-      device->Gemm(false, false, units, n, units, 1.0f,
-                   model_->lstm_recurrent(li, nn::kGruZ), units, h, n, 1.0f,
-                   scratch_->z[nn::kGruZ], n);
-      device->Gemm(false, false, units, n, units, 1.0f,
-                   model_->lstm_recurrent(li, nn::kGruR), units, h, n, 1.0f,
-                   scratch_->z[nn::kGruR], n);
-    }
-    device->Activate(nn::Activation::kSigmoid, m, scratch_->z[nn::kGruZ]);
-    device->Activate(nn::Activation::kSigmoid, m, scratch_->z[nn::kGruR]);
-    if (t > 0) {
-      // Candidate input: U_h * (r * h_prev).
-      device->EwMul(m, scratch_->z[nn::kGruR], h, tmp);
-      device->Gemm(false, false, units, n, units, 1.0f,
-                   model_->lstm_recurrent(li, nn::kGruH), units, tmp, n, 1.0f,
-                   scratch_->z[nn::kGruH], n);
-    }
-    device->Activate(nn::Activation::kTanh, m, scratch_->z[nn::kGruH]);
-    device->GruCombine(m, scratch_->z[nn::kGruZ], t > 0 ? h : nullptr,
-                       scratch_->z[nn::kGruH], h);
-  }
-  if (h_out != h) device->CopyOnDevice(h_out, h, m);
-}
-
-Status ModelJoinOperator::Infer(const float* x, int64_t n, const float** result) {
-  const nn::ModelMeta& meta = model_->meta();
-  const float* current = x;
-  int64_t current_dim = meta.input_width();
-  float* front = scratch_->a;
-  float* back = scratch_->b;
-  for (size_t li = 0; li < meta.layers.size(); ++li) {
-    const LayerMeta& layer = meta.layers[li];
-    if (layer.kind == LayerKind::kLstm) {
-      LstmForward(li, current, n, front);
-    } else if (layer.kind == LayerKind::kGru) {
-      GruForward(li, current, n, front);
-    } else {
-      DenseForward(li, current, current_dim, n, front);
-    }
-    current = front;
-    current_dim = layer.units;
-    std::swap(front, back);
-  }
-  *result = current;
   return Status::OK();
 }
 
@@ -278,37 +79,35 @@ Status ModelJoinOperator::Next(exec::ExecContext* ctx, exec::DataChunk* out,
   if (n == 0) {
     return Status::OK();
   }
-  device::Device* device = scratch_->device;
   const nn::ModelMeta& meta = model_->meta();
 
-  // Input conversion (§5.3): one contiguous transfer per input column into
-  // the transposed input matrix.
+  // Input conversion (§5.3): one contiguous copy per input column into the
+  // feature-major staging matrix.
   Stopwatch phase_watch;
   for (size_t ci = 0; ci < input_columns_.size(); ++ci) {
     const exec::Vector& col = in.column(input_columns_[ci]);
-    const float* src;
+    float* dst = input_staging_.data() + static_cast<int64_t>(ci) * n;
     if (col.type() == exec::DataType::kFloat && !col.has_selection()) {
-      // Flat float column (possibly a zero-copy view over table storage):
-      // transfer straight from the column's window, no staging copy.
-      src = col.floats();
+      // Flat float column (possibly a zero-copy view over table storage).
+      std::memcpy(dst, col.floats(), static_cast<size_t>(n) * sizeof(float));
     } else {
       // Selected or non-float columns: typed gather through the selection
-      // vector into the staging buffer — one indexed load per row, no
-      // per-row Value boxing.
-      exec::GatherToFloat(col, scratch_->host_staging.data());
-      src = scratch_->host_staging.data();
+      // vector — one indexed load per row, no per-row Value boxing.
+      exec::GatherToFloat(col, dst);
     }
-    device->CopyToDevice(scratch_->x + static_cast<int64_t>(ci) * n, src, n);
   }
-
   int64_t convert_nanos = phase_watch.ElapsedNanos();
 
-  const float* predictions = nullptr;
+  // The forward pass lives in src/inference; the batcher adds the result
+  // cache and cross-query coalescing in front of it.
+  inference::InferenceCallStats call_stats;
   int64_t infer_nanos;
   {
     trace::Span span("modeljoin.infer");
     phase_watch.Restart();
-    INDBML_RETURN_NOT_OK(Infer(scratch_->x, n, &predictions));
+    INDBML_RETURN_NOT_OK(inference::InferenceBatcher::Global().Run(
+        model_, input_staging_.data(), n, output_staging_.data(), inference_,
+        ctx->interrupt, &call_stats));
     infer_nanos = phase_watch.ElapsedNanos();
   }
 
@@ -316,13 +115,14 @@ Status ModelJoinOperator::Next(exec::ExecContext* ctx, exec::DataChunk* out,
   for (int64_t c = 0; c < child_width; ++c) {
     out->column(c) = std::move(in.column(c));
   }
-  // Output conversion: one contiguous transfer per prediction column.
+  // Output conversion: one contiguous copy per prediction column.
   phase_watch.Restart();
   int64_t out_dim = meta.output_dim();
   for (int64_t p = 0; p < out_dim; ++p) {
     exec::Vector& col = out->column(child_width + p);
     col.Resize(n);
-    device->CopyToHost(col.floats(), predictions + p * n, n);
+    std::memcpy(col.floats(), output_staging_.data() + p * n,
+                static_cast<size_t>(n) * sizeof(float));
   }
   convert_nanos += phase_watch.ElapsedNanos();
   out->size = n;
@@ -332,14 +132,24 @@ Status ModelJoinOperator::Next(exec::ExecContext* ctx, exec::DataChunk* out,
   infer_micros_metric_->Record(infer_nanos / 1000);
   if (ctx->active_stats != nullptr) {
     ctx->active_stats->AddPhase("convert", convert_nanos);
-    ctx->active_stats->AddPhase("inference", infer_nanos);
+    // Split the inference time so EXPLAIN ANALYZE shows how much of it was
+    // spent waiting for batch partners vs. running the NN.
+    const int64_t wait_nanos =
+        std::min(infer_nanos, call_stats.wait_micros * 1000);
+    if (wait_nanos > 0) {
+      ctx->active_stats->AddPhase("batch_wait", wait_nanos);
+    }
+    ctx->active_stats->AddPhase("inference", infer_nanos - wait_nanos);
   }
   return Status::OK();
 }
 
 void ModelJoinOperator::Close(exec::ExecContext* ctx) {
   child_->Close(ctx);
-  scratch_.reset();
+  input_staging_.clear();
+  input_staging_.shrink_to_fit();
+  output_staging_.clear();
+  output_staging_.shrink_to_fit();
 }
 
 }  // namespace indbml::modeljoin

@@ -7,6 +7,7 @@
 
 #include "common/metrics.h"
 #include "exec/operator.h"
+#include "inference/batcher.h"
 #include "modeljoin/shared_model.h"
 
 namespace indbml::modeljoin {
@@ -15,18 +16,20 @@ namespace indbml::modeljoin {
 ///
 /// Volcano-style two-phase join: Open() runs this worker's share of the
 /// parallel model build (blocking until the shared model is complete);
-/// Next() pulls a chunk from the input flow, converts the input columns
-/// into a transposed [input_width x vectorsize] device matrix (one
-/// contiguous copy per column, §5.3), runs the vectorized layer-forward
-/// functions on the device (§5.4) and appends the prediction columns to the
-/// pass-through child columns. The operator is fully pipelined — not a
-/// pipeline breaker (§5.4).
+/// Next() pulls a chunk from the input flow, gathers the input columns into
+/// a feature-major staging matrix (one contiguous copy per column, §5.3),
+/// hands it to the shared inference path — InferenceBatcher (cache +
+/// cross-query coalescing) in front of InferenceRuntime, which owns the
+/// forward-pass math this operator used to carry — and appends the
+/// prediction columns to the pass-through child columns. The operator is
+/// fully pipelined — not a pipeline breaker (§5.4).
 class ModelJoinOperator final : public exec::Operator {
  public:
   ModelJoinOperator(exec::OperatorPtr child, std::shared_ptr<SharedModel> model,
                     storage::TablePtr model_table,
                     std::vector<int> input_column_indexes,
-                    std::vector<std::string> prediction_names, int worker);
+                    std::vector<std::string> prediction_names, int worker,
+                    inference::InferenceOptions inference = {});
   ~ModelJoinOperator() override;
 
   const std::vector<exec::DataType>& output_types() const override { return types_; }
@@ -41,18 +44,6 @@ class ModelJoinOperator final : public exec::Operator {
   bool MorselDriven() const override { return child_->MorselDriven(); }
 
  private:
-  /// Runs the model on the device input matrix `x` ([input_width x n],
-  /// transposed layout); returns the device buffer holding the final
-  /// [output_dim x n] activations (owned by scratch_).
-  Status Infer(const float* x, int64_t n, const float** result);
-
-  /// Dense layer forward: z = W * x + bias_matrix; activation in place.
-  void DenseForward(size_t li, const float* x, int64_t in_dim, int64_t n, float* z);
-  /// LSTM layer forward over all time steps (paper Listing 5).
-  void LstmForward(size_t li, const float* x, int64_t n, float* h_out);
-  /// GRU layer forward over all time steps (§2 extension).
-  void GruForward(size_t li, const float* x, int64_t n, float* h_out);
-
   exec::OperatorPtr child_;
   std::shared_ptr<SharedModel> model_;
   storage::TablePtr model_table_;
@@ -60,12 +51,14 @@ class ModelJoinOperator final : public exec::Operator {
   std::vector<exec::DataType> types_;
   std::vector<std::string> names_;
   int worker_;
+  inference::InferenceOptions inference_;
   exec::DataChunk in_;  ///< reused input buffer (no per-batch reallocation)
 
-  /// Device scratch buffers sized for one vector (allocated in Open,
-  /// released in Close / destructor).
-  struct Scratch;
-  std::unique_ptr<Scratch> scratch_;
+  /// Host staging for one chunk: the feature-major [input_width x n] input
+  /// matrix and the [output_dim x n] predictions (allocated in Open,
+  /// released in Close).
+  std::vector<float> input_staging_;
+  std::vector<float> output_staging_;
   bool opened_ = false;
 
   /// Process-wide metrics, resolved once in the constructor so per-chunk

@@ -40,10 +40,16 @@ void RegisterNativeModelJoin(sql::QueryEngine* engine, DeviceProvider provider) 
   sql::ModelJoinOperatorFactory operator_factory =
       [](sql::ModelJoinPhysicalArgs args) -> Result<exec::OperatorPtr> {
     auto model = std::static_pointer_cast<SharedModel>(args.shared_state);
+    // The SQL layer carries the knobs as a plain struct (it sits below
+    // src/inference in the include layering); convert at this boundary.
+    inference::InferenceOptions inference;
+    inference.batch_window_us = args.inference.batch_window_us;
+    inference.max_batch_rows = args.inference.max_batch_rows;
+    inference.use_cache = args.inference.result_cache;
     return exec::OperatorPtr(std::make_unique<ModelJoinOperator>(
         std::move(args.child), std::move(model), std::move(args.model_table),
         std::move(args.input_column_indexes), std::move(args.prediction_names),
-        args.worker));
+        args.worker, inference));
   };
 
   engine->SetModelJoinFactories(std::move(state_factory),

@@ -1,47 +1,17 @@
 #ifndef INDBML_MODELJOIN_VALIDATE_H_
 #define INDBML_MODELJOIN_VALIDATE_H_
 
-#include <string>
-
-#include "common/status.h"
-#include "nn/model_meta.h"
-#include "storage/table.h"
+#include "inference/validate.h"
 
 namespace indbml::modeljoin {
 
-/// Summary of a validated model table.
-struct ModelTableReport {
-  int64_t input_edges = 0;
-  int64_t dense_edges = 0;
-  int64_t lstm_kernel_edges = 0;
-  int64_t lstm_recurrent_edges = 0;
-  bool sorted = false;
-};
+/// Model-table validation moved to the inference layer together with the
+/// SharedModel it checks (src/inference/validate.h); aliases keep the
+/// historical spelling for callers and tests.
+using ModelTableReport = inference::ModelTableReport;
 
-/// \brief Sanity-checks a relational model table against registered model
-/// metadata (paper §5.5: "Making the DBMS aware that a table is a model
-/// additionally enables ... sanity checks").
-///
-/// Verifies: the unique-node-id schema (14 columns), node ids within the
-/// layout implied by `meta`, exactly one kernel weight per dense edge pair,
-/// complete edge counts per layer (a dense layer of m x n needs m*n edges;
-/// an LSTM layer f*u kernel + u*u recurrent edges), and consistent
-/// replicated biases. Returns a report on success, a descriptive error on
-/// the first violation.
-Result<ModelTableReport> ValidateModelTable(const storage::Table& table,
-                                            const nn::ModelMeta& meta);
-
-class SharedModel;
-
-/// \brief Shape invariants of a built SharedModel, asserted at build-phase
-/// exit under `INDBML_VALIDATE=1` (see common/validation.h).
-///
-/// Verifies the layer dimension chain (each layer's input_dim equals the
-/// previous layer's units), the transposed-weight extents ([units x
-/// input_dim] kernels, [units x units] recurrent weights), and that every
-/// row of the replicated [units x vectorsize] bias matrices holds the
-/// layer's bias constant (§5.4).
-Status ValidateSharedModelShape(const SharedModel& model);
+using inference::ValidateModelTable;
+using inference::ValidateSharedModelShape;
 
 }  // namespace indbml::modeljoin
 

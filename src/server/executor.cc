@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "inference/batcher.h"
 
 namespace indbml::server {
 
@@ -36,6 +37,10 @@ void QueryHandle::Cancel() {
   // The cancellation token is wired straight to the morsel source: workers
   // observe the abort at their next claim and stop mid-query.
   source_.Abort();
+  // A worker blocked inside the inference batcher's coalescing wait is not
+  // claiming morsels; kick it so it re-checks the flag (ExecContext's
+  // interrupt points at cancelled_) and returns promptly.
+  inference::InferenceBatcher::Global().KickWaiters();
   metrics::Registry::Global().counter("server.cancellations")->Increment();
 }
 
@@ -194,6 +199,7 @@ void SharedExecutor::RunDispatch(Dispatch* d) {
     exec::ExecContext ctx;
     ctx.catalog = job->spec_.catalog;
     ctx.worker_id = 0;
+    ctx.interrupt = &job->cancelled_;
     auto result = exec::DrainOperator(op.ValueOrDie().get(), &ctx);
     if (!result.ok()) {
       job->errors_.Record(result.status());
@@ -212,6 +218,7 @@ void SharedExecutor::RunDispatch(Dispatch* d) {
     slot = std::make_unique<QueryHandle::Instance>();
     slot->ctx.catalog = job->spec_.catalog;
     slot->ctx.worker_id = d->instance;
+    slot->ctx.interrupt = &job->cancelled_;
     Result<exec::OperatorPtr> op = job->spec_.factory(d->instance);
     if (!op.ok()) {
       job->errors_.Record(op.status());

@@ -1,5 +1,7 @@
 #include "server/server.h"
 
+#include "inference/cache.h"
+
 namespace indbml::server {
 
 namespace {
@@ -21,6 +23,10 @@ QueryServer::QueryServer(const Options& options)
   if (options_.enable_plan_cache && options_.plan_cache_capacity > 0) {
     plan_cache_ = std::make_unique<PlanCache>(options_.plan_cache_capacity);
   }
+  // The inference result cache is process-wide (predictions are keyed by
+  // model instance, not by server), so the server merely sizes it.
+  inference::InferenceCache::Global().set_capacity_bytes(
+      options_.inference_cache_mb << 20);
 }
 
 std::unique_ptr<Session> QueryServer::CreateSession() {

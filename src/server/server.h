@@ -32,6 +32,16 @@ class QueryServer {
       // Serving default: concurrent queries over the same model share one
       // build through the registry (flip off to measure per-query builds).
       engine.shared_models = true;
+      // Serving default: inference requests coalesce across queries and
+      // memoize per-tuple predictions — the paper's small-per-query-batch
+      // problem is a serving problem, so the knobs default on here and off
+      // in the bare engine. batch_window_us trades per-chunk latency for
+      // batch partners; 100µs is far below per-query wall times at CI
+      // scale while long enough for concurrently scheduled morsels to
+      // meet.
+      engine.inference.batch_window_us = 100;
+      engine.inference.max_batch_rows = 4096;
+      engine.inference.result_cache = true;
     }
     /// Default options inherited by new sessions (and applied to the
     /// embedded engine).
@@ -45,6 +55,9 @@ class QueryServer {
     /// Cached prepared statements; 0 disables the plan cache.
     int64_t plan_cache_capacity = 64;
     bool enable_plan_cache = true;
+    /// LRU bound of the process-wide inference result cache (keys +
+    /// values). 0 disables memoization even if sessions request it.
+    int64_t inference_cache_mb = 32;
   };
 
   QueryServer() : QueryServer(Options()) {}

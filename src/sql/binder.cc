@@ -11,22 +11,37 @@ using exec::Expr;
 using exec::ExprPtr;
 
 void ModelMetaRegistry::Register(nn::ModelMeta meta) {
-  metas_[ToLower(meta.name)] = std::move(meta);
+  std::function<void()> on_mutate;
+  {
+    MutexLock lock(mu_);
+    metas_[ToLower(meta.name)] = std::move(meta);
+    on_mutate = on_mutate_;
+  }
+  // Outside the lock: the callback bumps the catalog version, and callers
+  // of Get must never block on it.
+  if (on_mutate) on_mutate();
 }
 
-Result<const nn::ModelMeta*> ModelMetaRegistry::Get(const std::string& name) const {
+Result<nn::ModelMeta> ModelMetaRegistry::Get(const std::string& name) const {
+  MutexLock lock(mu_);
   auto it = metas_.find(ToLower(name));
   if (it == metas_.end()) {
     return Status::NotFound("model '" + name + "' is not registered");
   }
-  return &it->second;
+  return it->second;
 }
 
 std::vector<std::string> ModelMetaRegistry::ListModels() const {
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   for (const auto& [k, v] : metas_) names.push_back(v.name);
   std::sort(names.begin(), names.end());
   return names;
+}
+
+void ModelMetaRegistry::SetMutationCallback(std::function<void()> callback) {
+  MutexLock lock(mu_);
+  on_mutate_ = std::move(callback);
 }
 
 bool ContainsAggregate(const ParsedExpr& e) {
@@ -285,12 +300,11 @@ Result<LogicalOpPtr> Binder::BindFrom(const TableRef& ref, Scope* scope) {
       INDBML_ASSIGN_OR_RETURN(auto input, BindFrom(*ref.left, scope));
       INDBML_ASSIGN_OR_RETURN(storage::TablePtr model_table,
                               catalog_->GetTable(ref.model_table));
-      INDBML_ASSIGN_OR_RETURN(const nn::ModelMeta* meta,
-                              models_->Get(ref.model_name));
+      INDBML_ASSIGN_OR_RETURN(nn::ModelMeta meta, models_->Get(ref.model_name));
       auto op = std::make_unique<LogicalOp>();
       op->kind = LogicalKind::kModelJoin;
       op->modeljoin.model_table = model_table;
-      op->modeljoin.meta = *meta;
+      op->modeljoin.meta = meta;
       op->modeljoin.device = ref.device;
 
       // Resolve the model's input columns from the child outputs.
@@ -316,15 +330,15 @@ Result<LogicalOpPtr> Binder::BindFrom(const TableRef& ref, Scope* scope) {
         }
       }
       if (static_cast<int64_t>(op->modeljoin.input_column_ids.size()) !=
-          meta->input_width()) {
+          meta.input_width()) {
         return Status::BindError(StrFormat(
             "model '%s' expects %lld input columns, ModelJoin received %zu",
-            meta->name.c_str(), static_cast<long long>(meta->input_width()),
+            meta.name.c_str(), static_cast<long long>(meta.input_width()),
             op->modeljoin.input_column_ids.size()));
       }
 
       op->outputs = input->outputs;
-      int64_t out_dim = meta->output_dim();
+      int64_t out_dim = meta.output_dim();
       for (int64_t i = 0; i < out_dim; ++i) {
         BoundColumn col;
         col.id = NextId();

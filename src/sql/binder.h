@@ -1,12 +1,15 @@
 #ifndef INDBML_SQL_BINDER_H_
 #define INDBML_SQL_BINDER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "sql/ast.h"
 #include "sql/logical_plan.h"
 
@@ -15,14 +18,27 @@ namespace indbml::sql {
 /// Registry of model metadata referenced by `USING MODEL '<name>'`
 /// (paper §5.5: the model's layer dimensions/types/activations, which a
 /// production system would keep in the catalog).
+///
+/// Thread-safe: a DEPLOY re-registering a model races concurrent binds in
+/// the serving stack, so Get returns a by-value snapshot (a pointer into
+/// the map would dangle across a concurrent Register). Every mutation runs
+/// the mutation callback — QueryEngine wires it to the catalog version
+/// bump, which is what makes cached plans bound against the old model
+/// version re-resolve (server/plan_cache.h keys on catalog version).
 class ModelMetaRegistry {
  public:
-  void Register(nn::ModelMeta meta);
-  Result<const nn::ModelMeta*> Get(const std::string& name) const;
-  std::vector<std::string> ListModels() const;
+  void Register(nn::ModelMeta meta) INDBML_EXCLUDES(mu_);
+  Result<nn::ModelMeta> Get(const std::string& name) const INDBML_EXCLUDES(mu_);
+  std::vector<std::string> ListModels() const INDBML_EXCLUDES(mu_);
+
+  /// Invoked (outside the registry lock) after every Register. At most one
+  /// callback; set by the owning QueryEngine before first use.
+  void SetMutationCallback(std::function<void()> callback) INDBML_EXCLUDES(mu_);
 
  private:
-  std::unordered_map<std::string, nn::ModelMeta> metas_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, nn::ModelMeta> metas_ INDBML_GUARDED_BY(mu_);
+  std::function<void()> on_mutate_ INDBML_GUARDED_BY(mu_);
 };
 
 /// \brief Resolves a parsed SELECT statement into a typed logical plan.

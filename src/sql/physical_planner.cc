@@ -60,7 +60,8 @@ PhysicalPlanner::PhysicalPlanner(const LogicalOp* plan, const PlanAnalysis& anal
                                  ModelJoinOperatorFactory operator_factory,
                                  exec::QueryProfile* profile, bool morsel_driven,
                                  bool zero_copy_scan, bool fused_pipeline,
-                                 bool shared_models)
+                                 bool shared_models,
+                                 InferenceExecOptions inference)
     : plan_(plan),
       analysis_(analysis),
       num_workers_(analysis.parallel_safe ? std::max(1, requested_workers) : 1),
@@ -69,6 +70,7 @@ PhysicalPlanner::PhysicalPlanner(const LogicalOp* plan, const PlanAnalysis& anal
       zero_copy_scan_(zero_copy_scan),
       fused_pipeline_(fused_pipeline),
       shared_models_(shared_models),
+      inference_(inference),
       state_factory_(std::move(state_factory)),
       operator_factory_(std::move(operator_factory)),
       profile_(profile) {}
@@ -343,6 +345,7 @@ Result<OperatorPtr> PhysicalPlanner::BuildNode(const LogicalOp& node, int worker
       args.shared_state = modeljoin_states_.at(&node);
       args.worker = worker;
       args.num_workers = num_workers_;
+      args.inference = inference_;
       return operator_factory_(std::move(args));
     }
   }

@@ -13,6 +13,20 @@
 
 namespace indbml::sql {
 
+/// Inference-path knobs carried through the planner into the ModelJoin
+/// operator factory. A plain struct (not inference::InferenceOptions): the
+/// SQL layer sits below src/inference in the include layering, so the
+/// modeljoin factory converts it at the boundary.
+struct InferenceExecOptions {
+  /// Cross-query coalescing window (µs) of the inference batcher; 0
+  /// disables batching (engine default — the serving server turns it on).
+  int64_t batch_window_us = 0;
+  /// Row bound per coalesced inference launch.
+  int64_t max_batch_rows = 4096;
+  /// Memoize per-tuple predictions in the inference result cache.
+  bool result_cache = false;
+};
+
 /// Everything the native ModelJoin operator implementation needs from the
 /// planner for one worker's instance.
 struct ModelJoinPhysicalArgs {
@@ -29,6 +43,8 @@ struct ModelJoinPhysicalArgs {
   std::shared_ptr<void> shared_state;
   int worker = 0;
   int num_workers = 1;
+  /// Batching/cache knobs for this query (QueryEngine::Options::inference).
+  InferenceExecOptions inference;
 };
 
 /// Everything the ModelJoin state factory needs to create (or look up) the
@@ -78,7 +94,8 @@ class PhysicalPlanner {
                   ModelJoinOperatorFactory operator_factory,
                   exec::QueryProfile* profile = nullptr,
                   bool morsel_driven = false, bool zero_copy_scan = true,
-                  bool fused_pipeline = true, bool shared_models = false);
+                  bool fused_pipeline = true, bool shared_models = false,
+                  InferenceExecOptions inference = {});
 
   /// Effective worker count (1 if the plan is not parallel-safe).
   int num_workers() const { return num_workers_; }
@@ -107,6 +124,7 @@ class PhysicalPlanner {
   bool zero_copy_scan_;
   bool fused_pipeline_;
   bool shared_models_;
+  InferenceExecOptions inference_;
   ModelJoinStateFactory state_factory_;
   ModelJoinOperatorFactory operator_factory_;
   exec::QueryProfile* profile_;

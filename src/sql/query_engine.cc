@@ -22,7 +22,12 @@ int WorkersFor(const QueryEngine::Options& opts) {
 
 QueryEngine::QueryEngine() : QueryEngine(Options()) {}
 
-QueryEngine::QueryEngine(Options options) : options_(options) {}
+QueryEngine::QueryEngine(Options options) : options_(options) {
+  // A model DEPLOY (Register) is a DDL-like mutation: bump the catalog
+  // version so cached plans bound against the old model metadata re-resolve
+  // (server/plan_cache.h keys on the version).
+  models_.SetMutationCallback([this] { catalog_.BumpVersion(); });
+}
 
 QueryEngine::~QueryEngine() = default;
 
@@ -86,7 +91,8 @@ Result<QueryEngine::PhysicalPrep> QueryEngine::PreparePhysical(
   prep.planner = std::make_unique<PhysicalPlanner>(
       &plan, prep.analysis, requested, modeljoin_state_factory_,
       modeljoin_operator_factory_, profile, prep.use_morsel,
-      opts.zero_copy_scan, opts.fused_pipeline, opts.shared_models);
+      opts.zero_copy_scan, opts.fused_pipeline, opts.shared_models,
+      opts.inference);
   INDBML_RETURN_NOT_OK(prep.planner->Prepare());
   if (prep.use_morsel && validation::Enabled()) {
     INDBML_RETURN_NOT_OK(ValidateMorselSafety(plan, prep.analysis));

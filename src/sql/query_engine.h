@@ -59,6 +59,11 @@ class QueryEngine {
     /// the paper's per-query build — the cost Figures 8/9 measure. Server
     /// sessions default this to true.
     bool shared_models = false;
+    /// Inference batching/cache knobs handed to the ModelJoin operators
+    /// (see InferenceExecOptions). Defaults leave batching and the result
+    /// cache off — single-query latency must not pay for a batch partner
+    /// that never comes; QueryServer::Options turns them on for serving.
+    InferenceExecOptions inference;
     OptimizerOptions optimizer;
   };
 

@@ -130,6 +130,12 @@ class Catalog {
   /// (server/plan_cache.h).
   int64_t version() const { return version_.load(std::memory_order_acquire); }
 
+  /// Explicit bump for DDL-like mutations that do not go through the table
+  /// map — a model DEPLOY re-registering metadata must invalidate cached
+  /// plans bound against the old model version (ModelMetaRegistry wires its
+  /// mutation callback here).
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_release); }
+
  private:
   mutable Mutex mu_;
   std::unordered_map<std::string, TablePtr> tables_ INDBML_GUARDED_BY(mu_);

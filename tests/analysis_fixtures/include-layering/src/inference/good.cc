@@ -1,0 +1,10 @@
+// Fixture: inference sits above device/storage/nn/common and must not see
+// the SQL front-end (the planner hands knobs down as a plain struct).
+#include "inference/runtime.h"
+#include "device/device.h"
+#include "storage/table.h"
+#include "nn/model.h"
+#include "common/status.h"
+#include "sql/planner.h"  // ^find
+
+namespace indbml {}

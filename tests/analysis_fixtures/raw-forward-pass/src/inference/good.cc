@@ -1,0 +1,12 @@
+// Fixture: the shared runtime is the one place above the kernel layers
+// allowed to issue GEMMs.
+#include "nn/blas.h"
+
+namespace indbml::inference {
+
+void DenseForward(float* w, float* x, float* y, Device* device) {
+  device->Gemm(false, false, 4, 4, 4, 1.0f, w, x, 1.0f, y);
+  blas::Sgemm(false, false, 4, 4, 4, 1.0f, w, 4, x, 4, 0.0f, y, 4);
+}
+
+}  // namespace indbml::inference

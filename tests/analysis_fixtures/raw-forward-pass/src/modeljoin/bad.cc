@@ -1,0 +1,15 @@
+// Fixture: an operator issuing GEMMs directly is a private forward pass
+// that bypasses the shared InferenceRuntime (batching, cache, metrics).
+#include "nn/blas.h"
+
+namespace indbml::modeljoin {
+
+void Forward(float* w, float* x, float* y, void* device) {
+  blas::Sgemm(false, false, 4, 4, 4, 1.0f, w, 4, x, 4, 0.0f, y, 4);  // ^find
+  blas::SgemmTight(false, false, 4, 4, 4, 1.0f, w, x, 0.0f, y);  // ^find
+  static_cast<Device*>(device)->Gemm(false, false, 4, 4, 4, 1.0f, w, x, 0.0f,
+                                     y);  // ^find@10
+  // A commented-out blas::Sgemm(...) call must not be flagged.
+}
+
+}  // namespace indbml::modeljoin

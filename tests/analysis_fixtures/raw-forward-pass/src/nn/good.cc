@@ -1,0 +1,11 @@
+// Fixture: training legitimately multiplies matrices (backprop is not a
+// forward pass the runtime could serve).
+#include "nn/blas.h"
+
+namespace indbml::nn {
+
+void Backprop(float* delta, float* in, float* grad) {
+  blas::SgemmTight(true, false, 4, 4, 4, 1.0f, in, delta, 0.0f, grad);
+}
+
+}  // namespace indbml::nn

@@ -8,12 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "benchlib/workloads.h"
 #include "common/metrics.h"
+#include "common/stopwatch.h"
 #include "mltosql/mltosql.h"
 #include "modeljoin/model_registry.h"
 #include "modeljoin/register.h"
@@ -220,6 +223,68 @@ TEST_F(ServerTest, RegistryInvalidatedOnModelRedeploy) {
   EXPECT_EQ(CounterValue("modeljoin.registry_invalidations"), invalidations0 + 1);
 }
 
+TEST_F(ServerTest, ModelRegisterBumpsCatalogVersion) {
+  auto srv = MakeServer();
+  ASSERT_OK_AND_ASSIGN(nn::Model model, nn::MakeDenseBenchmarkModel(8, 2, 21));
+  const int64_t v0 = srv->catalog()->version();
+  srv->engine()->models()->Register(nn::MetaOf(model, "dense8"));
+  EXPECT_GT(srv->catalog()->version(), v0)
+      << "a model DEPLOY must invalidate cached plans via the catalog version";
+}
+
+TEST_F(ServerTest, CachedPlanReresolvesRedeployedModel) {
+  auto srv = MakeServer();
+  LoadIris(srv.get(), 300);
+  DeployDense(srv.get(), 8, 2, "dense8");
+  auto session = srv->CreateSession();
+  const std::string query = DenseQuery("dense8");
+  ASSERT_OK(session->ExecuteQuery(query).status());  // plan now cached
+
+  // Redeploy a *different* model under the same name. The cached plan was
+  // bound against the old metadata and weights; reusing it would serve the
+  // old model's predictions.
+  DeployDense(srv.get(), 16, 3, "dense8");
+  const int64_t misses0 = CounterValue("server.plan_cache_misses");
+  ASSERT_OK_AND_ASSIGN(auto after, session->ExecuteQuery(query));
+  EXPECT_EQ(CounterValue("server.plan_cache_misses"), misses0 + 1)
+      << "the redeploy must invalidate the cached plan";
+  // The re-resolved plan serves the new model: identical to a fresh
+  // engine-path run against the current deployment.
+  ASSERT_OK_AND_ASSIGN(auto reference, srv->engine()->ExecuteQuery(query));
+  ExpectRowIdentical(after, reference);
+}
+
+TEST_F(ServerTest, CancelDuringInferenceWaitReturnsPromptly) {
+  server::QueryServer::Options options;
+  options.worker_threads = 4;
+  auto srv = MakeServer(options);
+  // Big enough that inference is still mid-flight when Cancel lands.
+  LoadIris(srv.get(), 300000);
+  DeployDense(srv.get(), 16, 3, "dense16");
+  auto session = srv->CreateSession();
+  auto opts = session->options();
+  // A pathological window: uncancelled, every coalescing wait could sit for
+  // 2 s. Cancel must cut through it.
+  opts.inference.batch_window_us = 2'000'000;
+  opts.morsel_rows = 512;
+  session->set_options(opts);
+
+  Stopwatch watch;
+  ASSERT_OK_AND_ASSIGN(auto handle, session->Submit(DenseQuery("dense16")));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  handle->Cancel();
+  auto result = handle->Wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+      << result.status().ToString();
+  EXPECT_LT(watch.ElapsedMicros(), 1'500'000)
+      << "cancellation must interrupt the batcher wait, not sit it out";
+
+  // The executor and the batcher must keep serving afterwards.
+  ASSERT_OK_AND_ASSIGN(auto after, session->ExecuteQuery(DenseQuery("dense16")));
+  EXPECT_EQ(after.num_rows, 300000);
+}
+
 TEST_F(ServerTest, CancelAbortsMidFlightWithoutWedgingExecutor) {
   server::QueryServer::Options options;
   options.worker_threads = 2;
@@ -232,15 +297,24 @@ TEST_F(ServerTest, CancelAbortsMidFlightWithoutWedgingExecutor) {
   opts.morsel_rows = 64;
   session->set_options(opts);
 
-  ASSERT_OK_AND_ASSIGN(
-      auto handle,
-      session->Submit("SELECT class, SUM(sepal_length) AS s FROM fact "
-                      "GROUP BY class"));
-  handle->Cancel();
-  auto result = handle->Wait();
-  ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
-      << result.status().ToString();
+  // Submit-then-cancel races against query completion: if this thread is
+  // descheduled between the two calls (parallel test runs on a loaded
+  // machine), the query can finish first and return OK. That outcome is
+  // legal — retry until a cancellation lands mid-flight.
+  bool cancelled = false;
+  for (int attempt = 0; attempt < 10 && !cancelled; ++attempt) {
+    ASSERT_OK_AND_ASSIGN(
+        auto handle,
+        session->Submit("SELECT class, SUM(sepal_length) AS s FROM fact "
+                        "GROUP BY class"));
+    handle->Cancel();
+    auto result = handle->Wait();
+    if (result.ok()) continue;  // completed before the cancel landed
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+        << result.status().ToString();
+    cancelled = true;
+  }
+  EXPECT_TRUE(cancelled) << "cancel never aborted the query in 10 attempts";
 
   // The executor must keep serving after a cancellation.
   ASSERT_OK_AND_ASSIGN(auto after,

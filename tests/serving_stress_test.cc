@@ -6,9 +6,11 @@
 // interleaving is data-race-free and nothing wedges.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -134,6 +136,70 @@ TEST(ServingStressTest, MixedQueriesOptionChurnAndCancellation) {
   ASSERT_OK_AND_ASSIGN(auto result,
                        session->ExecuteQuery("SELECT COUNT(*) AS n FROM fact"));
   EXPECT_EQ(result.GetValue(0, 0).i, kRows);
+}
+
+/// ISSUE 10 hot path under TSan: 8 clients hammer one model through the
+/// serving defaults (micro-batching and the result cache on), cancellations
+/// land inside inference waits, and the model is redeployed mid-stress so
+/// registry + inference-cache invalidation races live traffic. Outcomes are
+/// loose (a cancel may lose to completion); interleavings must be
+/// race-free and nothing may wedge.
+TEST(ServingStressTest, SameModelChurnWithBatchingAndCache) {
+  modeljoin::SharedModelRegistry::Global().Clear();
+  auto srv = MakeServer();  // serving defaults: 100 µs window, cache on
+  constexpr int64_t kRows = 4000;
+  ASSERT_OK(srv->catalog()->CreateTable(benchlib::MakeIrisTable("fact", kRows)));
+  DeployDense(srv.get(), "hot");
+  const std::string query =
+      "SELECT id, prediction FROM fact MODEL JOIN m USING MODEL 'hot' "
+      "DEVICE 'cpu' PREDICT (sepal_length, sepal_width, petal_length, "
+      "petal_width)";
+
+  const int64_t batches0 =
+      metrics::Registry::Global().counter("inference.batches")->value();
+  std::atomic<int64_t> completed{0};
+  std::atomic<int64_t> cancelled{0};
+  std::atomic<bool> stop{false};
+  // Deployment churn concurrent with the query storm: every redeploy swaps
+  // the model table, invalidates the shared build and drops the model's
+  // cached predictions.
+  std::thread churn([&] {
+    for (int i = 0; i < 5 && !stop.load(); ++i) {
+      DeployDense(srv.get(), "hot");
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+  });
+  ThreadPool clients(kClients);
+  clients.ParallelFor(kClients, [&](int client) {
+    auto session = srv->CreateSession();
+    for (int rep = 0; rep < kRepsPerClient; ++rep) {
+      auto handle = session->Submit(query);
+      ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+      if ((client + rep) % 4 == 0) {
+        handle.ValueOrDie()->Cancel();
+      }
+      auto result = handle.ValueOrDie()->Wait();
+      if (result.ok()) {
+        EXPECT_EQ(result.ValueOrDie().num_rows, kRows);
+        completed.fetch_add(1);
+      } else {
+        ASSERT_EQ(result.status().code(), StatusCode::kCancelled)
+            << result.status().ToString();
+        cancelled.fetch_add(1);
+      }
+    }
+  });
+  stop.store(true);
+  churn.join();
+  EXPECT_EQ(completed.load() + cancelled.load(), kClients * kRepsPerClient);
+  EXPECT_GT(completed.load(), 0);
+  EXPECT_GT(
+      metrics::Registry::Global().counter("inference.batches")->value(),
+      batches0);
+  // Still serviceable, and still correct, after the churn.
+  auto session = srv->CreateSession();
+  ASSERT_OK_AND_ASSIGN(auto result, session->ExecuteQuery(query));
+  EXPECT_EQ(result.num_rows, kRows);
 }
 
 /// Saturation: more concurrent submits than run + wait queue slots. Every
